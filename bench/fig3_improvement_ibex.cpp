@@ -1,0 +1,15 @@
+// Reproduces Figure 3: average relative improvement of each overlap
+// algorithm over no-overlap on the Ibex cluster (positive cases only).
+// Paper: 8.6% - 22.3%, markedly higher than crill because a larger share
+// of the collective-write time is communication (faster storage system).
+
+#define TPIO_FIG3
+#include "fig2_improvement_crill.cpp"
+
+int main(int argc, char** argv) {
+  return run_improvement_figure(
+      tpio::xp::ibex(), "Fig. 3",
+      "Paper: 8.6%-22.3%; higher than crill (storage is faster, so the "
+      "communication share is larger).",
+      argc, argv);
+}

@@ -1,0 +1,202 @@
+// Micro-benchmarks of the simulation substrate itself (google-benchmark):
+// host-side throughput of the deterministic conductor, the simulated MPI
+// point-to-point path, collectives, RMA, and the storage model. These
+// bound the wall-clock cost of the paper-reproduction sweeps and act as
+// regression guards for the simulator's hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "net/fabric.hpp"
+#include "pfs/pfs.hpp"
+#include "sched/conductor.hpp"
+#include "sched/sync.hpp"
+
+namespace sim = tpio::sim;
+namespace net = tpio::net;
+namespace smpi = tpio::smpi;
+namespace pfs = tpio::pfs;
+
+namespace {
+
+net::FabricParams flat_fabric() {
+  net::FabricParams p;
+  p.inter_bw = 3e9;
+  p.intra_bw = 8e9;
+  p.inter_latency = 1800;
+  p.intra_latency = 400;
+  return p;
+}
+
+/// Baton handoff rate: two ranks alternating actions.
+void BM_ConductorPingPongActions(benchmark::State& state) {
+  const auto iters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Conductor c(2);
+    c.run([&](sim::RankCtx& ctx) {
+      for (int i = 0; i < iters; ++i) {
+        ctx.advance(1);
+        ctx.act([] {});
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * iters * 2);
+}
+BENCHMARK(BM_ConductorPingPongActions)->Arg(1000);
+
+/// Event chain: rank i wakes rank i+1 — measures block/wake cost.
+void BM_ConductorEventChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Conductor c(n);
+    std::vector<sim::EventPtr> evs;
+    for (int i = 0; i < n; ++i) evs.push_back(std::make_shared<sim::Event>());
+    c.run([&](sim::RankCtx& ctx) {
+      const int r = ctx.rank();
+      if (r > 0) ctx.wait_event(*evs[static_cast<std::size_t>(r - 1)]);
+      ctx.advance(5);
+      ctx.act([&] { ctx.complete(*evs[static_cast<std::size_t>(r)], ctx.now()); });
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ConductorEventChain)->Arg(64)->Arg(256);
+
+void BM_SyncPointRounds(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int rounds = 50;
+  for (auto _ : state) {
+    sim::Conductor c(n);
+    sim::SyncPoint sp(n);
+    c.run([&](sim::RankCtx& ctx) {
+      for (int i = 0; i < rounds; ++i) {
+        ctx.advance(static_cast<sim::Duration>(ctx.rank() % 7 + 1));
+        sp.arrive(ctx);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * n);
+}
+BENCHMARK(BM_SyncPointRounds)->Arg(16)->Arg(64);
+
+void BM_MpiEagerPingPong(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const int rounds = 50;
+  for (auto _ : state) {
+    net::Topology topo{2, 1};
+    net::Fabric fabric(topo, flat_fabric());
+    smpi::Machine machine(fabric, smpi::MpiParams{});
+    sim::Conductor c(2);
+    c.run([&](sim::RankCtx& ctx) {
+      smpi::Mpi mpi(machine, ctx);
+      std::vector<std::byte> buf(bytes);
+      for (int i = 0; i < rounds; ++i) {
+        if (mpi.rank() == 0) {
+          mpi.send(1, i, buf);
+          mpi.recv(1, i, buf);
+        } else {
+          mpi.recv(0, i, buf);
+          mpi.send(0, i, buf);
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * rounds * 2 *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MpiEagerPingPong)->Arg(1024)->Arg(64 * 1024);
+
+void BM_MpiIncast(benchmark::State& state) {
+  const int senders = static_cast<int>(state.range(0));
+  const std::size_t bytes = 64 * 1024;
+  for (auto _ : state) {
+    net::Topology topo{senders + 1, 1};
+    net::Fabric fabric(topo, flat_fabric());
+    smpi::Machine machine(fabric, smpi::MpiParams{});
+    sim::Conductor c(senders + 1);
+    c.run([&](sim::RankCtx& ctx) {
+      smpi::Mpi mpi(machine, ctx);
+      std::vector<std::byte> buf(bytes);
+      if (mpi.rank() == 0) {
+        std::vector<std::vector<std::byte>> bufs(
+            static_cast<std::size_t>(senders), std::vector<std::byte>(bytes));
+        std::vector<smpi::Request> reqs;
+        for (int s = 1; s <= senders; ++s) {
+          reqs.push_back(mpi.irecv(s, 0, bufs[static_cast<std::size_t>(s - 1)]));
+        }
+        mpi.waitall(reqs);
+      } else {
+        mpi.send(0, 0, buf);
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * senders *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MpiIncast)->Arg(16)->Arg(64);
+
+void BM_RmaFencePutEpochs(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::size_t bytes = 16 * 1024;
+  const int epochs = 10;
+  for (auto _ : state) {
+    net::Topology topo{n, 1};
+    net::Fabric fabric(topo, flat_fabric());
+    smpi::Machine machine(fabric, smpi::MpiParams{});
+    sim::Conductor c(n);
+    c.run([&](sim::RankCtx& ctx) {
+      smpi::Mpi mpi(machine, ctx);
+      auto win = mpi.win_allocate(
+          mpi.rank() == 0 ? bytes * static_cast<std::size_t>(n) : 0);
+      std::vector<std::byte> buf(bytes);
+      for (int e = 0; e < epochs; ++e) {
+        mpi.win_fence(*win);
+        if (mpi.rank() != 0) {
+          mpi.put(*win, 0, static_cast<std::size_t>(mpi.rank()) * bytes, buf);
+        }
+        mpi.win_fence(*win);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * epochs * (n - 1));
+}
+BENCHMARK(BM_RmaFencePutEpochs)->Arg(16);
+
+void BM_PfsStripedWrite(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    pfs::PfsParams p;
+    p.num_targets = 16;
+    p.stripe_size = 128 * 1024;
+    p.target_bw = 1e9;
+    p.client_bw = 3e9;
+    pfs::StorageSystem sys(p, nullptr);
+    auto f = sys.create("bench", pfs::Integrity::None);
+    sim::Conductor c(1);
+    std::vector<std::byte> data(bytes);
+    c.run([&](sim::RankCtx& ctx) { f->write_at(ctx, 0, 0, data); });
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PfsStripedWrite)->Arg(1 << 20)->Arg(8 << 20);
+
+void BM_PfsDigestRecording(benchmark::State& state) {
+  const std::size_t bytes = 1 << 20;
+  for (auto _ : state) {
+    pfs::PfsParams p;
+    p.stripe_size = 128 * 1024;
+    pfs::StorageSystem sys(p, nullptr);
+    auto f = sys.create("bench", pfs::Integrity::Digest);
+    sim::Conductor c(1);
+    std::vector<std::byte> data(bytes);
+    c.run([&](sim::RankCtx& ctx) { f->write_at(ctx, 0, 0, data); });
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PfsDigestRecording);
+
+}  // namespace
+
+BENCHMARK_MAIN();

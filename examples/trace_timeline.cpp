@@ -1,0 +1,68 @@
+// Exports a chrome://tracing timeline of one collective write, showing how
+// the chosen overlap scheduler pipelines shuffle and file-access phases
+// across the two collective sub-buffers. Open the output in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+//   ./build/examples/trace_timeline [none|comm|write|write-comm|write-comm-2]
+//   -> writes trace_<mode>.json
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/trace.hpp"
+#include "harness/cli.hpp"
+#include "harness/sweep.hpp"
+#include "workloads/workloads.hpp"
+
+namespace xp = tpio::xp;
+namespace wl = tpio::wl;
+namespace coll = tpio::coll;
+namespace sim = tpio::sim;
+namespace net = tpio::net;
+namespace smpi = tpio::smpi;
+namespace pfs = tpio::pfs;
+
+int main(int argc, char** argv) {
+  const std::string mode_name = argc > 1 ? argv[1] : "write-comm-2";
+  coll::OverlapMode mode = coll::OverlapMode::WriteComm2;
+  if (mode_name == "none") mode = coll::OverlapMode::None;
+  else if (mode_name == "comm") mode = coll::OverlapMode::Comm;
+  else if (mode_name == "write") mode = coll::OverlapMode::Write;
+  else if (mode_name == "write-comm") mode = coll::OverlapMode::WriteComm;
+  else if (mode_name != "write-comm-2") {
+    std::fprintf(stderr, "unknown mode '%s'\n", mode_name.c_str());
+    return 2;
+  }
+
+  const int procs = 16;
+  const xp::Platform plat = xp::platform_by_name("ibex");
+  const net::Topology topo = net::Topology::fit(procs, plat.procs_per_node);
+  net::Fabric fabric(topo, plat.fabric);
+  smpi::Machine machine(fabric, plat.mpi);
+  pfs::StorageSystem storage(plat.pfs, &fabric);
+  auto file = storage.create("trace.out", pfs::Integrity::None);
+  const wl::Spec workload = wl::make_tile1m(1, 2);
+
+  std::vector<coll::Trace> traces(static_cast<std::size_t>(procs));
+  sim::Conductor conductor(procs);
+  conductor.run([&](sim::RankCtx& ctx) {
+    smpi::Mpi mpi(machine, ctx);
+    const coll::FileView view = workload.view(mpi.rank(), procs);
+    const auto data = wl::fill_local(view);
+    coll::Options opt;
+    opt.cb_size = xp::kCbSize;
+    opt.overlap = mode;
+    opt.trace = &traces[static_cast<std::size_t>(mpi.rank())];
+    coll::collective_write(mpi, *file, view, data, opt);
+  });
+
+  const std::string out = "trace_" + mode_name + ".json";
+  std::ofstream f(out);
+  f << coll::Trace::chrome_document(traces);
+  std::printf("job time %s; wrote %s (open in chrome://tracing)\n",
+              sim::format_time(conductor.makespan()).c_str(), out.c_str());
+  return 0;
+}

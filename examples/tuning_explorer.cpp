@@ -1,0 +1,76 @@
+// Tuning explorer: given a workload shape and a cluster profile, sweep
+// the collective-write tuning space (overlap scheduler x collective
+// buffer size) and print the best configurations — the kind of study an
+// I/O engineer runs before fixing MCA parameters for a production code.
+//
+//   ./build/examples/tuning_explorer [ior|tile256|tile1m|flash] [crill|ibex]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+#include "simbase/units.hpp"
+
+namespace xp = tpio::xp;
+namespace wl = tpio::wl;
+namespace coll = tpio::coll;
+namespace sim = tpio::sim;
+
+int main(int argc, char** argv) {
+  const std::string wname = argc > 1 ? argv[1] : "tile1m";
+  const std::string pname = argc > 2 ? argv[2] : "ibex";
+
+  wl::Spec workload;
+  if (wname == "ior") workload = wl::make_ior(2ull << 20);
+  else if (wname == "tile256") workload = wl::make_tile256(2, 1024);
+  else if (wname == "tile1m") workload = wl::make_tile1m(1, 2);
+  else if (wname == "flash") workload = wl::make_flash(24, 2, 16 * 1024);
+  else {
+    std::fprintf(stderr, "unknown workload '%s'\n", wname.c_str());
+    return 2;
+  }
+  const xp::Platform plat = xp::scaled(pname == "crill" ? xp::crill()
+                                                        : xp::ibex());
+
+  std::printf("tuning %s on %s, 64 processes, %s/proc\n\n", wname.c_str(),
+              plat.name.c_str(),
+              sim::format_bytes(workload.bytes_per_proc()).c_str());
+
+  struct Best {
+    double ms = 1e300;
+    std::string what;
+  } best;
+
+  xp::Table table({"overlap", "cb size", "time(ms)", "bandwidth"});
+  for (coll::OverlapMode mode :
+       {coll::OverlapMode::None, coll::OverlapMode::Comm,
+        coll::OverlapMode::Write, coll::OverlapMode::WriteComm,
+        coll::OverlapMode::WriteComm2}) {
+    for (std::uint64_t cb : {2ull << 20, 4ull << 20, 8ull << 20}) {
+      xp::RunSpec spec;
+      spec.platform = plat;
+      spec.workload = workload;
+      spec.nprocs = 64;
+      spec.options.cb_size = cb;
+      spec.options.overlap = mode;
+      const xp::Series series = xp::execute_series(spec, 3, 0x7E57);
+      const double ms = sim::to_millis(series.min_makespan());
+      const double bw = static_cast<double>(series.runs[0].bytes) /
+                        (ms * 1e-3);
+      char a[32];
+      std::snprintf(a, sizeof(a), "%.2f", ms);
+      table.add_row({coll::to_string(mode), sim::format_bytes(cb), a,
+                     sim::format_bandwidth(bw)});
+      if (ms < best.ms) {
+        best.ms = ms;
+        best.what = std::string(coll::to_string(mode)) + " with " +
+                    sim::format_bytes(cb) + " buffer";
+      }
+    }
+  }
+  table.print();
+  std::printf("\nrecommendation: %s (%.2f ms)\n", best.what.c_str(), best.ms);
+  return 0;
+}

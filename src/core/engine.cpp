@@ -1,0 +1,419 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/trace.hpp"
+#include "simbase/error.hpp"
+
+namespace tpio::coll {
+
+namespace {
+
+/// Measure wall (virtual) time a rank spends inside `fn`, attributing it to
+/// the given PhaseTimings field.
+template <class F>
+void timed(sim::RankCtx& ctx, sim::Duration& field, F&& fn) {
+  const sim::Time before = ctx.now();
+  fn();
+  field += ctx.now() - before;
+}
+
+}  // namespace
+
+Engine::Engine(smpi::Mpi& mpi, pfs::File& file, const Plan& plan,
+               std::span<const std::byte> local_data, const Options& opt,
+               PhaseTimings& timings)
+    : mpi_(mpi),
+      file_(file),
+      plan_(plan),
+      data_(local_data),
+      opt_(opt),
+      t_(timings) {
+  TPIO_CHECK(data_.size() == plan.view(mpi.rank()).total_bytes(),
+             "local buffer size does not match the file view");
+  my_agg_ = plan_.agg_index(mpi_.rank());
+  node_ = mpi_.machine().fabric().topology().node_of(mpi_.rank());
+
+  const int nslots = opt_.overlap == OverlapMode::None ? 1 : 2;
+  const std::uint64_t sb = plan_.sub_buffer_bytes();
+  if (opt_.transfer == Transfer::TwoSided) {
+    if (my_agg_ >= 0) {
+      for (int s = 0; s < nslots; ++s) {
+        slots_[s].cb.resize(sb);
+      }
+    }
+  } else {
+    // One-sided: the sub-buffers ARE the exposed windows; puts land
+    // directly at their final position, no aggregator-side unpack.
+    timed(mpi_.ctx(), t_.sync, [&] {
+      for (int s = 0; s < nslots; ++s) {
+        slots_[s].win =
+            mpi_.win_allocate(my_agg_ >= 0 ? static_cast<std::size_t>(sb) : 0);
+      }
+    });
+  }
+}
+
+std::span<std::byte> Engine::cb_span(int slot) {
+  Slot& s = slots_[slot];
+  if (opt_.transfer == Transfer::TwoSided) return s.cb;
+  return s.win->local(mpi_.rank());
+}
+
+sim::Duration Engine::pack_cost(std::size_t segs, std::uint64_t bytes) const {
+  return static_cast<sim::Duration>(segs) * opt_.seg_cpu +
+         sim::transfer_time(bytes, opt_.pack_bw);
+}
+
+// ---------------------------------------------------------------------------
+// Shuffle phase
+// ---------------------------------------------------------------------------
+
+void Engine::shuffle_init(int cycle, int slot) {
+  ScopedTraceEvent ev_(opt_.trace, "shuffle_init", cycle, mpi_.ctx().now());
+  struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
+  Slot& s = slots_[slot];
+  TPIO_CHECK(!s.sh.pending, "shuffle_init while a shuffle is pending on slot");
+  TPIO_CHECK(!s.wr.valid(),
+             "shuffle_init into a sub-buffer with an outstanding write");
+  s.sh = ShuffleState{};
+  s.sh.cycle = cycle;
+  s.sh.pending = true;
+
+  const int me = mpi_.rank();
+  const auto tag = static_cast<smpi::Tag>(cycle);
+
+  if (opt_.transfer == Transfer::TwoSided) {
+    // Per-cycle metadata synchronization (vulcan exchanges offsets/counts
+    // at the start of every cycle). Besides its own cost this keeps
+    // senders in lock-step with the aggregators: without it, eager senders
+    // race arbitrarily far ahead and pre-deliver future cycles into
+    // unexpected-message buffers, which no real implementation allows at
+    // collective-buffer granularity.
+    timed(mpi_.ctx(), t_.sync, [&] { mpi_.barrier(); });
+    // Aggregator side: one receive per contributing source. A source whose
+    // contribution is one contiguous piece lands directly at its final
+    // position in the collective buffer (no staging, no unpack) — the
+    // common case for contiguous workloads like IOR; multi-segment
+    // contributions go through a staging buffer and are scattered at
+    // shuffle_wait, paying CPU per segment and per byte.
+    if (my_agg_ >= 0) {
+      const Plan::Range r = plan_.cycle_range(my_agg_, cycle);
+      std::span<std::byte> cb = cb_span(slot);
+      for (int src = 0; src < mpi_.size(); ++src) {
+        const auto segs = plan_.segments_in(src, r.begin, r.end);
+        if (segs.empty()) continue;
+        std::span<std::byte> dest;
+        if (segs.size() == 1) {
+          dest = cb.subspan(segs[0].file_offset - r.begin, segs[0].length);
+        } else {
+          std::uint64_t n = 0;
+          for (const Segment& g : segs) n += g.length;
+          s.sh.recv_bufs.emplace_back(src, std::vector<std::byte>(n));
+          dest = s.sh.recv_bufs.back().second;
+        }
+        timed(mpi_.ctx(), t_.shuffle,
+              [&] { s.sh.reqs.push_back(mpi_.irecv(src, tag, dest)); });
+      }
+    }
+    // Sender side: a single contiguous piece is sent zero-copy from the
+    // user buffer; scattered pieces are packed into one message first.
+    for (int a = 0; a < plan_.num_aggregators(); ++a) {
+      const Plan::Range r = plan_.cycle_range(a, cycle);
+      const auto segs = plan_.segments_in(me, r.begin, r.end);
+      if (segs.empty()) continue;
+      std::span<const std::byte> payload;
+      if (segs.size() == 1) {
+        payload = data_.subspan(segs[0].local_offset, segs[0].length);
+      } else {
+        std::uint64_t total = 0;
+        for (const Segment& g : segs) total += g.length;
+        std::vector<std::byte> buf(total);
+        std::uint64_t pos = 0;
+        for (const Segment& g : segs) {
+          std::memcpy(buf.data() + pos, data_.data() + g.local_offset,
+                      g.length);
+          pos += g.length;
+        }
+        timed(mpi_.ctx(), t_.pack,
+              [&] { mpi_.ctx().advance(pack_cost(segs.size(), total)); });
+        s.sh.send_bufs.push_back(std::move(buf));
+        payload = s.sh.send_bufs.back();
+      }
+      timed(mpi_.ctx(), t_.shuffle, [&] {
+        s.sh.reqs.push_back(mpi_.isend(plan_.agg_rank(a), tag, payload));
+      });
+    }
+    return;
+  }
+
+  // One-sided variants.
+  if (opt_.transfer == Transfer::OneSidedLock) {
+    // Origins must not overwrite a sub-buffer whose previous content the
+    // aggregator is still writing; the paper resolves this with a barrier.
+    timed(mpi_.ctx(), t_.sync, [&] { mpi_.barrier(); });
+  } else {
+    // Active target: the opening fence starts the exposure epoch.
+    timed(mpi_.ctx(), t_.sync, [&] { mpi_.win_fence(*s.win); });
+  }
+
+  for (int a = 0; a < plan_.num_aggregators(); ++a) {
+    const Plan::Range r = plan_.cycle_range(a, cycle);
+    const auto segs = plan_.segments_in(me, r.begin, r.end);
+    if (segs.empty()) continue;
+    const int target = plan_.agg_rank(a);
+    if (opt_.transfer == Transfer::OneSidedLock) {
+      timed(mpi_.ctx(), t_.sync,
+            [&] { mpi_.win_lock(*s.win, target, opt_.lock_type); });
+    }
+    timed(mpi_.ctx(), t_.shuffle, [&] {
+      for (const Segment& g : segs) {
+        // Each contiguous piece goes straight to its final position in the
+        // target's sub-buffer: origin-side placement, no target CPU.
+        mpi_.ctx().advance(opt_.seg_cpu);
+        mpi_.put(*s.win, target, g.file_offset - r.begin,
+                 data_.subspan(g.local_offset, g.length));
+      }
+    });
+    if (opt_.transfer == Transfer::OneSidedLock) {
+      timed(mpi_.ctx(), t_.sync, [&] { mpi_.win_unlock(*s.win, target); });
+    }
+  }
+}
+
+void Engine::shuffle_wait(int slot) {
+  ScopedTraceEvent ev_(opt_.trace, "shuffle_wait", slots_[slot].sh.cycle, mpi_.ctx().now());
+  struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
+  Slot& s = slots_[slot];
+  TPIO_CHECK(s.sh.pending, "shuffle_wait without a pending shuffle");
+  s.sh.pending = false;
+
+  switch (opt_.transfer) {
+    case Transfer::TwoSided: {
+      timed(mpi_.ctx(), t_.shuffle, [&] { mpi_.waitall(s.sh.reqs); });
+      if (my_agg_ >= 0 && !s.sh.recv_bufs.empty()) {
+        // Scatter staged multi-segment messages into the collective buffer
+        // at their final offsets (single-segment sources already landed in
+        // place).
+        const Plan::Range r = plan_.cycle_range(my_agg_, s.sh.cycle);
+        std::span<std::byte> cb = cb_span(slot);
+        std::size_t nsegs = 0;
+        std::uint64_t bytes = 0;
+        for (const auto& [src, buf] : s.sh.recv_bufs) {
+          const auto segs = plan_.segments_in(src, r.begin, r.end);
+          std::uint64_t pos = 0;
+          for (const Segment& g : segs) {
+            std::memcpy(cb.data() + (g.file_offset - r.begin),
+                        buf.data() + pos, g.length);
+            pos += g.length;
+          }
+          TPIO_CHECK(pos == buf.size(), "unpack size mismatch");
+          nsegs += segs.size();
+          bytes += pos;
+        }
+        timed(mpi_.ctx(), t_.pack,
+              [&] { mpi_.ctx().advance(pack_cost(nsegs, bytes)); });
+      }
+      break;
+    }
+    case Transfer::OneSidedFence:
+      // Closing fence: completes all puts of the epoch, everywhere.
+      timed(mpi_.ctx(), t_.sync, [&] { mpi_.win_fence(*s.win); });
+      break;
+    case Transfer::OneSidedLock:
+      // Unlocks already guaranteed per-origin completion; the barrier tells
+      // the aggregator that *all* origins are done.
+      timed(mpi_.ctx(), t_.sync, [&] { mpi_.barrier(); });
+      break;
+  }
+  s.sh.send_bufs.clear();
+  s.sh.recv_bufs.clear();
+  s.sh.reqs.clear();
+}
+
+void Engine::shuffle_blocking(int cycle, int slot) {
+  shuffle_init(cycle, slot);
+  shuffle_wait(slot);
+}
+
+// ---------------------------------------------------------------------------
+// I/O phase
+// ---------------------------------------------------------------------------
+
+void Engine::write_init(int cycle, int slot) {
+  ScopedTraceEvent ev_(opt_.trace, "write_init", cycle, mpi_.ctx().now());
+  struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
+  Slot& s = slots_[slot];
+  TPIO_CHECK(!s.wr.valid(), "write_init with an outstanding write on slot");
+  TPIO_CHECK(!s.sh.pending, "write_init while the sub-buffer is shuffling");
+  if (my_agg_ < 0) return;
+  const Plan::Range r = plan_.cycle_range(my_agg_, cycle);
+  if (r.size() == 0) return;
+  timed(mpi_.ctx(), t_.write, [&] {
+    s.wr = file_.start_write(mpi_.ctx(), node_, r.begin,
+                             cb_span(slot).subspan(0, r.size()),
+                             /*async=*/true);
+  });
+}
+
+void Engine::write_wait(int slot) {
+  ScopedTraceEvent ev_(opt_.trace, "write_wait", slots_[slot].sh.cycle, mpi_.ctx().now());
+  struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
+  Slot& s = slots_[slot];
+  if (!s.wr.valid()) return;  // non-aggregator or empty cycle
+  timed(mpi_.ctx(), t_.write, [&] { file_.wait(mpi_.ctx(), s.wr); });
+}
+
+void Engine::write_blocking(int cycle, int slot) {
+  ScopedTraceEvent ev_(opt_.trace, "write_blocking", cycle, mpi_.ctx().now());
+  struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
+  Slot& s = slots_[slot];
+  TPIO_CHECK(!s.wr.valid(), "blocking write with an outstanding write on slot");
+  TPIO_CHECK(!s.sh.pending, "blocking write while the sub-buffer is shuffling");
+  if (my_agg_ < 0) return;
+  const Plan::Range r = plan_.cycle_range(my_agg_, cycle);
+  if (r.size() == 0) return;
+  timed(mpi_.ctx(), t_.write, [&] {
+    pfs::WriteOp op = file_.start_write(mpi_.ctx(), node_, r.begin,
+                                        cb_span(slot).subspan(0, r.size()),
+                                        /*async=*/false);
+    // A blocking pwrite keeps this rank out of the MPI progress engine for
+    // its whole duration — the effect the paper identifies as the weakness
+    // of communication-only overlap.
+    mpi_.set_unavailable_until(op.completion());
+    file_.wait(mpi_.ctx(), op);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Overlap schedulers (Algorithms 1-4 of the paper + the baseline)
+// ---------------------------------------------------------------------------
+
+void Engine::run() {
+  if (plan_.num_cycles() == 0) return;
+  switch (opt_.overlap) {
+    case OverlapMode::None: run_none(); break;
+    case OverlapMode::Comm: run_comm(); break;
+    case OverlapMode::Write: run_write(); break;
+    case OverlapMode::WriteComm: run_write_comm(); break;
+    case OverlapMode::WriteComm2: run_write_comm2(); break;
+  }
+}
+
+void Engine::run_none() {
+  // Classic two-phase: one full-size collective buffer, fully serial.
+  for (int c = 0; c < plan_.num_cycles(); ++c) {
+    shuffle_blocking(c, 0);
+    write_blocking(c, 0);
+  }
+}
+
+void Engine::run_comm() {
+  // Algorithm 1 (Communication Overlap): non-blocking shuffle, blocking
+  // write. The next cycle's shuffle runs behind the current write.
+  const int N = plan_.num_cycles();
+  shuffle_init(0, slot_of(0));
+  for (int c = 0; c + 1 < N; ++c) {
+    shuffle_init(c + 1, slot_of(c + 1));
+    shuffle_wait(slot_of(c));
+    write_blocking(c, slot_of(c));
+  }
+  shuffle_wait(slot_of(N - 1));
+  write_blocking(N - 1, slot_of(N - 1));
+}
+
+void Engine::run_write() {
+  // Algorithm 2 (Write Overlap): blocking shuffle, asynchronous write. The
+  // previous cycle's write drains while the next shuffle runs.
+  const int N = plan_.num_cycles();
+  shuffle_blocking(0, slot_of(0));
+  write_init(0, slot_of(0));
+  for (int c = 1; c < N; ++c) {
+    shuffle_blocking(c, slot_of(c));
+    write_init(c, slot_of(c));
+    write_wait(slot_of(c - 1));
+  }
+  write_wait(slot_of(N - 1));
+}
+
+void Engine::run_write_comm() {
+  // Algorithm 3 (Write-Communication Overlap): asynchronous write and
+  // non-blocking shuffle posted together, then a joint wait.
+  const int N = plan_.num_cycles();
+  shuffle_blocking(0, slot_of(0));
+  for (int c = 0; c < N; ++c) {
+    write_init(c, slot_of(c));
+    if (c + 1 < N) shuffle_init(c + 1, slot_of(c + 1));
+    // wait_all(p1, p2): both the write and the shuffle must finish before
+    // the buffers swap. Completing the shuffle first lets its aggregator-
+    // side unpack overlap the tail of the in-flight write.
+    if (c + 1 < N) shuffle_wait(slot_of(c + 1));
+    write_wait(slot_of(c));
+  }
+}
+
+void Engine::run_write_comm2() {
+  // Algorithm 4 (Write-Communication-2 Overlap), data-flow interpretation:
+  // the completion of any non-blocking operation immediately posts its
+  // follow-up (write after its shuffle, shuffle after the write that frees
+  // its sub-buffer) instead of Algorithm 3's joint wait.
+  //
+  // The paper's listing contains an apparent typo (line 11 re-issues
+  // write_init(p1) right before waiting on it); we implement the stated
+  // intent — see DESIGN.md, "Notes on fidelity".
+  const int N = plan_.num_cycles();
+  shuffle_blocking(0, slot_of(0));
+  write_init(0, slot_of(0));
+  if (N > 1) shuffle_init(1, slot_of(1));
+  for (int c = 1; c < N; ++c) {
+    shuffle_wait(slot_of(c));          // shuffle c finished ...
+    write_init(c, slot_of(c));         // ... so its write posts immediately
+    write_wait(slot_of(c - 1));        // write c-1 frees sub-buffer ...
+    if (c + 1 < N) {
+      shuffle_init(c + 1, slot_of(c + 1));  // ... so shuffle c+1 posts
+    }
+  }
+  write_wait(slot_of(N - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------------
+
+Result collective_write(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
+                        std::span<const std::byte> data, const Options& opt) {
+  view.validate();
+  TPIO_CHECK(data.size() == view.total_bytes(),
+             "local buffer size does not match the file view");
+
+  Result res;
+  const sim::Time start = mpi.ctx().now();
+
+  // Metadata phase: exchange flattened views; every rank derives the same
+  // plan deterministically.
+  PhaseTimings t;
+  const sim::Time meta_start = mpi.ctx().now();
+  auto blobs = mpi.allgatherv(view.serialize());
+  std::vector<FileView> views;
+  views.reserve(blobs.size());
+  for (const auto& b : blobs) views.push_back(FileView::deserialize(b));
+  const net::Topology& topo = mpi.machine().fabric().topology();
+  const std::uint64_t stripe = file.stripe_size();
+  Plan plan(std::move(views), topo, stripe, opt);
+  t.meta += mpi.ctx().now() - meta_start;
+
+  Engine engine(mpi, file, plan, data, opt, t);
+  engine.run();
+
+  t.total = mpi.ctx().now() - start;
+  res.timings = t;
+  res.aggregators = plan.num_aggregators();
+  res.cycles = plan.num_cycles();
+  res.bytes_local = view.total_bytes();
+  res.bytes_global = plan.global_bytes();
+  return res;
+}
+
+}  // namespace tpio::coll

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/plan.hpp"
+#include "core/types.hpp"
+#include "mpi/mpi.hpp"
+#include "pfs/pfs.hpp"
+
+namespace tpio::coll {
+
+/// Execution engine of one collective write on one rank.
+///
+/// Owns the two collective sub-buffers (plain memory for two-sided
+/// transfers, RMA windows for one-sided ones), implements the shuffle and
+/// I/O phases, and sequences them according to the selected overlap
+/// algorithm. Constructed and run by coll::collective_write(); exposed for
+/// white-box tests of individual phases.
+class Engine {
+ public:
+  Engine(smpi::Mpi& mpi, pfs::File& file, const Plan& plan,
+         std::span<const std::byte> local_data, const Options& opt,
+         PhaseTimings& timings);
+
+  /// Execute all cycles with the configured overlap algorithm.
+  void run();
+
+  // ----- individual phase operations (also used by tests) -----------------
+  void shuffle_init(int cycle, int slot);
+  void shuffle_wait(int slot);
+  void shuffle_blocking(int cycle, int slot);
+  void write_init(int cycle, int slot);
+  void write_wait(int slot);
+  void write_blocking(int cycle, int slot);
+
+ private:
+  struct ShuffleState {
+    int cycle = -1;
+    bool pending = false;
+    std::vector<smpi::Request> reqs;
+    // Two-sided staging: send buffers (per destination aggregator) must
+    // outlive the waitall; receive buffers (per source) are unpacked into
+    // the collective buffer at shuffle_wait.
+    std::vector<std::vector<std::byte>> send_bufs;
+    std::vector<std::pair<int, std::vector<std::byte>>> recv_bufs;
+  };
+  struct Slot {
+    std::vector<std::byte> cb;           // two-sided sub-buffer (aggregators)
+    std::shared_ptr<smpi::Window> win;   // one-sided sub-buffer
+    ShuffleState sh;
+    pfs::WriteOp wr;
+  };
+
+  std::span<std::byte> cb_span(int slot);
+
+  void run_none();
+  void run_comm();        // Algorithm 1
+  void run_write();       // Algorithm 2
+  void run_write_comm();  // Algorithm 3
+  void run_write_comm2(); // Algorithm 4 (data-flow interpretation)
+
+  int slot_of(int cycle) const {
+    return opt_.overlap == OverlapMode::None ? 0 : cycle % 2;
+  }
+
+  /// CPU cost of packing/unpacking `segs` segments totalling `bytes`.
+  sim::Duration pack_cost(std::size_t segs, std::uint64_t bytes) const;
+
+  smpi::Mpi& mpi_;
+  pfs::File& file_;
+  const Plan& plan_;
+  std::span<const std::byte> data_;
+  Options opt_;
+  PhaseTimings& t_;
+  int my_agg_ = -1;  // aggregator index of this rank, or -1
+  int node_ = 0;
+  Slot slots_[2];
+};
+
+/// Perform a collective write of `data` (laid out per `view`) into `file`,
+/// together with every other rank of the job. Collective: all ranks must
+/// call with consistent Options.
+Result collective_write(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
+                        std::span<const std::byte> data, const Options& opt);
+
+}  // namespace tpio::coll

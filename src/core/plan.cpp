@@ -1,0 +1,144 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+
+#include "simbase/error.hpp"
+
+namespace tpio::coll {
+
+int auto_aggregator_count(std::uint64_t total_bytes, std::uint64_t cb_size,
+                          const net::Topology& topo) {
+  TPIO_CHECK(cb_size > 0, "collective buffer size must be positive");
+  // One aggregator can usefully absorb a few buffers' worth per cycle
+  // sequence; cap at one aggregator per node (NIC incast is per node).
+  const std::uint64_t by_volume = (total_bytes + cb_size - 1) / cb_size;
+  const auto a = static_cast<int>(
+      std::min<std::uint64_t>(by_volume, static_cast<std::uint64_t>(topo.nodes)));
+  return std::clamp(a, 1, topo.nprocs());
+}
+
+Plan::Plan(std::vector<FileView> views, const net::Topology& topo,
+           std::uint64_t stripe_size, const Options& opt)
+    : views_(std::move(views)) {
+  const int P = topo.nprocs();
+  TPIO_CHECK(static_cast<int>(views_.size()) == P,
+             "one view per rank required");
+
+  // Global range and volume.
+  range_begin_ = UINT64_MAX;
+  range_end_ = 0;
+  local_prefix_.resize(views_.size());
+  for (std::size_t r = 0; r < views_.size(); ++r) {
+    views_[r].validate();
+    std::uint64_t pos = 0;
+    local_prefix_[r].reserve(views_[r].extents.size());
+    for (const Extent& e : views_[r].extents) {
+      local_prefix_[r].push_back(pos);
+      pos += e.length;
+      range_begin_ = std::min(range_begin_, e.offset);
+      range_end_ = std::max(range_end_, e.end());
+    }
+    global_bytes_ += pos;
+  }
+  if (global_bytes_ == 0) {
+    range_begin_ = range_end_ = 0;
+  }
+
+  // Aggregator count and placement: spread across nodes first, then within.
+  int A = opt.num_aggregators > 0
+              ? std::min(opt.num_aggregators, P)
+              : auto_aggregator_count(global_bytes_, opt.cb_size, topo);
+  A = std::max(A, 1);
+  agg_ranks_.reserve(static_cast<std::size_t>(A));
+  agg_index_of_rank_.assign(static_cast<std::size_t>(P), -1);
+  for (int i = 0; i < A; ++i) {
+    const int node = i % topo.nodes;
+    const int slot = i / topo.nodes;
+    const int rank = node * topo.procs_per_node + slot;
+    TPIO_CHECK(slot < topo.procs_per_node,
+               "more aggregators than processes on a node");
+    TPIO_CHECK(rank < P, "aggregator placement outside the job");
+    TPIO_CHECK(agg_index_of_rank_[static_cast<std::size_t>(rank)] == -1,
+               "duplicate aggregator placement");
+    agg_index_of_rank_[static_cast<std::size_t>(rank)] = i;
+    agg_ranks_.push_back(rank);
+  }
+
+  // Even byte-range file domains over [range_begin, range_end), optionally
+  // aligned to stripe boundaries so one target is written by one aggregator.
+  const std::uint64_t range = range_end_ - range_begin_;
+  std::uint64_t per = (range + static_cast<std::uint64_t>(A) - 1) /
+                      static_cast<std::uint64_t>(A);
+  if (opt.stripe_align && stripe_size > 0 && per > 0) {
+    per = (per + stripe_size - 1) / stripe_size * stripe_size;
+  }
+  domains_.reserve(static_cast<std::size_t>(A));
+  std::uint64_t begin = range_begin_;
+  for (int i = 0; i < A; ++i) {
+    const std::uint64_t end = std::min(range_end_, begin + per);
+    domains_.push_back(Range{begin, std::max(begin, end)});
+    begin = domains_.back().end;
+  }
+
+  // Cycle count: the largest domain processed `sub_buffer_` bytes at a time.
+  // Overlap modes split the collective buffer in two (paper, section III-A).
+  sub_buffer_ = opt.overlap == OverlapMode::None ? opt.cb_size
+                                                 : opt.cb_size / 2;
+  TPIO_CHECK(sub_buffer_ > 0, "collective buffer too small to split");
+  std::uint64_t max_domain = 0;
+  for (const Range& d : domains_) max_domain = std::max(max_domain, d.size());
+  num_cycles_ = static_cast<int>((max_domain + sub_buffer_ - 1) / sub_buffer_);
+}
+
+bool Plan::is_aggregator(int rank) const {
+  return agg_index_of_rank_[static_cast<std::size_t>(rank)] >= 0;
+}
+
+int Plan::agg_index(int rank) const {
+  return agg_index_of_rank_[static_cast<std::size_t>(rank)];
+}
+
+Plan::Range Plan::cycle_range(int a, int c) const {
+  const Range d = domains_[static_cast<std::size_t>(a)];
+  const std::uint64_t lo =
+      d.begin + static_cast<std::uint64_t>(c) * sub_buffer_;
+  if (lo >= d.end) return Range{d.end, d.end};
+  return Range{lo, std::min(d.end, lo + sub_buffer_)};
+}
+
+std::vector<Segment> Plan::segments_in(int r, std::uint64_t lo,
+                                       std::uint64_t hi) const {
+  std::vector<Segment> out;
+  if (lo >= hi) return out;
+  const auto& exts = views_[static_cast<std::size_t>(r)].extents;
+  const auto& prefix = local_prefix_[static_cast<std::size_t>(r)];
+  // First extent whose end is past lo.
+  auto it = std::lower_bound(
+      exts.begin(), exts.end(), lo,
+      [](const Extent& e, std::uint64_t v) { return e.end() <= v; });
+  for (; it != exts.end() && it->offset < hi; ++it) {
+    const std::uint64_t s = std::max(it->offset, lo);
+    const std::uint64_t e = std::min(it->end(), hi);
+    if (s >= e) continue;
+    const auto idx = static_cast<std::size_t>(it - exts.begin());
+    out.push_back(Segment{s, prefix[idx] + (s - it->offset), e - s});
+  }
+  return out;
+}
+
+std::uint64_t Plan::bytes_in(int r, std::uint64_t lo, std::uint64_t hi) const {
+  if (lo >= hi) return 0;
+  const auto& exts = views_[static_cast<std::size_t>(r)].extents;
+  auto it = std::lower_bound(
+      exts.begin(), exts.end(), lo,
+      [](const Extent& e, std::uint64_t v) { return e.end() <= v; });
+  std::uint64_t n = 0;
+  for (; it != exts.end() && it->offset < hi; ++it) {
+    const std::uint64_t s = std::max(it->offset, lo);
+    const std::uint64_t e = std::min(it->end(), hi);
+    if (s < e) n += e - s;
+  }
+  return n;
+}
+
+}  // namespace tpio::coll

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "net/topology.hpp"
+
+namespace tpio::coll {
+
+/// One piece of a rank's data destined for (a cycle of) a file domain.
+struct Segment {
+  std::uint64_t file_offset = 0;   // absolute offset in the file
+  std::uint64_t local_offset = 0;  // offset into the rank's local buffer
+  std::uint64_t length = 0;
+};
+
+/// The distribution plan of one collective write, identical on every rank
+/// (derived deterministically from the exchanged views). Owns no payload.
+class Plan {
+ public:
+  /// `views[r]` is rank r's file view; `topo` maps ranks to nodes.
+  Plan(std::vector<FileView> views, const net::Topology& topo,
+       std::uint64_t stripe_size, const Options& opt);
+
+  int num_aggregators() const { return static_cast<int>(domains_.size()); }
+  int num_cycles() const { return num_cycles_; }
+  std::uint64_t sub_buffer_bytes() const { return sub_buffer_; }
+  std::uint64_t global_bytes() const { return global_bytes_; }
+  std::uint64_t range_begin() const { return range_begin_; }
+  std::uint64_t range_end() const { return range_end_; }
+
+  bool is_aggregator(int rank) const;
+  /// Index into domains for an aggregator rank (-1 otherwise).
+  int agg_index(int rank) const;
+  /// The rank serving aggregator index `a`.
+  int agg_rank(int a) const { return agg_ranks_[static_cast<std::size_t>(a)]; }
+
+  struct Range {
+    std::uint64_t begin = 0, end = 0;
+    std::uint64_t size() const { return end - begin; }
+  };
+  /// File-domain of aggregator `a` (may be empty).
+  Range domain(int a) const { return domains_[static_cast<std::size_t>(a)]; }
+  /// The slice of domain `a` processed in cycle `c`.
+  Range cycle_range(int a, int c) const;
+
+  /// Segments of rank `r`'s view that fall in [lo, hi), with local offsets.
+  std::vector<Segment> segments_in(int r, std::uint64_t lo,
+                                   std::uint64_t hi) const;
+  /// Total bytes of rank `r`'s view inside [lo, hi) (cheaper than
+  /// materializing the segments).
+  std::uint64_t bytes_in(int r, std::uint64_t lo, std::uint64_t hi) const;
+
+  const FileView& view(int r) const {
+    return views_[static_cast<std::size_t>(r)];
+  }
+
+ private:
+  std::vector<FileView> views_;
+  std::vector<std::vector<std::uint64_t>> local_prefix_;  // per rank, per extent
+  std::vector<Range> domains_;   // per aggregator index
+  std::vector<int> agg_ranks_;   // per aggregator index
+  std::vector<int> agg_index_of_rank_;
+  std::uint64_t range_begin_ = 0;
+  std::uint64_t range_end_ = 0;
+  std::uint64_t global_bytes_ = 0;
+  std::uint64_t sub_buffer_ = 0;
+  int num_cycles_ = 0;
+};
+
+/// Automatic aggregator-count selection (approximation of Chaarawi &
+/// Gabriel's runtime algorithm, ref [5]): enough aggregators that each has
+/// work, at most one per node by default.
+int auto_aggregator_count(std::uint64_t total_bytes, std::uint64_t cb_size,
+                          const net::Topology& topo);
+
+}  // namespace tpio::coll

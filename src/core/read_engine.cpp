@@ -1,0 +1,309 @@
+#include "core/read_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "simbase/error.hpp"
+
+namespace tpio::coll {
+
+namespace {
+
+template <class F>
+void timed(sim::RankCtx& ctx, sim::Duration& field, F&& fn) {
+  const sim::Time before = ctx.now();
+  fn();
+  field += ctx.now() - before;
+}
+
+/// Scatter tags live in their own space so interleaved collective writes
+/// and reads on one machine can never cross-match.
+smpi::Tag scatter_tag(int cycle) {
+  return static_cast<smpi::Tag>(cycle) | (smpi::Tag{1} << 30);
+}
+
+}  // namespace
+
+ReadEngine::ReadEngine(smpi::Mpi& mpi, pfs::File& file, const Plan& plan,
+                       std::span<std::byte> local_out, const Options& opt,
+                       PhaseTimings& timings)
+    : mpi_(mpi),
+      file_(file),
+      plan_(plan),
+      out_(local_out),
+      opt_(opt),
+      t_(timings) {
+  TPIO_CHECK(opt.transfer == Transfer::TwoSided,
+             "collective read implements the two-sided scatter only");
+  TPIO_CHECK(out_.size() == plan.view(mpi.rank()).total_bytes(),
+             "output buffer size does not match the file view");
+  my_agg_ = plan_.agg_index(mpi_.rank());
+  node_ = mpi_.machine().fabric().topology().node_of(mpi_.rank());
+  if (my_agg_ >= 0) {
+    const int nslots = opt_.overlap == OverlapMode::None ? 1 : 2;
+    for (int s = 0; s < nslots; ++s) {
+      slots_[s].cb.resize(plan_.sub_buffer_bytes());
+    }
+  }
+}
+
+sim::Duration ReadEngine::pack_cost(std::size_t segs,
+                                    std::uint64_t bytes) const {
+  return static_cast<sim::Duration>(segs) * opt_.seg_cpu +
+         sim::transfer_time(bytes, opt_.pack_bw);
+}
+
+// ---------------------------------------------------------------------------
+// File access phase
+// ---------------------------------------------------------------------------
+
+void ReadEngine::read_init(int cycle, int slot) {
+  Slot& s = slots_[slot];
+  TPIO_CHECK(!s.rd.valid(), "read_init with an outstanding read on slot");
+  TPIO_CHECK(!s.sc.pending,
+             "read_init into a sub-buffer still being scattered");
+  s.rd_cycle = cycle;
+  if (my_agg_ < 0) return;
+  const Plan::Range r = plan_.cycle_range(my_agg_, cycle);
+  if (r.size() == 0) return;
+  timed(mpi_.ctx(), t_.write, [&] {
+    s.rd = file_.start_read(mpi_.ctx(), node_, r.begin,
+                            std::span<std::byte>(s.cb).subspan(0, r.size()),
+                            /*async=*/true);
+  });
+}
+
+void ReadEngine::read_wait(int slot) {
+  Slot& s = slots_[slot];
+  if (!s.rd.valid()) return;
+  timed(mpi_.ctx(), t_.write, [&] { file_.wait(mpi_.ctx(), s.rd); });
+}
+
+void ReadEngine::read_blocking(int cycle, int slot) {
+  Slot& s = slots_[slot];
+  TPIO_CHECK(!s.rd.valid(), "blocking read with an outstanding read on slot");
+  TPIO_CHECK(!s.sc.pending,
+             "blocking read into a sub-buffer still being scattered");
+  s.rd_cycle = cycle;
+  if (my_agg_ < 0) return;
+  const Plan::Range r = plan_.cycle_range(my_agg_, cycle);
+  if (r.size() == 0) return;
+  timed(mpi_.ctx(), t_.write, [&] {
+    pfs::WriteOp op = file_.start_read(
+        mpi_.ctx(), node_, r.begin,
+        std::span<std::byte>(s.cb).subspan(0, r.size()), /*async=*/false);
+    mpi_.set_unavailable_until(op.completion());
+    file_.wait(mpi_.ctx(), op);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Scatter (shuffle) phase
+// ---------------------------------------------------------------------------
+
+void ReadEngine::scatter_init(int cycle, int slot) {
+  Slot& s = slots_[slot];
+  TPIO_CHECK(!s.sc.pending, "scatter_init while a scatter is pending on slot");
+  TPIO_CHECK(!s.rd.valid(),
+             "scatter_init from a sub-buffer with an outstanding read");
+  TPIO_CHECK(my_agg_ < 0 || s.rd_cycle == cycle,
+             "scatter_init without the cycle's data in the sub-buffer");
+  s.sc = ScatterState{};
+  s.sc.cycle = cycle;
+  s.sc.pending = true;
+  const int me = mpi_.rank();
+  const smpi::Tag tag = scatter_tag(cycle);
+
+  // Receive side first (pre-post): one message per aggregator that holds
+  // pieces of this rank's view in this cycle.
+  for (int a = 0; a < plan_.num_aggregators(); ++a) {
+    const Plan::Range r = plan_.cycle_range(a, cycle);
+    const auto segs = plan_.segments_in(me, r.begin, r.end);
+    if (segs.empty()) continue;
+    std::span<std::byte> dest;
+    if (segs.size() == 1) {
+      dest = out_.subspan(segs[0].local_offset, segs[0].length);
+    } else {
+      std::uint64_t n = 0;
+      for (const Segment& g : segs) n += g.length;
+      s.sc.recv_bufs.emplace_back(a, std::vector<std::byte>(n));
+      dest = s.sc.recv_bufs.back().second;
+    }
+    timed(mpi_.ctx(), t_.shuffle, [&] {
+      s.sc.reqs.push_back(mpi_.irecv(plan_.agg_rank(a), tag, dest));
+    });
+  }
+
+  // Send side (aggregators): each destination's pieces, gathered from the
+  // collective buffer; contiguous destinations go zero-copy.
+  if (my_agg_ >= 0) {
+    const Plan::Range r = plan_.cycle_range(my_agg_, cycle);
+    std::span<std::byte> cb = s.cb;
+    for (int dst = 0; dst < mpi_.size(); ++dst) {
+      const auto segs = plan_.segments_in(dst, r.begin, r.end);
+      if (segs.empty()) continue;
+      std::span<const std::byte> payload;
+      if (segs.size() == 1) {
+        payload = cb.subspan(segs[0].file_offset - r.begin, segs[0].length);
+      } else {
+        std::uint64_t total = 0;
+        for (const Segment& g : segs) total += g.length;
+        std::vector<std::byte> buf(total);
+        std::uint64_t pos = 0;
+        for (const Segment& g : segs) {
+          std::memcpy(buf.data() + pos, cb.data() + (g.file_offset - r.begin),
+                      g.length);
+          pos += g.length;
+        }
+        timed(mpi_.ctx(), t_.pack,
+              [&] { mpi_.ctx().advance(pack_cost(segs.size(), total)); });
+        s.sc.send_bufs.push_back(std::move(buf));
+        payload = s.sc.send_bufs.back();
+      }
+      timed(mpi_.ctx(), t_.shuffle,
+            [&] { s.sc.reqs.push_back(mpi_.isend(dst, tag, payload)); });
+    }
+  }
+}
+
+void ReadEngine::scatter_wait(int slot) {
+  Slot& s = slots_[slot];
+  TPIO_CHECK(s.sc.pending, "scatter_wait without a pending scatter");
+  s.sc.pending = false;
+  timed(mpi_.ctx(), t_.shuffle, [&] { mpi_.waitall(s.sc.reqs); });
+  // Unpack staged multi-segment messages into the local view buffer.
+  if (!s.sc.recv_bufs.empty()) {
+    std::size_t nsegs = 0;
+    std::uint64_t bytes = 0;
+    for (const auto& [a, buf] : s.sc.recv_bufs) {
+      const Plan::Range r = plan_.cycle_range(a, s.sc.cycle);
+      const auto segs = plan_.segments_in(mpi_.rank(), r.begin, r.end);
+      std::uint64_t pos = 0;
+      for (const Segment& g : segs) {
+        std::memcpy(out_.data() + g.local_offset, buf.data() + pos, g.length);
+        pos += g.length;
+      }
+      TPIO_CHECK(pos == buf.size(), "scatter unpack size mismatch");
+      nsegs += segs.size();
+      bytes += pos;
+    }
+    timed(mpi_.ctx(), t_.pack,
+          [&] { mpi_.ctx().advance(pack_cost(nsegs, bytes)); });
+  }
+  s.sc.send_bufs.clear();
+  s.sc.recv_bufs.clear();
+  s.sc.reqs.clear();
+}
+
+void ReadEngine::scatter_blocking(int cycle, int slot) {
+  scatter_init(cycle, slot);
+  scatter_wait(slot);
+}
+
+// ---------------------------------------------------------------------------
+// Schedulers (mirrors of the write engine's Algorithms 1-4)
+// ---------------------------------------------------------------------------
+
+void ReadEngine::run() {
+  if (plan_.num_cycles() == 0) return;
+  switch (opt_.overlap) {
+    case OverlapMode::None: run_none(); break;
+    case OverlapMode::Comm: run_comm(); break;
+    case OverlapMode::Write: run_read_ahead(); break;
+    case OverlapMode::WriteComm: run_read_comm(); break;
+    case OverlapMode::WriteComm2: run_read_comm2(); break;
+  }
+}
+
+void ReadEngine::run_none() {
+  for (int c = 0; c < plan_.num_cycles(); ++c) {
+    read_blocking(c, 0);
+    scatter_blocking(c, 0);
+  }
+}
+
+void ReadEngine::run_comm() {
+  // Non-blocking scatter of cycle c overlaps the blocking read of c+1.
+  const int N = plan_.num_cycles();
+  read_blocking(0, slot_of(0));
+  for (int c = 0; c < N; ++c) {
+    scatter_init(c, slot_of(c));
+    if (c + 1 < N) read_blocking(c + 1, slot_of(c + 1));
+    scatter_wait(slot_of(c));
+  }
+}
+
+void ReadEngine::run_read_ahead() {
+  // Asynchronous read of cycle c+1 behind the blocking scatter of c.
+  const int N = plan_.num_cycles();
+  read_init(0, slot_of(0));
+  for (int c = 0; c < N; ++c) {
+    read_wait(slot_of(c));
+    if (c + 1 < N) read_init(c + 1, slot_of(c + 1));
+    scatter_blocking(c, slot_of(c));
+  }
+}
+
+void ReadEngine::run_read_comm() {
+  // Joint wait of the in-flight read and scatter each iteration.
+  const int N = plan_.num_cycles();
+  read_blocking(0, slot_of(0));
+  for (int c = 0; c < N; ++c) {
+    scatter_init(c, slot_of(c));
+    if (c + 1 < N) read_init(c + 1, slot_of(c + 1));
+    if (c + 1 < N) read_wait(slot_of(c + 1));
+    scatter_wait(slot_of(c));
+  }
+}
+
+void ReadEngine::run_read_comm2() {
+  // Data-flow: a completed read immediately posts its scatter; a completed
+  // scatter immediately frees its slot for the next read.
+  const int N = plan_.num_cycles();
+  read_blocking(0, slot_of(0));
+  scatter_init(0, slot_of(0));
+  if (N > 1) read_init(1, slot_of(1));
+  for (int c = 1; c < N; ++c) {
+    read_wait(slot_of(c));
+    scatter_init(c, slot_of(c));
+    scatter_wait(slot_of(c - 1));
+    if (c + 1 < N) read_init(c + 1, slot_of(c + 1));
+  }
+  scatter_wait(slot_of(N - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------------
+
+Result collective_read(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
+                       std::span<std::byte> out, const Options& opt) {
+  view.validate();
+  TPIO_CHECK(out.size() == view.total_bytes(),
+             "output buffer size does not match the file view");
+
+  Result res;
+  const sim::Time start = mpi.ctx().now();
+  PhaseTimings t;
+  const sim::Time meta_start = mpi.ctx().now();
+  auto blobs = mpi.allgatherv(view.serialize());
+  std::vector<FileView> views;
+  views.reserve(blobs.size());
+  for (const auto& b : blobs) views.push_back(FileView::deserialize(b));
+  Plan plan(std::move(views), mpi.machine().fabric().topology(),
+            file.stripe_size(), opt);
+  t.meta += mpi.ctx().now() - meta_start;
+
+  ReadEngine engine(mpi, file, plan, out, opt, t);
+  engine.run();
+
+  t.total = mpi.ctx().now() - start;
+  res.timings = t;
+  res.aggregators = plan.num_aggregators();
+  res.cycles = plan.num_cycles();
+  res.bytes_local = view.total_bytes();
+  res.bytes_global = plan.global_bytes();
+  return res;
+}
+
+}  // namespace tpio::coll

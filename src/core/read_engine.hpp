@@ -1,0 +1,91 @@
+#pragma once
+
+#include <span>
+
+#include "core/plan.hpp"
+#include "core/types.hpp"
+#include "mpi/mpi.hpp"
+#include "pfs/pfs.hpp"
+
+namespace tpio::coll {
+
+/// Two-phase collective read — the mirror of the write engine and the
+/// extension direction the paper's related work highlights (view-based
+/// collective read with read-ahead, Blas et al.).
+///
+/// Per internal cycle, the aggregator reads its file-domain slice into a
+/// collective sub-buffer (file access phase) and scatters each rank's
+/// pieces back through the fabric (shuffle phase). The write engine's
+/// overlap modes map naturally:
+///
+///   None       — read, then scatter, strictly alternating.
+///   Comm       — non-blocking scatter overlaps the next blocking read.
+///   Write      — *read-ahead*: asynchronous read of cycle c+1 overlaps
+///                the scatter of cycle c (the read-side analogue of
+///                asynchronous writes).
+///   WriteComm  — asynchronous read and non-blocking scatter, joint wait.
+///   WriteComm2 — data-flow ordering of the above.
+///
+/// The scatter uses two-sided messages (single-segment destinations
+/// receive in place; multi-segment destinations are packed/unpacked with
+/// per-segment CPU cost, as in the write engine).
+class ReadEngine {
+ public:
+  ReadEngine(smpi::Mpi& mpi, pfs::File& file, const Plan& plan,
+             std::span<std::byte> local_out, const Options& opt,
+             PhaseTimings& timings);
+
+  void run();
+
+  // Individual phases (exposed for white-box tests).
+  void read_init(int cycle, int slot);    // aggregator: async file read
+  void read_wait(int slot);
+  void read_blocking(int cycle, int slot);
+  void scatter_init(int cycle, int slot); // agg sends, everyone receives
+  void scatter_wait(int slot);
+  void scatter_blocking(int cycle, int slot);
+
+ private:
+  struct ScatterState {
+    int cycle = -1;
+    bool pending = false;
+    std::vector<smpi::Request> reqs;
+    std::vector<std::vector<std::byte>> send_bufs;
+    // (source aggregator index, staging) for multi-segment receives.
+    std::vector<std::pair<int, std::vector<std::byte>>> recv_bufs;
+  };
+  struct Slot {
+    std::vector<std::byte> cb;
+    pfs::WriteOp rd;
+    int rd_cycle = -1;
+    ScatterState sc;
+  };
+
+  int slot_of(int cycle) const {
+    return opt_.overlap == OverlapMode::None ? 0 : cycle % 2;
+  }
+  sim::Duration pack_cost(std::size_t segs, std::uint64_t bytes) const;
+
+  void run_none();
+  void run_comm();
+  void run_read_ahead();
+  void run_read_comm();
+  void run_read_comm2();
+
+  smpi::Mpi& mpi_;
+  pfs::File& file_;
+  const Plan& plan_;
+  std::span<std::byte> out_;
+  Options opt_;
+  PhaseTimings& t_;
+  int my_agg_ = -1;
+  int node_ = 0;
+  Slot slots_[2];
+};
+
+/// Collective read of this rank's `view` into `out` (extent bytes in
+/// order), together with every other rank. Collective call.
+Result collective_read(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
+                       std::span<std::byte> out, const Options& opt);
+
+}  // namespace tpio::coll

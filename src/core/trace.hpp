@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simbase/time.hpp"
+
+namespace tpio::coll {
+
+/// One engine phase execution on one rank.
+struct TraceEvent {
+  const char* name;   // "shuffle_init", "write_wait", ...
+  int cycle;          // internal cycle, -1 if not applicable
+  sim::Time begin;
+  sim::Time end;
+};
+
+/// Per-rank recording of collective-I/O phases, exportable in the Chrome
+/// tracing JSON format (chrome://tracing, Perfetto): ranks appear as
+/// threads, phases as duration events on the virtual timeline. Attach one
+/// Trace per rank via Options::trace to see exactly how a scheduler
+/// pipelines shuffles against file accesses.
+class Trace {
+ public:
+  void add(const char* name, int cycle, sim::Time begin, sim::Time end) {
+    events_.push_back(TraceEvent{name, cycle, begin, end});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// JSON array elements for this rank (tid = rank), without brackets.
+  std::string chrome_events(int rank) const;
+
+  /// A complete chrome://tracing document for a set of ranks' traces.
+  static std::string chrome_document(std::span<const Trace> per_rank);
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII recorder used by the engines; no-op when trace == nullptr.
+class ScopedTraceEvent {
+ public:
+  ScopedTraceEvent(Trace* t, const char* name, int cycle, sim::Time begin)
+      : trace_(t), name_(name), cycle_(cycle), begin_(begin) {}
+  void finish(sim::Time end) {
+    if (trace_ != nullptr) trace_->add(name_, cycle_, begin_, end);
+    trace_ = nullptr;
+  }
+
+ private:
+  Trace* trace_;
+  const char* name_;
+  int cycle_;
+  sim::Time begin_;
+};
+
+}  // namespace tpio::coll

@@ -1,0 +1,70 @@
+#include "core/types.hpp"
+
+#include <cstring>
+
+#include "simbase/error.hpp"
+
+namespace tpio::coll {
+
+void FileView::validate() const {
+  std::uint64_t prev_end = 0;
+  bool first = true;
+  for (const Extent& e : extents) {
+    TPIO_CHECK(e.length > 0, "file view contains an empty extent");
+    TPIO_CHECK(first || e.offset >= prev_end,
+               "file view extents unsorted or overlapping");
+    TPIO_CHECK(e.offset + e.length >= e.offset, "extent overflows uint64");
+    prev_end = e.end();
+    first = false;
+  }
+}
+
+std::vector<std::byte> FileView::serialize() const {
+  std::vector<std::byte> out(extents.size() * sizeof(Extent));
+  if (!extents.empty()) {
+    std::memcpy(out.data(), extents.data(), out.size());
+  }
+  return out;
+}
+
+FileView FileView::deserialize(const std::vector<std::byte>& blob) {
+  TPIO_CHECK(blob.size() % sizeof(Extent) == 0, "corrupt file-view blob");
+  FileView v;
+  v.extents.resize(blob.size() / sizeof(Extent));
+  if (!blob.empty()) {
+    std::memcpy(v.extents.data(), blob.data(), blob.size());
+  }
+  return v;
+}
+
+const char* to_string(OverlapMode m) {
+  switch (m) {
+    case OverlapMode::None: return "no-overlap";
+    case OverlapMode::Comm: return "comm-overlap";
+    case OverlapMode::Write: return "write-overlap";
+    case OverlapMode::WriteComm: return "write-comm-overlap";
+    case OverlapMode::WriteComm2: return "write-comm-2-overlap";
+  }
+  return "?";
+}
+
+const char* to_string(Transfer t) {
+  switch (t) {
+    case Transfer::TwoSided: return "two-sided";
+    case Transfer::OneSidedFence: return "one-sided-fence";
+    case Transfer::OneSidedLock: return "one-sided-lock";
+  }
+  return "?";
+}
+
+PhaseTimings& PhaseTimings::operator+=(const PhaseTimings& o) {
+  meta += o.meta;
+  pack += o.pack;
+  shuffle += o.shuffle;
+  sync += o.sync;
+  write += o.write;
+  total += o.total;
+  return *this;
+}
+
+}  // namespace tpio::coll

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "simbase/time.hpp"
+#include "simbase/units.hpp"
+
+namespace tpio::coll {
+
+class Trace;
+
+/// One contiguous region of the shared file owned by a rank.
+struct Extent {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+
+  std::uint64_t end() const { return offset + length; }
+  friend bool operator==(const Extent&, const Extent&) = default;
+};
+
+/// A rank's view of the file: sorted, non-overlapping extents. The rank's
+/// local data buffer holds the extents' bytes contiguously, in order —
+/// the flattened representation OMPIO derives from an MPI file view.
+struct FileView {
+  std::vector<Extent> extents;
+
+  std::uint64_t total_bytes() const {
+    std::uint64_t n = 0;
+    for (const Extent& e : extents) n += e.length;
+    return n;
+  }
+
+  /// Validate ordering/disjointness; throws tpio::Error on violation.
+  void validate() const;
+
+  /// Serialize to/from bytes for the metadata exchange.
+  std::vector<std::byte> serialize() const;
+  static FileView deserialize(const std::vector<std::byte>& blob);
+};
+
+/// Which internal operations of the two-phase cycle pipeline overlap
+/// (section III-A of the paper).
+enum class OverlapMode {
+  None,        // classic two-phase, single collective buffer
+  Comm,        // Alg. 1: non-blocking shuffle, blocking write
+  Write,       // Alg. 2: blocking shuffle, asynchronous write
+  WriteComm,   // Alg. 3: both non-blocking, joint wait
+  WriteComm2,  // Alg. 4: both non-blocking, data-flow ordering
+};
+
+/// Data-transfer primitive of the shuffle phase (section III-B).
+enum class Transfer {
+  TwoSided,       // Isend/Irecv
+  OneSidedFence,  // Put + Win_fence (active target)
+  OneSidedLock,   // Put + Win_lock/unlock + Barrier (passive target)
+};
+
+const char* to_string(OverlapMode m);
+const char* to_string(Transfer t);
+
+/// Tuning knobs of the collective write (OMPIO-flavoured defaults).
+struct Options {
+  /// Collective buffer per aggregator; overlap modes split it into two
+  /// sub-buffers of half this size (paper, section III-A).
+  std::uint64_t cb_size = 32 * sim::MiB;
+  OverlapMode overlap = OverlapMode::WriteComm2;
+  Transfer transfer = Transfer::TwoSided;
+  /// 0 = automatic selection (volume-capped, one per node, ref [5]).
+  int num_aggregators = 0;
+  /// Align file-domain boundaries to the stripe size (Liao-style).
+  bool stripe_align = true;
+  /// Lock flavour for Transfer::OneSidedLock; the paper argues Shared is
+  /// required for performance, Exclusive kept as an ablation.
+  smpi::Mpi::LockType lock_type = smpi::Mpi::LockType::Shared;
+  /// CPU bandwidth for pack/unpack memcpy at sender/aggregator.
+  double pack_bw = 6e9;
+  /// Per-segment CPU cost when packing/unpacking or issuing one put.
+  sim::Duration seg_cpu = sim::nanoseconds(1500);
+  /// Optional per-rank phase recording (chrome://tracing export); not
+  /// owned, may be null. Each rank passes its own Trace.
+  Trace* trace = nullptr;
+};
+
+/// Where a rank's blocked time went, in virtual nanoseconds. Mirrors the
+/// paper's communication/IO breakdown analysis (section IV-A).
+struct PhaseTimings {
+  sim::Duration meta = 0;     // view exchange + planning collectives
+  sim::Duration pack = 0;     // CPU pack/unpack
+  sim::Duration shuffle = 0;  // blocked in sends/recvs/puts + their waits
+  sim::Duration sync = 0;     // fences, barriers, lock traffic
+  sim::Duration write = 0;    // blocked in file writes / write waits
+  sim::Duration total = 0;    // whole collective_write
+
+  PhaseTimings& operator+=(const PhaseTimings& o);
+};
+
+/// Outcome of one collective write on one rank.
+struct Result {
+  PhaseTimings timings;
+  int aggregators = 0;
+  int cycles = 0;
+  std::uint64_t bytes_local = 0;   // this rank's contribution
+  std::uint64_t bytes_global = 0;  // whole operation
+};
+
+}  // namespace tpio::coll

@@ -1,0 +1,171 @@
+#include "harness/cli.hpp"
+
+#include <cstdlib>
+
+#include "harness/sweep.hpp"
+#include "simbase/error.hpp"
+#include "simbase/units.hpp"
+
+namespace tpio::xp {
+
+namespace {
+
+/// Lustre-like profile: ibex hardware, pathological aio (paper, section V:
+/// "significant performance problems of the aio_write operations on
+/// Lustre").
+Platform lustre() {
+  Platform p = ibex();
+  p.name = "lustre";
+  p.pfs.aio_penalty = 2.2;
+  p.pfs.aio_penalty_sigma = 0.25;
+  return p;
+}
+
+wl::Spec workload_by_name(const std::string& name, std::uint64_t bytes,
+                          std::string& error) {
+  if (name == "ior") {
+    return wl::make_ior(bytes != 0 ? bytes : 2ull << 20);
+  }
+  if (name == "tile256") {
+    const std::uint64_t b = bytes != 0 ? bytes : 512ull << 10;
+    // 512-byte rows; derive the row count from the requested volume.
+    return wl::make_tile256(2, std::max(1, static_cast<int>(b / 512)));
+  }
+  if (name == "tile1m") {
+    const std::uint64_t b = bytes != 0 ? bytes : 2ull << 20;
+    return wl::make_tile1m(1, std::max(1, static_cast<int>(b >> 20)));
+  }
+  if (name == "flash") {
+    const std::uint64_t b = bytes != 0 ? bytes : 3ull << 19;  // 1.5 MiB
+    const auto per_var = std::max<std::uint64_t>(b / 24, 16 * 1024);
+    return wl::make_flash(24, std::max(1, static_cast<int>(per_var / (16 * 1024))),
+                          16 * 1024);
+  }
+  error = "unknown workload '" + name + "'";
+  return {};
+}
+
+bool parse_overlap(const std::string& v, coll::OverlapMode& out) {
+  if (v == "none") out = coll::OverlapMode::None;
+  else if (v == "comm") out = coll::OverlapMode::Comm;
+  else if (v == "write") out = coll::OverlapMode::Write;
+  else if (v == "write-comm") out = coll::OverlapMode::WriteComm;
+  else if (v == "write-comm-2") out = coll::OverlapMode::WriteComm2;
+  else return false;
+  return true;
+}
+
+bool parse_transfer(const std::string& v, coll::Transfer& out) {
+  if (v == "two-sided") out = coll::Transfer::TwoSided;
+  else if (v == "fence") out = coll::Transfer::OneSidedFence;
+  else if (v == "lock") out = coll::Transfer::OneSidedLock;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+Platform platform_by_name(const std::string& name) {
+  if (name == "crill") return scaled(crill());
+  if (name == "ibex") return scaled(ibex());
+  if (name == "lustre") return scaled(lustre());
+  tpio::fail("unknown platform '" + name + "' (crill|ibex|lustre)");
+}
+
+std::string cli_usage() {
+  return
+      "tpio_sim - run one simulated collective-write experiment\n"
+      "\n"
+      "  --platform crill|ibex|lustre       cluster profile (default ibex)\n"
+      "  --workload ior|tile256|tile1m|flash  access pattern (default tile1m)\n"
+      "  --procs N                          MPI processes (default 64)\n"
+      "  --bytes-per-proc SIZE              per-process volume (e.g. 4M)\n"
+      "  --cb SIZE                          collective buffer (default 4M)\n"
+      "  --overlap none|comm|write|write-comm|write-comm-2\n"
+      "  --transfer two-sided|fence|lock    shuffle primitive\n"
+      "  --aggregators N                    0 = automatic\n"
+      "  --reps N                           measurements (default 3)\n"
+      "  --seed N                           master seed (default 1)\n"
+      "  --verify                           check file contents\n"
+      "  --help\n";
+}
+
+CliConfig parse_cli(const std::vector<std::string>& args) {
+  CliConfig cfg;
+  std::string platform = "ibex";
+  std::string workload = "tile1m";
+  std::uint64_t bytes = 0;
+  cfg.spec.nprocs = 64;
+  cfg.spec.options.cb_size = kCbSize;
+
+  auto need_value = [&](std::size_t i) -> bool {
+    if (i + 1 >= args.size()) {
+      cfg.error = "flag " + args[i] + " needs a value";
+      return false;
+    }
+    return true;
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    try {
+      if (a == "--help" || a == "-h") {
+        cfg.quick_help = true;
+        return cfg;
+      } else if (a == "--platform") {
+        if (!need_value(i)) return cfg;
+        platform = args[++i];
+      } else if (a == "--workload") {
+        if (!need_value(i)) return cfg;
+        workload = args[++i];
+      } else if (a == "--procs") {
+        if (!need_value(i)) return cfg;
+        cfg.spec.nprocs = std::atoi(args[++i].c_str());
+        if (cfg.spec.nprocs <= 0) cfg.error = "--procs must be positive";
+      } else if (a == "--bytes-per-proc") {
+        if (!need_value(i)) return cfg;
+        bytes = sim::parse_bytes(args[++i]);
+      } else if (a == "--cb") {
+        if (!need_value(i)) return cfg;
+        cfg.spec.options.cb_size = sim::parse_bytes(args[++i]);
+      } else if (a == "--overlap") {
+        if (!need_value(i)) return cfg;
+        if (!parse_overlap(args[++i], cfg.spec.options.overlap)) {
+          cfg.error = "unknown overlap mode '" + args[i] + "'";
+        }
+      } else if (a == "--transfer") {
+        if (!need_value(i)) return cfg;
+        if (!parse_transfer(args[++i], cfg.spec.options.transfer)) {
+          cfg.error = "unknown transfer '" + args[i] + "'";
+        }
+      } else if (a == "--aggregators") {
+        if (!need_value(i)) return cfg;
+        cfg.spec.options.num_aggregators = std::atoi(args[++i].c_str());
+      } else if (a == "--reps") {
+        if (!need_value(i)) return cfg;
+        cfg.reps = std::atoi(args[++i].c_str());
+        if (cfg.reps <= 0) cfg.error = "--reps must be positive";
+      } else if (a == "--seed") {
+        if (!need_value(i)) return cfg;
+        cfg.seed_base = std::strtoull(args[++i].c_str(), nullptr, 10);
+      } else if (a == "--verify") {
+        cfg.spec.verify = true;
+      } else {
+        cfg.error = "unknown flag '" + a + "'";
+      }
+    } catch (const tpio::Error& e) {
+      cfg.error = e.what();
+    }
+    if (!cfg.error.empty()) return cfg;
+  }
+
+  try {
+    cfg.spec.platform = platform_by_name(platform);
+    cfg.spec.workload = workload_by_name(workload, bytes, cfg.error);
+  } catch (const tpio::Error& e) {
+    cfg.error = e.what();
+  }
+  return cfg;
+}
+
+}  // namespace tpio::xp

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+
+namespace tpio::xp {
+
+/// Parsed command line of the `tpio_sim` tool. Kept separate from the
+/// binary so the parsing rules are unit-testable.
+struct CliConfig {
+  RunSpec spec;
+  int reps = 3;
+  std::uint64_t seed_base = 1;
+  bool quick_help = false;
+  std::string error;  // non-empty = parse failure (message for the user)
+};
+
+/// Parse `tpio_sim` arguments:
+///   --platform crill|ibex|lustre     (default ibex)
+///   --workload ior|tile256|tile1m|flash  (default tile1m)
+///   --procs N                        (default 64)
+///   --bytes-per-proc SIZE            (workload-dependent default)
+///   --cb SIZE                        (default 4M)
+///   --overlap none|comm|write|write-comm|write-comm-2  (default write-comm-2)
+///   --transfer two-sided|fence|lock  (default two-sided)
+///   --aggregators N                  (default auto)
+///   --reps N                         (default 3)
+///   --seed N                         (default 1)
+///   --verify                         (off by default)
+///   --help
+/// Sizes accept K/M/G suffixes. Unknown flags produce an error.
+CliConfig parse_cli(const std::vector<std::string>& args);
+
+/// The usage text printed for --help / errors.
+std::string cli_usage();
+
+/// Platform preset lookup by name ("crill", "ibex", "lustre").
+/// Returns scaled (simulation-geometry) profiles; throws on unknown names.
+Platform platform_by_name(const std::string& name);
+
+}  // namespace tpio::xp

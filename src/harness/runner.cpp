@@ -1,0 +1,139 @@
+#include "harness/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "net/topology.hpp"
+#include "sched/conductor.hpp"
+#include "simbase/error.hpp"
+#include "simbase/rng.hpp"
+
+namespace tpio::xp {
+
+RunResult execute(const RunSpec& spec) {
+  TPIO_CHECK(spec.nprocs > 0, "run needs processes");
+
+  net::FabricParams fp = spec.platform.fabric;
+  fp.noise_seed = sim::Rng::derive_seed(spec.seed, 0xFAB);
+  pfs::PfsParams pp = spec.platform.pfs;
+  pp.noise_seed = sim::Rng::derive_seed(spec.seed, 0x57C);
+  if (pp.aio_penalty_sigma > 0.0) {
+    // One aio-quality draw per run (see PfsParams::aio_penalty_sigma).
+    sim::Rng rng(sim::Rng::derive_seed(spec.seed, 0xA10));
+    const double jitter = std::exp(pp.aio_penalty_sigma * rng.next_normal());
+    pp.aio_penalty *= std::max(1.0, jitter);
+    pp.aio_penalty_sigma = 0.0;
+  }
+
+  const net::Topology topo =
+      net::Topology::fit(spec.nprocs, spec.platform.procs_per_node);
+  if (spec.platform.targets_per_node > 0) {
+    pp.num_targets = std::max(1, topo.nodes * spec.platform.targets_per_node);
+  }
+  net::Fabric fabric(topo, fp);
+  smpi::Machine machine(fabric, spec.platform.mpi);
+  pfs::StorageSystem storage(pp, &fabric);
+  auto file = storage.create(
+      "run", spec.verify ? pfs::Integrity::Digest : pfs::Integrity::None);
+
+  sim::Conductor conductor(topo.nprocs());
+  std::vector<coll::Result> results(static_cast<std::size_t>(topo.nprocs()));
+  conductor.run([&](sim::RankCtx& ctx) {
+    smpi::Mpi mpi(machine, ctx);
+    const coll::FileView view = spec.workload.view(mpi.rank(), spec.nprocs);
+    const auto data = wl::fill_local(view);
+    results[static_cast<std::size_t>(mpi.rank())] =
+        coll::collective_write(mpi, *file, view, data, spec.options);
+  });
+
+  RunResult out;
+  out.makespan = conductor.makespan();
+  out.aggregators = results[0].aggregators;
+  out.cycles = results[0].cycles;
+  out.bytes = results[0].bytes_global;
+  for (int r = 0; r < spec.nprocs; ++r) {
+    out.rank_sum += results[static_cast<std::size_t>(r)].timings;
+  }
+  // Aggregator attribution: aggregators are the ranks that reported write
+  // time (non-aggregators never touch the file system).
+  for (int r = 0; r < spec.nprocs; ++r) {
+    const auto& t = results[static_cast<std::size_t>(r)].timings;
+    if (t.write > 0) {
+      out.agg_sum += t;
+      if (t.write > out.agg_max.write) out.agg_max = t;
+    }
+  }
+  if (spec.verify) {
+    out.verify_error = file->verify(wl::expected_byte);
+  }
+  return out;
+}
+
+sim::Duration Series::min_makespan() const {
+  TPIO_CHECK(!runs.empty(), "empty series");
+  sim::Duration m = runs.front().makespan;
+  for (const RunResult& r : runs) m = std::min(m, r.makespan);
+  return m;
+}
+
+Series execute_series(RunSpec spec, int reps, std::uint64_t seed_base) {
+  Series s;
+  s.runs.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    spec.seed = sim::Rng::derive_seed(seed_base, static_cast<std::uint64_t>(i));
+    s.runs.push_back(execute(spec));
+    TPIO_CHECK(s.runs.back().verify_error.empty(),
+               "verification failed: " + s.runs.back().verify_error);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Table output
+// ---------------------------------------------------------------------------
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TPIO_CHECK(cells.size() == headers_.size(), "table row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    std::puts(line.c_str());
+  };
+  print_row(headers_);
+  std::string sep = "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(width[c] + 2, '-') + "|";
+  }
+  std::puts(sep.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_ms(sim::Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", sim::to_millis(d));
+  return buf;
+}
+
+std::string fmt_bw(double bytes_per_s) { return sim::format_bandwidth(bytes_per_s); }
+
+}  // namespace tpio::xp

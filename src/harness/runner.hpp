@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "harness/platform.hpp"
+#include "workloads/workloads.hpp"
+
+namespace tpio::xp {
+
+/// One fully-specified simulated collective-write job.
+struct RunSpec {
+  Platform platform;
+  wl::Spec workload;
+  int nprocs = 16;
+  coll::Options options;
+  /// Master seed; the runner derives independent fabric/storage noise
+  /// streams from it. Distinct seeds model distinct "measurements" of the
+  /// same configuration on a shared machine.
+  std::uint64_t seed = 1;
+  /// Verify file contents after the run (Digest) or only time it (None).
+  bool verify = false;
+};
+
+struct RunResult {
+  sim::Duration makespan = 0;        // job completion (slowest rank)
+  coll::PhaseTimings rank_sum;       // timings summed over ranks
+  coll::PhaseTimings agg_sum;        // timings summed over aggregators only
+  /// Timings of the bottleneck aggregator (largest write time). Storage
+  /// service is not perfectly balanced across aggregators; the early
+  /// finishers wait for the slowest at the next cycle's synchronization,
+  /// so per-phase shares are only meaningful on the critical aggregator.
+  coll::PhaseTimings agg_max;
+  int aggregators = 0;
+  int cycles = 0;
+  std::uint64_t bytes = 0;           // global volume
+  std::string verify_error;          // empty = verified / not requested
+  double bandwidth() const {         // effective write bandwidth, bytes/s
+    return makespan > 0
+               ? static_cast<double>(bytes) / sim::to_seconds(makespan)
+               : 0.0;
+  }
+};
+
+/// Execute one job on a freshly-built simulated cluster.
+RunResult execute(const RunSpec& spec);
+
+/// Minimum makespan across `reps` seeds (the paper compares per-point
+/// minima across 3-9 measurements; see section IV).
+struct Series {
+  std::vector<RunResult> runs;
+  sim::Duration min_makespan() const;
+};
+Series execute_series(RunSpec spec, int reps, std::uint64_t seed_base);
+
+// ------------------------------------------------------------------------
+// Table output
+// ------------------------------------------------------------------------
+
+/// Fixed-width console table, markdown-ish.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt_pct(double fraction);     // "12.3%"
+std::string fmt_ms(sim::Duration d);      // "12.34"
+std::string fmt_bw(double bytes_per_s);   // "1.23 GiB/s"
+
+}  // namespace tpio::xp

@@ -1,0 +1,169 @@
+#include <algorithm>
+#include <cstring>
+
+#include "mpi/internal.hpp"
+#include "mpi/mpi.hpp"
+#include "simbase/error.hpp"
+
+namespace tpio::smpi {
+
+using detail::ceil_log2;
+
+// Collectives use a coarse cost model (one baton action per rank plus a
+// closed-form duration) rather than a full point-to-point decomposition:
+// the two-phase engine's data plane is p2p/RMA and is modelled in detail,
+// while its collectives only move small metadata. The coarse model keeps
+// large-rank simulations affordable without changing the cost ordering the
+// paper's analysis depends on.
+
+void Mpi::barrier() {
+  machine_->barrier_sync_.arrive(*ctx_,
+                                 machine_->sync_collective_cost(size()));
+}
+
+std::vector<std::vector<std::byte>> Mpi::allgatherv(
+    std::span<const std::byte> mine) {
+  Machine& m = *machine_;
+  const int P = size();
+
+  struct Captured {
+    std::shared_ptr<std::vector<std::vector<std::byte>>> blobs;
+    sim::EventPtr release;
+  };
+  Captured cap = ctx_->act([&]() -> Captured {
+    Machine::ExchangeSlot& slot = m.exchange_;
+    if (!slot.blobs) {
+      slot.blobs = std::make_shared<std::vector<std::vector<std::byte>>>(
+          static_cast<std::size_t>(P));
+    }
+    auto& blob = (*slot.blobs)[static_cast<std::size_t>(rank())];
+    blob.assign(mine.begin(), mine.end());
+    slot.arrived += 1;
+    slot.max_clock = std::max(slot.max_clock, ctx_->now());
+    Captured c{slot.blobs, slot.release};
+    if (slot.arrived == P) {
+      std::uint64_t total = 0;
+      for (const auto& b : *slot.blobs) total += b.size();
+      // Ring allgather: (P-1) rounds of latency, each rank forwards
+      // (P-1)/P of the total volume through its NIC.
+      const sim::Duration cost =
+          static_cast<sim::Duration>(P - 1) * m.fabric_->params().inter_latency +
+          sim::transfer_time(total - total / static_cast<std::uint64_t>(P),
+                             m.fabric_->params().inter_bw) +
+          m.sync_collective_cost(P);
+      ctx_->complete(*slot.release, slot.max_clock + cost);
+      slot = Machine::ExchangeSlot{};  // open next generation
+    }
+    return c;
+  });
+  ctx_->wait_event(*cap.release);
+  return *cap.blobs;
+}
+
+namespace {
+
+std::vector<std::byte> to_bytes(std::uint64_t v) {
+  std::vector<std::byte> b(sizeof(v));
+  std::memcpy(b.data(), &v, sizeof(v));
+  return b;
+}
+
+std::uint64_t from_bytes(const std::vector<std::byte>& b) {
+  TPIO_CHECK(b.size() == sizeof(std::uint64_t), "bad scalar blob size");
+  std::uint64_t v = 0;
+  std::memcpy(&v, b.data(), sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t Mpi::allreduce_max(std::uint64_t v) {
+  auto all = allgatherv(to_bytes(v));
+  std::uint64_t r = 0;
+  for (const auto& b : all) r = std::max(r, from_bytes(b));
+  return r;
+}
+
+std::uint64_t Mpi::allreduce_min(std::uint64_t v) {
+  auto all = allgatherv(to_bytes(v));
+  std::uint64_t r = UINT64_MAX;
+  for (const auto& b : all) r = std::min(r, from_bytes(b));
+  return r;
+}
+
+std::uint64_t Mpi::allreduce_sum(std::uint64_t v) {
+  auto all = allgatherv(to_bytes(v));
+  std::uint64_t r = 0;
+  for (const auto& b : all) r += from_bytes(b);
+  return r;
+}
+
+std::vector<std::vector<std::byte>> Mpi::gatherv(
+    std::span<const std::byte> mine, int root) {
+  TPIO_CHECK(root >= 0 && root < size(), "gatherv: root out of range");
+  // Data plane via the exchange slot; the cost model is the same class of
+  // synchronizing collective. Non-roots drop the gathered set.
+  auto all = allgatherv(mine);
+  if (rank() != root) {
+    for (auto& b : all) b.clear();
+  }
+  return all;
+}
+
+std::vector<std::byte> Mpi::scatterv(
+    const std::vector<std::vector<std::byte>>& blobs, int root) {
+  TPIO_CHECK(root >= 0 && root < size(), "scatterv: root out of range");
+  TPIO_CHECK(rank() != root ||
+                 blobs.size() == static_cast<std::size_t>(size()),
+             "scatterv: root must supply one blob per rank");
+  // Root contributes the concatenation; per-rank sizes ride in a header.
+  std::vector<std::byte> mine;
+  if (rank() == root) {
+    std::vector<std::uint64_t> sizes;
+    sizes.reserve(blobs.size());
+    std::size_t total = 0;
+    for (const auto& b : blobs) {
+      sizes.push_back(b.size());
+      total += b.size();
+    }
+    mine.resize(sizes.size() * sizeof(std::uint64_t) + total);
+    std::memcpy(mine.data(), sizes.data(), sizes.size() * sizeof(std::uint64_t));
+    std::size_t pos = sizes.size() * sizeof(std::uint64_t);
+    for (const auto& b : blobs) {
+      std::memcpy(mine.data() + pos, b.data(), b.size());
+      pos += b.size();
+    }
+  }
+  auto all = allgatherv(mine);
+  const auto& packed = all[static_cast<std::size_t>(root)];
+  const auto P = static_cast<std::size_t>(size());
+  TPIO_CHECK(packed.size() >= P * sizeof(std::uint64_t),
+             "scatterv: malformed root payload");
+  std::vector<std::uint64_t> sizes(P);
+  std::memcpy(sizes.data(), packed.data(), P * sizeof(std::uint64_t));
+  std::size_t pos = P * sizeof(std::uint64_t);
+  for (std::size_t r = 0; r < P; ++r) {
+    if (r == static_cast<std::size_t>(rank())) {
+      std::vector<std::byte> out(sizes[r]);
+      std::memcpy(out.data(), packed.data() + pos, sizes[r]);
+      return out;
+    }
+    pos += sizes[r];
+  }
+  return {};
+}
+
+void Mpi::bcast(std::span<std::byte> data, int root) {
+  TPIO_CHECK(root >= 0 && root < size(), "bcast: root out of range");
+  // Binomial-tree cost; data plane via the exchange slot (only the root's
+  // contribution is read).
+  auto all =
+      allgatherv(rank() == root
+                     ? std::span<const std::byte>(data.data(), data.size())
+                     : std::span<const std::byte>{});
+  const auto& src = all[static_cast<std::size_t>(root)];
+  TPIO_CHECK(src.size() == data.size(), "bcast size mismatch across ranks");
+  if (rank() != root) std::memcpy(data.data(), src.data(), src.size());
+}
+
+}  // namespace tpio::smpi

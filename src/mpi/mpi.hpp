@@ -1,0 +1,286 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "sched/conductor.hpp"
+#include "sched/sync.hpp"
+#include "sched/timeline.hpp"
+#include "simbase/time.hpp"
+
+namespace tpio::smpi {
+
+/// Matches any source rank in recv/irecv.
+inline constexpr int kAnySource = -1;
+
+using Tag = std::int64_t;
+
+/// Tunables of the simulated MPI library (UCX-on-InfiniBand flavoured).
+struct MpiParams {
+  /// Messages strictly larger than this use the rendezvous protocol
+  /// (the paper's Open MPI + UCX setup switches at 512 KB).
+  std::uint64_t eager_limit = 512 * 1024;
+
+  /// Per-message CPU overhead at the sender (descriptor + injection).
+  sim::Duration send_overhead = sim::microseconds(0.5);
+  /// Per-message CPU overhead at the receiver when a match completes.
+  sim::Duration recv_overhead = sim::microseconds(0.5);
+  /// Cost of scanning one entry of the unexpected-message queue. Aggregator
+  /// processes with deep queues pay this on every posted receive — one of
+  /// the two-sided costs the paper contrasts with one-sided transfers.
+  sim::Duration match_cost = sim::nanoseconds(60);
+
+  /// Per-put CPU overhead at the origin (no matching, no target CPU).
+  sim::Duration put_overhead = sim::microseconds(1.5);
+  /// One-way cost of passive-target lock protocol steps (lock request,
+  /// release notification). Substantially above the wire latency: Open MPI
+  /// implements passive-target locking with remote atomic compare-and-swap
+  /// loops and agent processing, ~10-20 us per acquisition on InfiniBand.
+  sim::Duration rma_control_latency = sim::microseconds(10.0);
+  /// Memory-registration (pinning) cost per 4 KiB page when allocating an
+  /// RMA window. Collective-I/O implementations allocate windows per
+  /// operation, so this is a fixed per-call price of the one-sided shuffle
+  /// variants.
+  sim::Duration win_register_per_page = sim::microseconds(0.7);
+  /// Service time of the target-side lock manager per lock/unlock request.
+  /// Passive-target locks from many origins serialize here — the paper's
+  /// reason why MPI_LOCK_EXCLUSIVE (and lock traffic in general) scales
+  /// poorly with the origin count.
+  sim::Duration lock_service = sim::microseconds(3.0);
+
+  /// Per-hop cost of synchronizing collectives (barrier, fence):
+  /// cost = ceil(log2 P) * collective_hop.
+  sim::Duration collective_hop = sim::microseconds(2.5);
+  /// Win_fence costs fence_cost_factor * barrier: closing an exposure
+  /// epoch is a barrier plus a remote-completion flush of every pending
+  /// RMA operation — "MPI_Win_fence is known to be an expensive
+  /// operation" (paper, section III-B2a).
+  double fence_cost_factor = 2.0;
+
+  /// When true, rendezvous handshakes are serviced immediately regardless
+  /// of what the target rank is doing (models an MPI progress thread).
+  /// When false — the Open MPI default the paper measured — a rendezvous
+  /// RTS that arrives while the target is inside a blocking file-system
+  /// call waits for the target's next MPI activity.
+  bool progress_thread = false;
+};
+
+class Machine;
+class Window;
+
+/// A non-blocking operation handle. Cheap to copy; wait/test through Mpi.
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return ev_ != nullptr; }
+
+ private:
+  friend class Mpi;
+  explicit Request(sim::EventPtr ev) : ev_(std::move(ev)) {}
+  sim::EventPtr ev_;
+};
+
+/// Per-rank MPI facade; construct on the rank's own thread, one per rank.
+///
+/// All `Mpi` objects of a run share one `Machine`. The interface mirrors
+/// the MPI subset the two-phase collective-write engine needs: point-to-
+/// point with eager/rendezvous protocols, small data-carrying collectives,
+/// and one-sided windows with active- and passive-target synchronization.
+class Mpi {
+ public:
+  Mpi(Machine& machine, sim::RankCtx& ctx);
+
+  int rank() const { return ctx_->rank(); }
+  int size() const;
+  sim::RankCtx& ctx() { return *ctx_; }
+  Machine& machine() { return *machine_; }
+
+  // ----- point-to-point ---------------------------------------------------
+  /// Post a non-blocking send; the payload is captured immediately, so the
+  /// caller may reuse `data` as soon as the call returns.
+  Request isend(int dst, Tag tag, std::span<const std::byte> data);
+  /// Post a non-blocking receive into `buf` (matched by (src, tag); src may
+  /// be kAnySource). `buf` must stay alive until the request completes.
+  Request irecv(int src, Tag tag, std::span<std::byte> buf);
+
+  void send(int dst, Tag tag, std::span<const std::byte> data);
+  void recv(int src, Tag tag, std::span<std::byte> buf);
+
+  void wait(Request& req);
+  void waitall(std::span<Request> reqs);
+  bool test(Request& req);
+
+  // ----- progress accounting ----------------------------------------------
+  /// Declare that this rank is about to block outside MPI until time `t`
+  /// (e.g. a blocking file write): rendezvous handshakes targeting it are
+  /// deferred until `t` unless a progress thread is configured.
+  void set_unavailable_until(sim::Time t);
+
+  // ----- collectives --------------------------------------------------------
+  void barrier();
+  /// Everyone contributes `mine`; returns all contributions indexed by rank.
+  std::vector<std::vector<std::byte>> allgatherv(std::span<const std::byte> mine);
+  std::uint64_t allreduce_max(std::uint64_t v);
+  std::uint64_t allreduce_min(std::uint64_t v);
+  std::uint64_t allreduce_sum(std::uint64_t v);
+  /// Root's buffer is broadcast into every rank's `data` (same size everywhere).
+  void bcast(std::span<std::byte> data, int root);
+  /// Every rank contributes `mine`; only `root` receives all contributions
+  /// (indexed by rank; empty vectors elsewhere).
+  std::vector<std::vector<std::byte>> gatherv(std::span<const std::byte> mine,
+                                              int root);
+  /// Root supplies one blob per rank; returns this rank's blob.
+  std::vector<std::byte> scatterv(
+      const std::vector<std::vector<std::byte>>& blobs, int root);
+
+  // ----- one-sided ----------------------------------------------------------
+  /// Collective window allocation; every rank passes its local exposure size
+  /// (zero for ranks that only originate puts).
+  std::shared_ptr<Window> win_allocate(std::size_t local_bytes);
+  /// Active-target epoch boundary; collective over all ranks.
+  void win_fence(Window& win);
+  /// One-sided put into `target`'s window at byte offset `target_offset`.
+  /// Completion/visibility is only guaranteed by the enclosing sync
+  /// (fence or unlock).
+  void put(Window& win, int target, std::size_t target_offset,
+           std::span<const std::byte> data);
+  enum class LockType { Shared, Exclusive };
+  void win_lock(Window& win, int target, LockType type);
+  /// Releases the lock; returns only after this origin's puts to `target`
+  /// have landed (MPI passive-target completion semantics).
+  void win_unlock(Window& win, int target);
+
+ private:
+  friend class Machine;
+  Machine* machine_;
+  sim::RankCtx* ctx_;
+};
+
+/// Shared state of the simulated MPI job: message queues, collective
+/// staging, window registry. Create once per simulation, before conductor
+/// threads start; thereafter all mutation happens under the baton.
+class Machine {
+ public:
+  Machine(net::Fabric& fabric, const MpiParams& params);
+
+  int size() const { return fabric_->topology().nprocs(); }
+  const MpiParams& params() const { return params_; }
+  net::Fabric& fabric() { return *fabric_; }
+
+  /// ceil(log2 P) * collective_hop, the synchronizing-collective cost model.
+  sim::Duration sync_collective_cost(int parties) const;
+
+ private:
+  friend class Mpi;
+  friend class Window;
+
+  struct Message {
+    int src = 0;
+    Tag tag = 0;
+    bool rendezvous = false;
+    std::vector<std::byte> payload;   // eager: captured at send time
+    sim::Time arrival = 0;            // eager: payload arrival; rndv: RTS arrival
+    // Rendezvous bookkeeping (valid when rendezvous == true):
+    std::span<const std::byte> rndv_data;  // sender buffer (valid until matched)
+    sim::Time sender_post = 0;             // when the sender posted
+    sim::EventPtr send_done;               // sender's request event
+  };
+
+  struct PostedRecv {
+    int src = 0;  // kAnySource allowed
+    Tag tag = 0;
+    std::span<std::byte> buf;
+    sim::EventPtr done;
+  };
+
+  struct Endpoint {
+    std::deque<Message> unexpected;
+    std::deque<PostedRecv> posted;
+    sim::Time unavailable_until = 0;
+  };
+
+  /// Earliest instant >= t at which `rank`'s MPI engine can service a
+  /// rendezvous handshake (paper's progress discussion, section III-A1).
+  sim::Time progress_at(int rank, sim::Time t) const;
+
+  /// Completes the rendezvous protocol for a matched (msg, recv) pair and
+  /// returns the receive completion time. Called under the baton.
+  sim::Time finish_rendezvous(const Message& msg, int dst,
+                              std::span<std::byte> buf, sim::Time match_time);
+
+  static bool matches(const PostedRecv& r, int src, Tag tag) {
+    return (r.src == kAnySource || r.src == src) && r.tag == tag;
+  }
+
+  net::Fabric* fabric_;
+  MpiParams params_;
+  std::vector<Endpoint> endpoints_;
+
+  // Collective machinery (single job-wide communicator).
+  sim::SyncPoint barrier_sync_;
+  struct ExchangeSlot {
+    int arrived = 0;
+    sim::Time max_clock = 0;
+    sim::Duration max_extra = 0;
+    std::shared_ptr<std::vector<std::vector<std::byte>>> blobs;
+    sim::EventPtr release = std::make_shared<sim::Event>();
+  };
+  ExchangeSlot exchange_;
+
+  // Window registry for collective win_allocate.
+  struct WinCreateSlot {
+    int arrived = 0;
+    std::shared_ptr<Window> win;
+  };
+  WinCreateSlot win_create_;
+  sim::SyncPoint win_sync_;
+};
+
+/// One-sided communication window (see Mpi::win_allocate).
+///
+/// Exposure memory lives per rank inside the window; puts copy bytes
+/// immediately (host side) while virtual visibility is deferred to the
+/// synchronization call, matching the access pattern of the two-phase
+/// shuffle where targets only read after fence/barrier.
+class Window {
+ public:
+  /// This rank's exposed memory.
+  std::span<std::byte> local(int rank);
+  std::size_t local_size(int rank) const;
+
+ private:
+  friend class Mpi;
+  friend class Machine;
+  explicit Window(Machine& m);
+
+  struct LockWaiter {
+    int origin;
+    Mpi::LockType type;
+    sim::EventPtr granted;
+  };
+  struct TargetState {
+    std::vector<std::byte> mem;
+    sim::Timeline lock_agent;  // serializes lock/unlock request handling
+    // Active-target epoch tracking: latest put arrival this epoch.
+    sim::Time epoch_last_arrival = 0;
+    // Passive-target lock state.
+    int shared_holders = 0;
+    bool exclusive_held = false;
+    std::deque<LockWaiter> queue;
+    sim::Time last_release = 0;
+  };
+  // Per (origin) tracking of puts to each target in the current passive
+  // epoch, for unlock completion semantics. Indexed [origin][target].
+  std::vector<std::vector<sim::Time>> origin_put_arrival_;
+
+  Machine* machine_;
+  std::vector<TargetState> targets_;
+  sim::SyncPoint fence_sync_;
+};
+
+}  // namespace tpio::smpi

@@ -1,0 +1,78 @@
+#include "net/fabric.hpp"
+
+#include <string>
+
+#include "simbase/error.hpp"
+
+namespace tpio::net {
+
+Fabric::Fabric(const Topology& topo, const FabricParams& params)
+    : topo_(topo), params_(params) {
+  TPIO_CHECK(params.inter_bw > 0 && params.intra_bw > 0,
+             "fabric bandwidths must be positive");
+  nic_tx_.reserve(static_cast<std::size_t>(topo.nodes));
+  nic_rx_.reserve(static_cast<std::size_t>(topo.nodes));
+  mem_.reserve(static_cast<std::size_t>(topo.nodes));
+  for (int n = 0; n < topo.nodes; ++n) {
+    nic_tx_.emplace_back("nic_tx[" + std::to_string(n) + "]");
+    nic_rx_.emplace_back("nic_rx[" + std::to_string(n) + "]");
+    mem_.emplace_back("mem[" + std::to_string(n) + "]");
+  }
+  if (params.noise_sigma > 0.0) {
+    // One independent noise stream per timeline keeps schedules
+    // deterministic regardless of traffic interleaving across nodes.
+    for (int n = 0; n < topo.nodes; ++n) {
+      auto mk = [&](std::uint64_t salt) {
+        return std::make_unique<sim::NoiseModel>(
+            params.noise_sigma,
+            sim::Rng::derive_seed(params.noise_seed,
+                                  static_cast<std::uint64_t>(n) * 4 + salt));
+      };
+      noise_.push_back(mk(0));
+      nic_tx_[static_cast<std::size_t>(n)].set_noise(noise_.back().get());
+      noise_.push_back(mk(1));
+      nic_rx_[static_cast<std::size_t>(n)].set_noise(noise_.back().get());
+      noise_.push_back(mk(2));
+      mem_[static_cast<std::size_t>(n)].set_noise(noise_.back().get());
+    }
+  }
+}
+
+sim::Duration Fabric::wire_time(std::uint64_t bytes) const {
+  return sim::transfer_time(bytes, params_.inter_bw);
+}
+
+sim::Time Fabric::transfer(int src, int dst, std::uint64_t bytes,
+                           sim::Time depart) {
+  const int sn = topo_.node_of(src);
+  const int dn = topo_.node_of(dst);
+  if (sn == dn) {
+    // Intra-node: a copy through the node's memory system.
+    const sim::Duration t = sim::transfer_time(bytes, params_.intra_bw);
+    auto iv = mem_[static_cast<std::size_t>(sn)].reserve(depart, t);
+    return iv.start + params_.intra_latency + (iv.end - iv.start);
+  }
+  // Inter-node, cut-through: the message occupies the source transmit
+  // channel for its serialization time; after the wire latency the same
+  // stream occupies the destination receive channel. Contention at either
+  // endpoint delays it.
+  inter_bytes_ += bytes;
+  const sim::Duration t = sim::transfer_time(bytes, params_.inter_bw);
+  auto tx = nic_tx_[static_cast<std::size_t>(sn)].reserve(depart, t);
+  auto rx = nic_rx_[static_cast<std::size_t>(dn)].reserve(
+      tx.start + params_.inter_latency, tx.end - tx.start);
+  return rx.end;
+}
+
+sim::Time Fabric::transfer_control(int src, int dst, sim::Time depart) const {
+  const bool same = topo_.node_of(src) == topo_.node_of(dst);
+  return depart + (same ? params_.intra_latency : params_.inter_latency);
+}
+
+sim::Time Fabric::reserve_tx(int node, std::uint64_t bytes, sim::Time start) {
+  TPIO_CHECK(node >= 0 && node < topo_.nodes, "reserve_tx: bad node");
+  const sim::Duration t = sim::transfer_time(bytes, params_.inter_bw);
+  return nic_tx_[static_cast<std::size_t>(node)].reserve(start, t).end;
+}
+
+}  // namespace tpio::net

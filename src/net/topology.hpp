@@ -1,0 +1,32 @@
+#pragma once
+
+#include "simbase/error.hpp"
+
+namespace tpio::net {
+
+/// Placement of MPI ranks onto cluster nodes (block mapping, the Open MPI
+/// default of `--map-by core`): rank r lives on node r / procs_per_node.
+/// The last node may be partially filled (`ranks` < nodes * procs_per_node).
+struct Topology {
+  int nodes = 1;
+  int procs_per_node = 1;
+  /// Actual rank count; 0 means "all nodes full".
+  int ranks = 0;
+
+  int nprocs() const { return ranks > 0 ? ranks : nodes * procs_per_node; }
+
+  int node_of(int rank) const {
+    TPIO_CHECK(rank >= 0 && rank < nprocs(), "rank outside topology");
+    return rank / procs_per_node;
+  }
+
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  /// Smallest topology with `ppn` procs/node that holds `nprocs` ranks.
+  static Topology fit(int nprocs, int ppn) {
+    TPIO_CHECK(nprocs > 0 && ppn > 0, "topology sizes must be positive");
+    return Topology{(nprocs + ppn - 1) / ppn, ppn, nprocs};
+  }
+};
+
+}  // namespace tpio::net

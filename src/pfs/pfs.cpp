@@ -1,0 +1,287 @@
+#include "pfs/pfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "simbase/error.hpp"
+
+namespace tpio::pfs {
+
+StorageSystem::StorageSystem(const PfsParams& params, net::Fabric* fabric)
+    : params_(params), fabric_(fabric) {
+  TPIO_CHECK(params.num_targets > 0, "storage system needs targets");
+  TPIO_CHECK(params.stripe_size > 0, "stripe size must be positive");
+  TPIO_CHECK(params.target_bw > 0 && params.client_bw > 0,
+             "storage bandwidths must be positive");
+  TPIO_CHECK(params.aio_penalty >= 1.0, "aio penalty must be >= 1");
+  TPIO_CHECK(!params.share_compute_nic || fabric != nullptr,
+             "share_compute_nic requires a fabric");
+  targets_.reserve(static_cast<std::size_t>(params.num_targets));
+  for (int t = 0; t < params.num_targets; ++t) {
+    targets_.emplace_back("ost[" + std::to_string(t) + "]");
+    if (params.noise_sigma > 0.0) {
+      noise_.push_back(std::make_unique<sim::NoiseModel>(
+          params.noise_sigma,
+          sim::Rng::derive_seed(params.noise_seed,
+                                static_cast<std::uint64_t>(t))));
+      targets_.back().set_noise(noise_.back().get());
+    }
+  }
+}
+
+sim::Timeline& StorageSystem::client_channel(int node) {
+  TPIO_CHECK(node >= 0, "negative node id");
+  while (client_tx_.size() <= static_cast<std::size_t>(node)) {
+    client_tx_.emplace_back("stor_tx[" + std::to_string(client_tx_.size()) +
+                            "]");
+  }
+  return client_tx_[static_cast<std::size_t>(node)];
+}
+
+std::shared_ptr<File> StorageSystem::create(std::string name,
+                                            Integrity integrity) {
+  return std::shared_ptr<File>(new File(*this, std::move(name), integrity));
+}
+
+// ---------------------------------------------------------------------------
+// Content recording / verification
+// ---------------------------------------------------------------------------
+
+std::uint64_t File::stripe_size() const { return sys_->params_.stripe_size; }
+
+std::uint64_t File::mix(std::uint64_t offset, std::byte value) {
+  // SplitMix64 finalizer over (offset, value); summed commutatively per
+  // chunk, so write order does not matter while any misplaced, missing or
+  // corrupted byte changes the digest.
+  std::uint64_t z = offset * 0x9e3779b97f4a7c15ULL +
+                    (static_cast<std::uint64_t>(value) + 1) * 0xff51afd7ed558ccdULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void File::record(std::uint64_t offset, std::span<const std::byte> data) {
+  size_ = std::max(size_, offset + data.size());
+  bytes_accepted_ += data.size();
+  sys_->bytes_written_ += data.size();
+  if (integrity_ == Integrity::None) return;
+
+  const std::uint64_t ss = sys_->params_.stripe_size;
+  std::uint64_t pos = offset;
+  std::size_t consumed = 0;
+  while (consumed < data.size()) {
+    const std::uint64_t chunk_idx = pos / ss;
+    const std::uint64_t in_chunk = pos % ss;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(ss - in_chunk, data.size() - consumed);
+    Chunk& c = chunks_[chunk_idx];
+    c.written += n;
+    if (integrity_ == Integrity::Store) {
+      if (c.bytes.empty()) c.bytes.resize(ss);
+      std::memcpy(c.bytes.data() + in_chunk, data.data() + consumed, n);
+    } else {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        c.digest += mix(pos + i, data[consumed + i]);
+      }
+    }
+    pos += n;
+    consumed += static_cast<std::size_t>(n);
+  }
+}
+
+std::vector<std::byte> File::read_back(std::uint64_t offset,
+                                       std::uint64_t len) const {
+  TPIO_CHECK(integrity_ == Integrity::Store,
+             "read_back requires Integrity::Store");
+  std::vector<std::byte> out(len, std::byte{0});
+  const std::uint64_t ss = sys_->params_.stripe_size;
+  std::uint64_t pos = offset;
+  std::uint64_t copied = 0;
+  while (copied < len) {
+    const std::uint64_t chunk_idx = pos / ss;
+    const std::uint64_t in_chunk = pos % ss;
+    const std::uint64_t n = std::min(ss - in_chunk, len - copied);
+    auto it = chunks_.find(chunk_idx);
+    if (it != chunks_.end() && !it->second.bytes.empty()) {
+      std::memcpy(out.data() + copied, it->second.bytes.data() + in_chunk, n);
+    }
+    pos += n;
+    copied += n;
+  }
+  return out;
+}
+
+std::string File::verify(
+    const std::function<std::byte(std::uint64_t)>& expected) const {
+  TPIO_CHECK(integrity_ != Integrity::None,
+             "verify requires Store or Digest integrity");
+  if (bytes_accepted_ != size_) {
+    return "bytes written (" + std::to_string(bytes_accepted_) +
+           ") != file size (" + std::to_string(size_) +
+           "): holes or overlapping writes";
+  }
+  const std::uint64_t ss = sys_->params_.stripe_size;
+  const std::uint64_t nchunks = (size_ + ss - 1) / ss;
+  for (std::uint64_t ci = 0; ci < nchunks; ++ci) {
+    auto it = chunks_.find(ci);
+    const std::uint64_t lo = ci * ss;
+    const std::uint64_t hi = std::min(size_, lo + ss);
+    if (it == chunks_.end()) {
+      return "chunk " + std::to_string(ci) + " never written";
+    }
+    const Chunk& c = it->second;
+    if (c.written != hi - lo) {
+      return "chunk " + std::to_string(ci) + " has " +
+             std::to_string(c.written) + " bytes, expected " +
+             std::to_string(hi - lo);
+    }
+    if (integrity_ == Integrity::Store) {
+      for (std::uint64_t o = lo; o < hi; ++o) {
+        if (c.bytes[o - lo] != expected(o)) {
+          return "byte mismatch at offset " + std::to_string(o);
+        }
+      }
+    } else {
+      std::uint64_t want = 0;
+      for (std::uint64_t o = lo; o < hi; ++o) want += mix(o, expected(o));
+      if (c.digest != want) {
+        return "digest mismatch in chunk " + std::to_string(ci);
+      }
+    }
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Timing
+// ---------------------------------------------------------------------------
+
+sim::Time File::schedule_write(sim::RankCtx& ctx, int node,
+                               std::uint64_t offset,
+                               std::span<const std::byte> data, bool async) {
+  const PfsParams& p = sys_->params_;
+  record(offset, data);
+
+  // The client streams stripe chunks: each chunk is pushed through the
+  // node's storage channel (and, on co-located storage, the compute NIC),
+  // then serviced by its target. Injection of chunk k+1 overlaps the
+  // service of chunk k — one write call keeps client and servers busy
+  // concurrently, as a real striping client does.
+  sim::Timeline& client = sys_->client_channel(node);
+  const double penalty = async ? p.aio_penalty : 1.0;
+  sim::Time done = ctx.now();
+  sim::Time cursor = ctx.now() + p.op_overhead;  // per-call dispatch cost
+  std::uint64_t pos = offset;
+  std::uint64_t left = data.size();
+  while (left > 0) {
+    const std::uint64_t stripe_idx = pos / p.stripe_size;
+    const std::uint64_t in_chunk = pos % p.stripe_size;
+    const std::uint64_t n = std::min(p.stripe_size - in_chunk, left);
+    // The aio penalty applies to the whole async path: kernel aio threads
+    // also stream the data through the client stack.
+    const auto inject_time = static_cast<sim::Duration>(std::llround(
+        static_cast<double>(sim::transfer_time(n, p.client_bw)) * penalty));
+    sim::Time injected = client.reserve(cursor, inject_time).end;
+    if (p.share_compute_nic) {
+      injected =
+          std::max(injected, sys_->fabric_->reserve_tx(node, n, cursor));
+    }
+    const auto tid =
+        static_cast<std::size_t>(stripe_idx % static_cast<std::uint64_t>(
+                                                  p.num_targets));
+    const auto service = static_cast<sim::Duration>(
+        std::llround(static_cast<double>(p.request_overhead +
+                                         sim::transfer_time(n, p.target_bw)) *
+                     penalty));
+    const auto iv =
+        sys_->targets_[tid].reserve(injected + p.storage_latency, service);
+    done = std::max(done, iv.end);
+    pos += n;
+    left -= n;
+  }
+  return done;
+}
+
+WriteOp File::start_read(sim::RankCtx& ctx, int node, std::uint64_t offset,
+                         std::span<std::byte> out, bool async) {
+  auto ev = std::make_shared<sim::Event>();
+  ctx.act([&] {
+    // Timing mirrors the write path: per-chunk target service, then the
+    // client pulls the bytes through its storage channel.
+    const PfsParams& p = sys_->params_;
+    const double penalty = async ? p.aio_penalty : 1.0;
+    sim::Timeline& client = sys_->client_channel(node);
+    sim::Time done = ctx.now();
+    sim::Time cursor = ctx.now() + p.op_overhead;
+    std::uint64_t pos = offset;
+    std::uint64_t left = out.size();
+    std::size_t into = 0;
+    while (left > 0) {
+      const std::uint64_t stripe_idx = pos / p.stripe_size;
+      const std::uint64_t in_chunk = pos % p.stripe_size;
+      const std::uint64_t n = std::min(p.stripe_size - in_chunk, left);
+      const auto tid = static_cast<std::size_t>(
+          stripe_idx % static_cast<std::uint64_t>(p.num_targets));
+      const auto service = static_cast<sim::Duration>(
+          std::llround(static_cast<double>(
+                           p.request_overhead + sim::transfer_time(n, p.target_bw)) *
+                       penalty));
+      const auto iv =
+          sys_->targets_[tid].reserve(cursor + p.storage_latency, service);
+      const auto pull =
+          client.reserve(iv.end, sim::transfer_time(n, p.client_bw));
+      done = std::max(done, pull.end);
+
+      // Content: stored bytes or zero.
+      std::fill_n(out.begin() + static_cast<std::ptrdiff_t>(into),
+                  static_cast<std::ptrdiff_t>(n), std::byte{0});
+      auto it = chunks_.find(stripe_idx);
+      if (integrity_ == Integrity::Store && it != chunks_.end() &&
+          !it->second.bytes.empty()) {
+        std::memcpy(out.data() + into, it->second.bytes.data() + in_chunk, n);
+      }
+      pos += n;
+      left -= n;
+      into += static_cast<std::size_t>(n);
+    }
+    ctx.complete(*ev, done);
+  });
+  return WriteOp(std::move(ev));
+}
+
+void File::read_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
+                   std::span<std::byte> out) {
+  WriteOp op = start_read(ctx, node, offset, out, false);
+  wait(ctx, op);
+}
+
+WriteOp File::start_write(sim::RankCtx& ctx, int node, std::uint64_t offset,
+                          std::span<const std::byte> data, bool async) {
+  auto ev = std::make_shared<sim::Event>();
+  ctx.act([&] {
+    const sim::Time done = schedule_write(ctx, node, offset, data, async);
+    ctx.complete(*ev, done);
+  });
+  return WriteOp(std::move(ev));
+}
+
+WriteOp File::iwrite_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
+                        std::span<const std::byte> data) {
+  return start_write(ctx, node, offset, data, true);
+}
+
+void File::write_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
+                    std::span<const std::byte> data) {
+  sim::Time done = 0;
+  ctx.act([&] { done = schedule_write(ctx, node, offset, data, false); });
+  ctx.advance_to(done);
+}
+
+void File::wait(sim::RankCtx& ctx, WriteOp& op) {
+  TPIO_CHECK(op.valid(), "wait on an empty write operation");
+  ctx.wait_event(*op.ev_);
+  op.ev_.reset();
+}
+
+}  // namespace tpio::pfs

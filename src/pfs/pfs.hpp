@@ -1,0 +1,202 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "simbase/error.hpp"
+#include "sched/conductor.hpp"
+#include "sched/timeline.hpp"
+#include "simbase/rng.hpp"
+#include "simbase/time.hpp"
+#include "simbase/units.hpp"
+
+namespace tpio::pfs {
+
+/// How a file retains what was written, trading memory for verifiability.
+enum class Integrity {
+  /// Keep every byte (read_back works). For tests and small examples.
+  Store,
+  /// Keep an order-independent fingerprint + byte count per stripe chunk.
+  /// Verifies exactly-once writes byte-for-byte without storing data —
+  /// the mode benchmark sweeps use.
+  Digest,
+  /// Keep nothing but timing. For the largest sweeps.
+  None,
+};
+
+/// BeeGFS-flavoured parallel file system model.
+struct PfsParams {
+  int num_targets = 16;
+  std::uint64_t stripe_size = sim::MiB;
+  /// Sustained write bandwidth of one storage target.
+  double target_bw = 125e6;
+  /// Per-chunk request overhead (RPC, metadata, head movement).
+  sim::Duration request_overhead = sim::microseconds(250);
+  /// Per-write-call dispatch overhead at the client (syscall, aio setup,
+  /// request marshalling) — the fixed price of issuing one write, however
+  /// large. Splitting a buffer into more, smaller writes pays it more
+  /// often, which is why halving the collective buffer is not free.
+  sim::Duration op_overhead = sim::microseconds(150);
+  /// Client-side injection bandwidth (storage NIC of a compute node).
+  double client_bw = 2.5e9;
+  /// One-way latency from client to storage target.
+  sim::Duration storage_latency = sim::microseconds(30);
+  /// Crill-style co-located storage: storage traffic also occupies the
+  /// node's compute-fabric transmit channel.
+  bool share_compute_nic = false;
+  /// Service-time multiplier applied to *asynchronous* writes only.
+  /// 1.0 models ideal aio; slightly above 1 models the dispatch/kernel-
+  /// thread overhead of healthy aio (BeeGFS); >>1 models the pathological
+  /// aio_write behaviour the paper observed on Lustre.
+  double aio_penalty = 1.0;
+  /// Run-to-run variability of aio quality: the effective penalty of a job
+  /// is aio_penalty * max(1, lognormal(aio_penalty_sigma)) — some runs see
+  /// near-ideal background progress, others see sluggish kernel aio. The
+  /// experiment runner draws this once per run from its seed.
+  double aio_penalty_sigma = 0.0;
+  /// Variability of target service times (shared storage).
+  double noise_sigma = 0.0;
+  std::uint64_t noise_seed = 1;
+};
+
+class File;
+
+/// Handle of an asynchronous write; completed by the storage model at the
+/// time the last stripe chunk is durably on its target.
+class WriteOp {
+ public:
+  WriteOp() = default;
+  bool valid() const { return ev_ != nullptr; }
+  /// Scheduled completion time (valid from issue until wait() consumes the
+  /// handle).
+  sim::Time completion() const {
+    TPIO_CHECK(ev_ != nullptr, "completion() on an empty/consumed WriteOp");
+    return ev_->time();
+  }
+
+ private:
+  friend class File;
+  explicit WriteOp(sim::EventPtr ev) : ev_(std::move(ev)) {}
+  sim::EventPtr ev_;
+};
+
+/// A cluster-wide storage system: `num_targets` independent targets, files
+/// striped across them round-robin by stripe index.
+class StorageSystem {
+ public:
+  /// `fabric` may be null; required only when share_compute_nic is set.
+  StorageSystem(const PfsParams& params, net::Fabric* fabric);
+
+  StorageSystem(const StorageSystem&) = delete;
+  StorageSystem& operator=(const StorageSystem&) = delete;
+
+  std::shared_ptr<File> create(std::string name, Integrity integrity);
+
+  const PfsParams& params() const { return params_; }
+
+  /// Aggregate bytes accepted across all files (diagnostic).
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  friend class File;
+  PfsParams params_;
+  net::Fabric* fabric_;
+  std::vector<std::unique_ptr<sim::NoiseModel>> noise_;
+  std::vector<sim::Timeline> targets_;
+  std::vector<sim::Timeline> client_tx_;  // lazily sized per node
+  std::uint64_t bytes_written_ = 0;
+
+  sim::Timeline& client_channel(int node);
+};
+
+/// One striped file. All I/O entry points must run on a rank thread; the
+/// caller passes its RankCtx and the compute node it runs on (for client-
+/// side channel contention).
+class File {
+ public:
+  /// Asynchronous write: returns immediately with the scheduled completion.
+  /// Models aio_write / MPI_File_iwrite_at — service proceeds on storage
+  /// resources regardless of what the issuing rank does afterwards.
+  WriteOp iwrite_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
+                    std::span<const std::byte> data);
+
+  /// Schedule a write without advancing the caller's clock. `async` selects
+  /// the aio service path (and its penalty). Callers that want blocking
+  /// semantics plus bookkeeping between scheduling and completion — e.g.
+  /// declaring an MPI-progress blackout for the write's duration — use this
+  /// and then wait().
+  WriteOp start_write(sim::RankCtx& ctx, int node, std::uint64_t offset,
+                      std::span<const std::byte> data, bool async);
+
+  /// Blocking write: the rank's clock advances to durable completion.
+  /// (Callers that also run an MPI engine should declare the rank
+  /// unavailable for the same interval; see coll::CollectiveWriter.)
+  void write_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
+                std::span<const std::byte> data);
+
+  void wait(sim::RankCtx& ctx, WriteOp& op);
+
+  /// Schedule a read of [offset, offset+out.size()) into `out`. Contents
+  /// come from stored chunks (Store mode); unwritten bytes — and all bytes
+  /// in Digest/None modes — read as zero, with full timing either way.
+  /// `async` selects the aio path, as for writes.
+  WriteOp start_read(sim::RankCtx& ctx, int node, std::uint64_t offset,
+                     std::span<std::byte> out, bool async);
+
+  /// Blocking read: clock advances to completion.
+  void read_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
+               std::span<std::byte> out);
+
+  // ----- inspection / verification -----------------------------------------
+  const std::string& name() const { return name_; }
+  Integrity integrity() const { return integrity_; }
+  /// Stripe size of the underlying storage system.
+  std::uint64_t stripe_size() const;
+  /// Highest written offset + 1 (0 for an empty file).
+  std::uint64_t size() const { return size_; }
+  std::uint64_t bytes_written() const { return bytes_accepted_; }
+
+  /// Store mode only: copy out a region; unwritten bytes read as zero.
+  std::vector<std::byte> read_back(std::uint64_t offset, std::uint64_t len) const;
+
+  /// Store/Digest modes: check that the region [0, size) was written
+  /// exactly once and that every byte equals `expected(offset)`.
+  /// Returns an empty string on success, else a human-readable mismatch.
+  std::string verify(const std::function<std::byte(std::uint64_t)>& expected) const;
+
+  /// Order-independent fingerprint of one (offset, value) pair — exposed so
+  /// workloads can compute expected digests without materializing data.
+  static std::uint64_t mix(std::uint64_t offset, std::byte value);
+
+ private:
+  friend class StorageSystem;
+  File(StorageSystem& sys, std::string name, Integrity integrity)
+      : sys_(&sys), name_(std::move(name)), integrity_(integrity) {}
+
+  struct Chunk {
+    std::vector<std::byte> bytes;   // Store mode
+    std::uint64_t digest = 0;       // Digest mode (commutative sum of mix())
+    std::uint64_t written = 0;      // bytes accepted into this chunk
+  };
+
+  /// Record content + compute service completion. Under the baton.
+  sim::Time schedule_write(sim::RankCtx& ctx, int node, std::uint64_t offset,
+                           std::span<const std::byte> data, bool async);
+  void record(std::uint64_t offset, std::span<const std::byte> data);
+
+  StorageSystem* sys_;
+  std::string name_;
+  Integrity integrity_;
+  std::uint64_t size_ = 0;
+  std::uint64_t bytes_accepted_ = 0;
+  std::unordered_map<std::uint64_t, Chunk> chunks_;  // by chunk index
+};
+
+}  // namespace tpio::pfs

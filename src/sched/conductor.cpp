@@ -1,0 +1,216 @@
+#include "sched/conductor.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "simbase/error.hpp"
+
+namespace tpio::sim {
+
+Conductor::Conductor(int nranks) {
+  TPIO_CHECK(nranks > 0, "conductor needs at least one rank");
+  states_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    states_.push_back(std::make_unique<RankState>());
+    runnable_.insert({0, r});
+  }
+  alive_ = nranks;
+}
+
+int RankCtx::size() const { return conductor_->size(); }
+
+void RankCtx::advance(Duration d) {
+  TPIO_CHECK(d >= 0, "cannot advance by a negative duration");
+  clock_ += d;
+}
+
+void RankCtx::advance_to(Time t) { clock_ = std::max(clock_, t); }
+
+bool Conductor::is_min(int rank) const {
+  TPIO_CHECK(!runnable_.empty(), "is_min with empty runnable set");
+  return runnable_.begin()->second == rank;
+}
+
+void Conductor::update_entry(int rank, Time clock) {
+  RankState& st = *states_[static_cast<std::size_t>(rank)];
+  TPIO_CHECK(st.status == Status::Runnable, "update_entry on non-runnable rank");
+  if (st.registered_clock == clock) return;
+  runnable_.erase({st.registered_clock, rank});
+  st.registered_clock = clock;
+  runnable_.insert({clock, rank});
+}
+
+void Conductor::notify_min() {
+  if (runnable_.empty()) return;
+  states_[static_cast<std::size_t>(runnable_.begin()->second)]->cv.notify_one();
+}
+
+void Conductor::throw_aborted() {
+  throw Error("simulation aborted (another rank raised an error)");
+}
+
+void RankCtx::baton_acquire() {
+  Conductor& c = *conductor_;
+  std::unique_lock lk(c.mutex_);
+  if (c.aborted_) c.throw_aborted();
+  Conductor::RankState& st = *c.states_[static_cast<std::size_t>(rank_)];
+  c.update_entry(rank_, clock_);
+  c.notify_min();
+  st.cv.wait(lk, [&] { return c.aborted_ || c.is_min(rank_); });
+  if (c.aborted_) c.throw_aborted();
+  ++c.actions_;
+  lk.release();  // keep the mutex held for the duration of the action
+}
+
+void RankCtx::baton_release() {
+  Conductor& c = *conductor_;
+  c.update_entry(rank_, clock_);
+  c.notify_min();
+  c.mutex_.unlock();
+}
+
+void RankCtx::complete(Event& ev, Time t) {
+  // Caller holds the baton (asserted indirectly: completing without the
+  // baton would race; we at least enforce causality).
+  Conductor& c = *conductor_;
+  TPIO_CHECK(!ev.done_, "event completed twice");
+  TPIO_CHECK(t >= clock_, "event completion time precedes the actor's clock");
+  c.complete_locked(*this, ev, t);
+}
+
+void Conductor::complete_locked(RankCtx&, Event& ev, Time t) {
+  ev.done_ = true;
+  ev.time_ = t;
+  for (int w : ev.waiters_) {
+    RankState& st = *states_[static_cast<std::size_t>(w)];
+    TPIO_CHECK(st.status == Status::Blocked, "event waiter not blocked");
+    st.status = Status::Runnable;
+    st.wake_pending = true;
+    st.registered_clock = std::max(st.registered_clock, t);
+    runnable_.insert({st.registered_clock, w});
+  }
+  ev.waiters_.clear();
+  // The new min may be one of the woken ranks; baton_release will notify,
+  // but notify here as well so waiters resume even when the completer goes
+  // on to block without releasing through the normal path.
+  notify_min();
+}
+
+void Conductor::block_current(std::unique_lock<std::mutex>& lk, RankCtx& ctx,
+                              const char* reason) {
+  RankState& st = *states_[static_cast<std::size_t>(ctx.rank_)];
+  TPIO_CHECK(st.status == Status::Runnable, "blocking a non-runnable rank");
+  runnable_.erase({st.registered_clock, ctx.rank_});
+  st.status = Status::Blocked;
+  st.wake_pending = false;
+  st.block_reason = reason;
+  check_deadlock();
+  notify_min();
+  st.cv.wait(lk, [&] {
+    return aborted_ || (st.wake_pending && is_min(ctx.rank_));
+  });
+  if (aborted_) throw_aborted();
+  st.wake_pending = false;
+  st.block_reason = "";
+}
+
+void RankCtx::wait_event(Event& ev) {
+  Conductor& c = *conductor_;
+  std::unique_lock lk(c.mutex_);
+  if (c.aborted_) c.throw_aborted();
+  if (!ev.done_) {
+    c.update_entry(rank_, clock_);
+    ev.waiters_.push_back(rank_);
+    c.block_current(lk, *this, "wait_event");
+    TPIO_CHECK(ev.done_, "woken from wait_event but event not done");
+  }
+  clock_ = std::max(clock_, ev.time_);
+  c.update_entry(rank_, clock_);
+  c.notify_min();
+}
+
+void RankCtx::wait_all_events(std::span<const EventPtr> evs) {
+  for (const EventPtr& e : evs) {
+    TPIO_CHECK(e != nullptr, "null event in wait_all_events");
+    wait_event(*e);
+  }
+}
+
+bool RankCtx::test_event(Event& ev, Duration poll_cost) {
+  advance(poll_cost);
+  // Determinism requires all potentially-earlier actions to have committed,
+  // i.e. this rank must hold the baton when it peeks.
+  return act([&] { return ev.done_ && ev.time_ <= clock_; });
+}
+
+void Conductor::check_deadlock() {
+  if (!runnable_.empty() || alive_ == 0) return;
+  std::string msg = "simulation deadlock: all live ranks blocked (";
+  bool first = true;
+  for (std::size_t r = 0; r < states_.size(); ++r) {
+    if (states_[r]->status == Status::Blocked) {
+      if (!first) msg += ", ";
+      msg += "rank " + std::to_string(r) + ": " + states_[r]->block_reason;
+      first = false;
+    }
+  }
+  msg += ")";
+  aborted_ = true;
+  if (!first_error_) first_error_ = std::make_exception_ptr(Error(msg));
+  for (auto& st : states_) st->cv.notify_all();
+  throw Error(msg);
+}
+
+void Conductor::run(const std::function<void(RankCtx&)>& program) {
+  std::vector<std::thread> threads;
+  threads.reserve(states_.size());
+  for (int r = 0; r < size(); ++r) {
+    threads.emplace_back([this, r, &program] {
+      RankCtx ctx(this, r);
+      bool ok = true;
+      try {
+        program(ctx);
+      } catch (...) {
+        ok = false;
+        std::lock_guard lk(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+        aborted_ = true;
+        for (auto& st : states_) st->cv.notify_all();
+      }
+      std::lock_guard lk(mutex_);
+      RankState& st = *states_[static_cast<std::size_t>(r)];
+      if (st.status == Status::Runnable) {
+        runnable_.erase({st.registered_clock, r});
+      }
+      st.status = Status::Done;
+      st.finish_time = ctx.clock_;
+      --alive_;
+      if (ok && !aborted_) {
+        // Finishing may starve blocked ranks of their only waker.
+        try {
+          check_deadlock();
+        } catch (...) {
+          // recorded in first_error_; this thread is exiting anyway
+        }
+      }
+      notify_min();
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+Time Conductor::finish_time(int rank) const {
+  TPIO_CHECK(rank >= 0 && rank < size(), "finish_time: rank out of range");
+  const RankState& st = *states_[static_cast<std::size_t>(rank)];
+  TPIO_CHECK(st.status == Status::Done, "finish_time before rank finished");
+  return st.finish_time;
+}
+
+Time Conductor::makespan() const {
+  Time m = 0;
+  for (int r = 0; r < size(); ++r) m = std::max(m, finish_time(r));
+  return m;
+}
+
+}  // namespace tpio::sim

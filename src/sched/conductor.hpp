@@ -1,0 +1,161 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simbase/time.hpp"
+
+namespace tpio::sim {
+
+class Conductor;
+class RankCtx;
+
+/// One-shot completion notice carrying a virtual completion time.
+///
+/// Events are the only way simulated ranks wait for each other or for
+/// modelled hardware (network transfers, storage requests). An event is
+/// completed exactly once, by a rank acting under the baton, with a time
+/// that must not precede that rank's own clock; waiters resume at
+/// max(own clock, event time).
+class Event {
+ public:
+  bool done() const { return done_; }
+  Time time() const { return time_; }
+
+ private:
+  friend class Conductor;
+  friend class RankCtx;
+  bool done_ = false;
+  Time time_ = 0;
+  std::vector<int> waiters_;
+};
+
+using EventPtr = std::shared_ptr<Event>;
+
+/// Per-rank handle passed to the rank's program.
+///
+/// All methods must be called from the owning rank's thread. `act()` runs a
+/// critical section under the global simulation baton: the section executes
+/// only when this rank holds the minimal (clock, rank) pair among runnable
+/// ranks, which serializes every mutation of shared simulation state in
+/// virtual-time order and makes whole-program schedules deterministic.
+class RankCtx {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+  Time now() const { return clock_; }
+
+  /// Local computation: advance only this rank's clock. No synchronization.
+  void advance(Duration d);
+
+  /// Jump this rank's clock forward to `t` (no-op if already past it).
+  void advance_to(Time t);
+
+  /// Execute `fn()` while holding the simulation baton.
+  /// `fn` may touch shared simulation state and complete events.
+  template <class F>
+  auto act(F&& fn) {
+    baton_acquire();
+    struct Releaser {
+      RankCtx* c;
+      ~Releaser() { c->baton_release(); }
+    } rel{this};
+    return fn();
+  }
+
+  /// Complete `ev` at time `t` (must be >= now()). Call under act().
+  void complete(Event& ev, Time t);
+
+  /// Block until `ev` completes; clock advances to max(now, ev.time()).
+  void wait_event(Event& ev);
+
+  /// Block until all events complete; clock ends at the max completion time
+  /// (but never moves backwards).
+  void wait_all_events(std::span<const EventPtr> evs);
+
+  /// True once `ev` has completed — without blocking. Advances the clock by
+  /// `poll_cost` to model the test call itself. (MPI_Test analogue.)
+  bool test_event(Event& ev, Duration poll_cost = 0);
+
+  Conductor& conductor() { return *conductor_; }
+
+ private:
+  friend class Conductor;
+  RankCtx(Conductor* c, int rank) : conductor_(c), rank_(rank) {}
+
+  void baton_acquire();
+  void baton_release();
+
+  Conductor* conductor_;
+  int rank_;
+  Time clock_ = 0;
+};
+
+/// Deterministic discrete-event conductor.
+///
+/// Runs N rank programs on N host threads, granting the right to mutate
+/// shared simulation state ("the baton") to the runnable rank with the
+/// smallest (virtual clock, rank id). Blocked ranks are excluded from the
+/// grant until another rank completes the event they wait on. Given the same
+/// programs and seeds this yields bit-identical virtual schedules on any
+/// host, regardless of OS thread scheduling.
+class Conductor {
+ public:
+  explicit Conductor(int nranks);
+
+  /// Execute `program(ctx)` for every rank; returns when all rank threads
+  /// have finished. Rethrows the first exception raised by any rank.
+  void run(const std::function<void(RankCtx&)>& program);
+
+  int size() const { return static_cast<int>(states_.size()); }
+
+  /// Virtual time at which `rank` finished its program (valid after run()).
+  Time finish_time(int rank) const;
+
+  /// max over ranks of finish_time — the simulated wall-clock of the job.
+  Time makespan() const;
+
+  /// Total number of baton acquisitions (diagnostic / perf counter).
+  std::uint64_t actions() const { return actions_; }
+
+ private:
+  friend class RankCtx;
+
+  enum class Status { Runnable, Blocked, Done };
+
+  struct RankState {
+    Time registered_clock = 0;
+    Status status = Status::Runnable;
+    bool wake_pending = false;
+    const char* block_reason = "";
+    Time finish_time = 0;
+    std::condition_variable cv;
+  };
+
+  // All of the below require mutex_.
+  bool is_min(int rank) const;
+  void update_entry(int rank, Time clock);
+  void notify_min();
+  void block_current(std::unique_lock<std::mutex>& lk, RankCtx& ctx,
+                     const char* reason);
+  void complete_locked(RankCtx& actor, Event& ev, Time t);
+  void check_deadlock();
+  [[noreturn]] void throw_aborted();
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<RankState>> states_;
+  std::set<std::pair<Time, int>> runnable_;
+  int alive_ = 0;
+  bool aborted_ = false;
+  std::exception_ptr first_error_;
+  std::uint64_t actions_ = 0;
+};
+
+}  // namespace tpio::sim

@@ -1,0 +1,30 @@
+#include "sched/sync.hpp"
+
+#include <algorithm>
+
+#include "simbase/error.hpp"
+
+namespace tpio::sim {
+
+SyncPoint::SyncPoint(int parties) : parties_(parties) {
+  TPIO_CHECK(parties > 0, "SyncPoint needs at least one party");
+}
+
+Time SyncPoint::arrive(RankCtx& ctx, Duration extra_cost, Time floor) {
+  EventPtr release = ctx.act([&] {
+    Generation& g = active_;
+    g.arrived += 1;
+    g.max_clock = std::max({g.max_clock, ctx.now(), floor});
+    g.max_extra = std::max(g.max_extra, extra_cost);
+    EventPtr ev = g.release;
+    if (g.arrived == parties_) {
+      ctx.complete(*ev, g.max_clock + g.max_extra);
+      active_ = Generation{};  // open the next generation
+    }
+    return ev;
+  });
+  ctx.wait_event(*release);
+  return release->time();
+}
+
+}  // namespace tpio::sim

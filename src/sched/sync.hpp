@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sched/conductor.hpp"
+#include "simbase/time.hpp"
+
+namespace tpio::sim {
+
+/// Reusable N-party rendezvous on virtual time.
+///
+/// Each party calls arrive(); all parties resume at
+///   max(arrival clocks) + max(extra_cost arguments).
+/// This is the coarse model used for tightly-coupled synchronizing
+/// collectives (barrier, fence, allreduce of a scalar): the cost formula is
+/// supplied by the caller (typically O(log P) * (latency + overhead)), and
+/// the structure contributes exactly one baton action per party, keeping
+/// large-rank simulations affordable.
+///
+/// Only one generation can ever be incomplete (every party passes generation
+/// g before any party reaches g+1), so a single active slot suffices;
+/// laggards of a completed generation keep the release event alive through
+/// the shared pointer they captured on arrival.
+class SyncPoint {
+ public:
+  explicit SyncPoint(int parties);
+
+  /// Block until all parties of the current generation arrive. Returns the
+  /// common release time (also this rank's clock upon return):
+  ///   max(arrival clocks, floors) + max(extra_cost).
+  /// `floor` lets a party pin the release to an absolute time — e.g. a fence
+  /// must not release before the last RMA put of the epoch has landed.
+  Time arrive(RankCtx& ctx, Duration extra_cost = 0, Time floor = 0);
+
+  int parties() const { return parties_; }
+
+ private:
+  struct Generation {
+    int arrived = 0;
+    Time max_clock = 0;
+    Duration max_extra = 0;
+    EventPtr release = std::make_shared<Event>();
+  };
+
+  int parties_;
+  Generation active_;  // mutated only under the baton
+};
+
+}  // namespace tpio::sim

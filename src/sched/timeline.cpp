@@ -1,0 +1,26 @@
+#include "sched/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simbase/error.hpp"
+
+namespace tpio::sim {
+
+Timeline::Interval Timeline::reserve(Time earliest, Duration duration) {
+  TPIO_CHECK(earliest >= 0, "reserve with negative start");
+  TPIO_CHECK(duration >= 0, "reserve with negative duration");
+  Duration d = duration;
+  if (noise_ != nullptr && duration > 0) {
+    d = static_cast<Duration>(
+        std::llround(static_cast<double>(duration) * noise_->factor()));
+    d = std::max<Duration>(d, 1);
+  }
+  const Time start = std::max(earliest, next_free_);
+  const Time end = start + d;
+  next_free_ = end;
+  busy_ += d;
+  return {start, end};
+}
+
+}  // namespace tpio::sim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+
+#include "simbase/rng.hpp"
+#include "simbase/time.hpp"
+
+namespace tpio::sim {
+
+/// A serially-reusable modelled resource (a NIC direction, a storage target,
+/// an I/O server): requests are served FIFO in the order they are committed
+/// under the simulation baton, which — because the baton enforces
+/// virtual-time order — is virtual-time order of the requesting actions.
+///
+/// `reserve()` returns the service interval [start, end): start is
+/// max(earliest, previous end) and the duration may be inflated by the
+/// attached noise model (shared-machine variability).
+class Timeline {
+ public:
+  explicit Timeline(std::string name = "") : name_(std::move(name)) {}
+
+  struct Interval {
+    Time start;
+    Time end;
+  };
+
+  /// Must be called while holding the simulation baton.
+  Interval reserve(Time earliest, Duration duration);
+
+  /// Attach (or detach with nullptr) a noise source; not owned.
+  void set_noise(NoiseModel* noise) { noise_ = noise; }
+
+  Time next_free() const { return next_free_; }
+  Duration busy_time() const { return busy_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  Time next_free_ = 0;
+  Duration busy_ = 0;
+  NoiseModel* noise_ = nullptr;
+};
+
+}  // namespace tpio::sim

@@ -1,0 +1,38 @@
+#include "simbase/crc.hpp"
+
+#include <array>
+
+namespace tpio::sim {
+namespace {
+
+constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ULL;  // ECMA-182, reflected
+
+std::array<std::uint64_t, 256> make_table() {
+  std::array<std::uint64_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    t[i] = crc;
+  }
+  return t;
+}
+
+const std::array<std::uint64_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint64_t crc64(std::uint64_t seed, std::span<const std::byte> data) {
+  const auto& t = table();
+  std::uint64_t crc = ~seed;
+  for (std::byte b : data) {
+    crc = t[(crc ^ static_cast<std::uint64_t>(b)) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace tpio::sim

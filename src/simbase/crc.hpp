@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace tpio::sim {
+
+/// CRC-64 (ECMA-182 polynomial, reflected), table-driven.
+///
+/// The parallel file system's "sink" mode keeps one CRC per stripe chunk
+/// instead of the data itself, so benchmark runs writing many gigabytes of
+/// virtual data can still be verified byte-for-byte against a workload
+/// generator's expected pattern without storing the bytes.
+std::uint64_t crc64(std::uint64_t seed, std::span<const std::byte> data);
+
+inline std::uint64_t crc64(std::span<const std::byte> data) {
+  return crc64(0, data);
+}
+
+}  // namespace tpio::sim

@@ -1,0 +1,7 @@
+#include "simbase/error.hpp"
+
+namespace tpio {
+
+void fail(const std::string& msg) { throw Error(msg); }
+
+}  // namespace tpio

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tpio {
+
+/// Thrown on violated invariants and misuse of the simulation APIs.
+///
+/// The simulator favours loud failure over undefined behaviour: every
+/// precondition that user code could plausibly violate is checked.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void fail(const std::string& msg);
+
+}  // namespace tpio
+
+/// Precondition / invariant check that survives NDEBUG builds.
+#define TPIO_CHECK(cond, msg)                                        \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::tpio::fail(std::string(__FILE__) + ":" +                     \
+                   std::to_string(__LINE__) + ": check `" #cond      \
+                   "` failed: " + (msg));                            \
+    }                                                                \
+  } while (0)

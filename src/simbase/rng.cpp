@@ -1,0 +1,39 @@
+#include "simbase/rng.hpp"
+
+#include <cmath>
+
+#include "simbase/error.hpp"
+
+namespace tpio::sim {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  TPIO_CHECK(bound > 0, "next_below bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % bound;
+}
+
+double Rng::next_normal() {
+  // Box-Muller; discard the paired value for simplicity and determinism.
+  double u1 = next_double();
+  double u2 = next_double();
+  while (u1 <= 0.0) u1 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+std::uint64_t Rng::derive_seed(std::uint64_t master, std::uint64_t salt) {
+  // One splitmix step over (master ^ rotated salt) decorrelates streams.
+  std::uint64_t z = master ^ (salt * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double NoiseModel::factor() {
+  if (sigma_ <= 0.0) return 1.0;
+  return std::exp(sigma_ * rng_.next_normal());
+}
+
+}  // namespace tpio::sim

@@ -1,0 +1,55 @@
+#include "simbase/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simbase/error.hpp"
+
+namespace tpio::sim {
+
+double Summary::min() const {
+  TPIO_CHECK(!values_.empty(), "min of empty summary");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::max() const {
+  TPIO_CHECK(!values_.empty(), "max of empty summary");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Summary::mean() const {
+  TPIO_CHECK(!values_.empty(), "mean of empty summary");
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Summary::median() const { return percentile(50.0); }
+
+double Summary::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Summary::percentile(double p) const {
+  TPIO_CHECK(!values_.empty(), "percentile of empty summary");
+  TPIO_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double relative_improvement(double baseline, double candidate) {
+  TPIO_CHECK(baseline > 0.0, "baseline must be positive");
+  return (baseline - candidate) / baseline;
+}
+
+}  // namespace tpio::sim

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tpio::sim {
+
+/// Order statistics and moments over a sample of doubles.
+///
+/// Used by the experiment harness for the paper's reporting conventions:
+/// minimum across repetitions for point comparisons (fig. 1), mean of
+/// positive relative improvements (figs. 2-3).
+class Summary {
+ public:
+  void add(double v) { values_.push_back(v); }
+  bool empty() const { return values_.empty(); }
+  std::size_t count() const { return values_.size(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double median() const;
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Relative improvement of `candidate` over `baseline` execution time:
+/// (baseline - candidate) / baseline. Positive = candidate faster.
+double relative_improvement(double baseline, double candidate);
+
+}  // namespace tpio::sim

@@ -1,0 +1,30 @@
+#include "simbase/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tpio::sim {
+
+Duration transfer_time(std::uint64_t bytes, double bytes_per_second) {
+  if (bytes == 0) return 0;
+  if (bytes_per_second <= 0.0) return kTimeNever;
+  const double ns = static_cast<double>(bytes) / bytes_per_second * 1e9;
+  return static_cast<Duration>(std::ceil(ns));
+}
+
+std::string format_time(Duration d) {
+  char buf[64];
+  const double ad = std::abs(static_cast<double>(d));
+  if (ad >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", to_seconds(d));
+  } else if (ad >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", to_millis(d));
+  } else if (ad >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", to_micros(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace tpio::sim

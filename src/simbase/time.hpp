@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tpio::sim {
+
+/// Virtual simulation time in integer nanoseconds.
+///
+/// All simulation clocks, resource timelines and completion events use this
+/// type. Integer ticks keep schedules bit-identical across hosts and avoid
+/// floating-point drift when many small durations accumulate.
+using Time = std::int64_t;
+
+/// A span of virtual time, also in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Time kTimeZero = 0;
+inline constexpr Time kTimeNever = INT64_MAX;
+
+inline constexpr Duration nanoseconds(std::int64_t n) { return n; }
+inline constexpr Duration microseconds(double us) {
+  return static_cast<Duration>(us * 1e3);
+}
+inline constexpr Duration milliseconds(double ms) {
+  return static_cast<Duration>(ms * 1e6);
+}
+inline constexpr Duration seconds(double s) {
+  return static_cast<Duration>(s * 1e9);
+}
+
+inline constexpr double to_seconds(Duration d) { return static_cast<double>(d) * 1e-9; }
+inline constexpr double to_micros(Duration d) { return static_cast<double>(d) * 1e-3; }
+inline constexpr double to_millis(Duration d) { return static_cast<double>(d) * 1e-6; }
+
+/// Duration to transfer `bytes` at `bytes_per_second`, rounded up to a tick.
+Duration transfer_time(std::uint64_t bytes, double bytes_per_second);
+
+/// Human-readable rendering, e.g. "12.34 ms" or "850 ns".
+std::string format_time(Duration d);
+
+}  // namespace tpio::sim

@@ -1,0 +1,68 @@
+#include "simbase/units.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "simbase/error.hpp"
+
+namespace tpio::sim {
+
+std::uint64_t parse_bytes(std::string_view text) {
+  TPIO_CHECK(!text.empty(), "empty byte-size string");
+  const std::string s(text);
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  TPIO_CHECK(end != s.c_str(), "no number in byte-size string: " + s);
+  TPIO_CHECK(value >= 0.0, "negative byte size: " + s);
+
+  std::string suffix;
+  for (const char* p = end; *p; ++p) {
+    if (!std::isspace(static_cast<unsigned char>(*p))) {
+      suffix += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+    }
+  }
+  double mult = 1.0;
+  if (suffix.empty() || suffix == "b") {
+    mult = 1.0;
+  } else if (suffix == "k" || suffix == "kb" || suffix == "kib") {
+    mult = static_cast<double>(KiB);
+  } else if (suffix == "m" || suffix == "mb" || suffix == "mib") {
+    mult = static_cast<double>(MiB);
+  } else if (suffix == "g" || suffix == "gb" || suffix == "gib") {
+    mult = static_cast<double>(GiB);
+  } else {
+    fail("unknown byte-size suffix '" + suffix + "' in: " + s);
+  }
+  return static_cast<std::uint64_t>(std::llround(value * mult));
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= GiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / static_cast<double>(GiB));
+  } else if (bytes >= MiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", b / static_cast<double>(MiB));
+  } else if (bytes >= KiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", b / static_cast<double>(KiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  char buf[64];
+  if (bytes_per_second >= static_cast<double>(GiB)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB/s", bytes_per_second / static_cast<double>(GiB));
+  } else if (bytes_per_second >= static_cast<double>(MiB)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB/s", bytes_per_second / static_cast<double>(MiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB/s", bytes_per_second / static_cast<double>(KiB));
+  }
+  return buf;
+}
+
+}  // namespace tpio::sim

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tpio::sim {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+/// Parse a byte size like "512", "64K", "32MB", "1.5GiB" (case-insensitive;
+/// K/M/G with or without "B"/"iB" all mean powers of 1024, matching the
+/// convention of MPI I/O tuning parameters). Throws tpio::Error on bad input.
+std::uint64_t parse_bytes(std::string_view text);
+
+/// Human-readable size, e.g. "32.0 MiB".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Bandwidth rendering, e.g. "2.6 GiB/s" from bytes-per-second.
+std::string format_bandwidth(double bytes_per_second);
+
+}  // namespace tpio::sim

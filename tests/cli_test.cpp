@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "harness/cli.hpp"
+#include "simbase/error.hpp"
+#include "simbase/units.hpp"
+
+namespace xp = tpio::xp;
+namespace coll = tpio::coll;
+namespace wl = tpio::wl;
+namespace sim = tpio::sim;
+
+namespace {
+xp::CliConfig parse(std::initializer_list<const char*> args) {
+  return xp::parse_cli(std::vector<std::string>(args.begin(), args.end()));
+}
+}  // namespace
+
+TEST(Cli, Defaults) {
+  const auto cfg = parse({});
+  EXPECT_TRUE(cfg.error.empty()) << cfg.error;
+  EXPECT_EQ(cfg.spec.platform.name, "ibex");
+  EXPECT_EQ(cfg.spec.workload.kind, wl::Kind::Tile1M);
+  EXPECT_EQ(cfg.spec.nprocs, 64);
+  EXPECT_EQ(cfg.reps, 3);
+  EXPECT_FALSE(cfg.spec.verify);
+}
+
+TEST(Cli, FullConfiguration) {
+  const auto cfg = parse({"--platform", "crill", "--workload", "flash",
+                          "--procs", "100", "--cb", "8M", "--overlap",
+                          "write", "--transfer", "fence", "--aggregators",
+                          "4", "--reps", "5", "--seed", "99", "--verify"});
+  ASSERT_TRUE(cfg.error.empty()) << cfg.error;
+  EXPECT_EQ(cfg.spec.platform.name, "crill");
+  EXPECT_EQ(cfg.spec.workload.kind, wl::Kind::Flash);
+  EXPECT_EQ(cfg.spec.nprocs, 100);
+  EXPECT_EQ(cfg.spec.options.cb_size, 8u * sim::MiB);
+  EXPECT_EQ(cfg.spec.options.overlap, coll::OverlapMode::Write);
+  EXPECT_EQ(cfg.spec.options.transfer, coll::Transfer::OneSidedFence);
+  EXPECT_EQ(cfg.spec.options.num_aggregators, 4);
+  EXPECT_EQ(cfg.reps, 5);
+  EXPECT_EQ(cfg.seed_base, 99u);
+  EXPECT_TRUE(cfg.spec.verify);
+}
+
+TEST(Cli, BytesPerProcShapesWorkload) {
+  const auto cfg =
+      parse({"--workload", "ior", "--bytes-per-proc", "4M"});
+  ASSERT_TRUE(cfg.error.empty());
+  EXPECT_EQ(cfg.spec.workload.bytes_per_proc(), 4u * sim::MiB);
+}
+
+TEST(Cli, HelpShortCircuits) {
+  EXPECT_TRUE(parse({"--help"}).quick_help);
+  EXPECT_TRUE(parse({"-h"}).quick_help);
+  EXPECT_FALSE(xp::cli_usage().empty());
+}
+
+TEST(Cli, Errors) {
+  EXPECT_FALSE(parse({"--bogus"}).error.empty());
+  EXPECT_FALSE(parse({"--procs"}).error.empty());        // missing value
+  EXPECT_FALSE(parse({"--procs", "-3"}).error.empty());
+  EXPECT_FALSE(parse({"--overlap", "wat"}).error.empty());
+  EXPECT_FALSE(parse({"--transfer", "wat"}).error.empty());
+  EXPECT_FALSE(parse({"--platform", "wat"}).error.empty());
+  EXPECT_FALSE(parse({"--workload", "wat"}).error.empty());
+  EXPECT_FALSE(parse({"--cb", "12Q"}).error.empty());
+  EXPECT_FALSE(parse({"--reps", "0"}).error.empty());
+}
+
+TEST(Cli, PlatformPresets) {
+  EXPECT_EQ(xp::platform_by_name("crill").name, "crill");
+  EXPECT_EQ(xp::platform_by_name("ibex").name, "ibex");
+  const auto lustre = xp::platform_by_name("lustre");
+  EXPECT_EQ(lustre.name, "lustre");
+  EXPECT_GT(lustre.pfs.aio_penalty, 2.0);  // pathological aio
+  EXPECT_THROW(xp::platform_by_name("summit"), tpio::Error);
+}
+
+TEST(Cli, EndToEndTinyRun) {
+  auto cfg = parse({"--workload", "ior", "--bytes-per-proc", "256K",
+                    "--procs", "8", "--reps", "2", "--verify"});
+  ASSERT_TRUE(cfg.error.empty()) << cfg.error;
+  const xp::Series s = xp::execute_series(cfg.spec, cfg.reps, cfg.seed_base);
+  EXPECT_EQ(s.runs.size(), 2u);
+  EXPECT_GT(s.min_makespan(), 0);
+}

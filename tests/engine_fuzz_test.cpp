@@ -1,0 +1,172 @@
+// Property fuzz: random disjoint file decompositions, random tuning
+// options — every combination must produce a byte-exact file and be
+// deterministic. This is the repository's broadest correctness net for
+// the collective-write and -read engines.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/read_engine.hpp"
+#include "simbase/rng.hpp"
+#include "test_rig.hpp"
+
+namespace coll = tpio::coll;
+namespace pfs = tpio::pfs;
+namespace sim = tpio::sim;
+using tpio::test::Cluster;
+using tpio::test::file_byte;
+using tpio::test::fill_view;
+
+namespace {
+
+/// Deterministically partition a random-length file into random pieces
+/// assigned to random ranks. Returns per-rank views (sorted, disjoint,
+/// covering [base, base+total) exactly).
+std::vector<coll::FileView> random_views(std::uint64_t seed, int P) {
+  sim::Rng rng(seed);
+  std::vector<coll::FileView> views(static_cast<std::size_t>(P));
+  std::uint64_t pos = 0;  // dense: verify() models a fully-covered file
+  const int pieces = 20 + static_cast<int>(rng.next_below(60));
+  for (int k = 0; k < pieces; ++k) {
+    const std::uint64_t len = 1 + rng.next_below(30'000);
+    const int owner = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(P)));
+    auto& v = views[static_cast<std::size_t>(owner)];
+    // Merge with the previous extent when the same owner continues.
+    if (!v.extents.empty() && v.extents.back().end() == pos) {
+      v.extents.back().length += len;
+    } else {
+      v.extents.push_back(coll::Extent{pos, len});
+    }
+    pos += len;
+  }
+  return views;
+}
+
+/// Views with deliberate holes and a nonzero base offset; verified by
+/// reading back each extent instead of whole-file coverage.
+std::vector<coll::FileView> holey_views(std::uint64_t seed, int P) {
+  sim::Rng rng(seed);
+  std::vector<coll::FileView> views(static_cast<std::size_t>(P));
+  std::uint64_t pos = 1 + rng.next_below(10'000);
+  for (int k = 0; k < 40; ++k) {
+    const std::uint64_t len = 1 + rng.next_below(20'000);
+    const int owner = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(P)));
+    views[static_cast<std::size_t>(owner)].extents.push_back(
+        coll::Extent{pos, len});
+    pos += len + rng.next_below(8'000);  // hole after every piece
+  }
+  return views;
+}
+
+struct FuzzCase {
+  std::uint64_t seed;
+  coll::OverlapMode overlap;
+  coll::Transfer transfer;
+};
+
+class EngineFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+}  // namespace
+
+TEST_P(EngineFuzz, RandomViewsAllOptionCombos) {
+  const std::uint64_t seed = GetParam();
+  sim::Rng opt_rng(sim::Rng::derive_seed(seed, 0xF0));
+
+  // A few random option combinations per seed.
+  for (int combo = 0; combo < 3; ++combo) {
+    Cluster cluster;
+    const auto views = random_views(seed, cluster.nprocs());
+    coll::Options o;
+    o.cb_size = 2048 + opt_rng.next_below(30'000);
+    o.overlap = static_cast<coll::OverlapMode>(opt_rng.next_below(5));
+    o.transfer = static_cast<coll::Transfer>(opt_rng.next_below(3));
+    o.num_aggregators = static_cast<int>(opt_rng.next_below(4));  // 0=auto
+    o.stripe_align = opt_rng.next_below(2) == 0;
+
+    auto file = cluster.storage().create("fuzz", pfs::Integrity::Store);
+    cluster.run([&](tpio::smpi::Mpi& mpi) {
+      const auto& view = views[static_cast<std::size_t>(mpi.rank())];
+      const auto data = fill_view(view);
+      coll::collective_write(mpi, *file, view, data, o);
+    });
+    ASSERT_EQ(file->verify(file_byte), "")
+        << "seed=" << seed << " combo=" << combo
+        << " overlap=" << coll::to_string(o.overlap)
+        << " transfer=" << coll::to_string(o.transfer)
+        << " cb=" << o.cb_size << " aggs=" << o.num_aggregators;
+  }
+}
+
+TEST_P(EngineFuzz, HoleyViewsExtentsLandExactly) {
+  // Sparse decompositions (holes, nonzero base): each rank's extents must
+  // read back exactly; holes stay zero.
+  const std::uint64_t seed = GetParam();
+  Cluster cluster;
+  const auto views = holey_views(seed, cluster.nprocs());
+  coll::Options o;
+  o.cb_size = 16384;
+  o.overlap = coll::OverlapMode::WriteComm2;
+  auto file = cluster.storage().create("fuzz", pfs::Integrity::Store);
+  cluster.run([&](tpio::smpi::Mpi& mpi) {
+    const auto& view = views[static_cast<std::size_t>(mpi.rank())];
+    const auto data = fill_view(view);
+    coll::collective_write(mpi, *file, view, data, o);
+  });
+  for (const auto& view : views) {
+    for (const auto& e : view.extents) {
+      const auto got = file->read_back(e.offset, e.length);
+      for (std::uint64_t i = 0; i < e.length; ++i) {
+        ASSERT_EQ(got[i], file_byte(e.offset + i))
+            << "seed=" << seed << " offset=" << e.offset + i;
+      }
+    }
+  }
+}
+
+TEST_P(EngineFuzz, WriteThenReadRoundTrip) {
+  const std::uint64_t seed = GetParam();
+  Cluster cluster;
+  const auto views = random_views(seed ^ 0xABCDEF, cluster.nprocs());
+  sim::Rng opt_rng(sim::Rng::derive_seed(seed, 0xF1));
+  coll::Options wopt;
+  wopt.cb_size = 4096 + opt_rng.next_below(20'000);
+  coll::Options ropt = wopt;
+  ropt.overlap = static_cast<coll::OverlapMode>(opt_rng.next_below(5));
+
+  auto file = cluster.storage().create("fuzz", pfs::Integrity::Store);
+  cluster.run([&](tpio::smpi::Mpi& mpi) {
+    const auto& view = views[static_cast<std::size_t>(mpi.rank())];
+    const auto data = fill_view(view);
+    coll::collective_write(mpi, *file, view, data, wopt);
+    mpi.barrier();
+    std::vector<std::byte> out(view.total_bytes());
+    coll::collective_read(mpi, *file, view, out, ropt);
+    ASSERT_EQ(out, data) << "seed=" << seed << " rank=" << mpi.rank();
+  });
+}
+
+TEST_P(EngineFuzz, DeterministicUnderFuzz) {
+  const std::uint64_t seed = GetParam();
+  auto once = [&] {
+    Cluster cluster;
+    const auto views = random_views(seed, cluster.nprocs());
+    coll::Options o;
+    o.cb_size = 16384;
+    o.overlap = coll::OverlapMode::WriteComm2;
+    auto file = cluster.storage().create("fuzz", pfs::Integrity::None);
+    cluster.run([&](tpio::smpi::Mpi& mpi) {
+      const auto& view = views[static_cast<std::size_t>(mpi.rank())];
+      const auto data = fill_view(view);
+      coll::collective_write(mpi, *file, view, data, o);
+    });
+    return cluster.conductor().makespan();
+  };
+  EXPECT_EQ(once(), once());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
+                         testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                         88u));

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "net/fabric.hpp"
+
+namespace smpi = tpio::smpi;
+namespace net = tpio::net;
+namespace sim = tpio::sim;
+
+namespace {
+
+struct Rig {
+  net::Topology topo;
+  net::Fabric fabric;
+  sim::Conductor conductor;
+  smpi::Machine machine;
+
+  explicit Rig(int nodes, int ppn = 1, smpi::MpiParams mp = {})
+      : topo{nodes, ppn},
+        fabric(topo, fabric_params()),
+        conductor(topo.nprocs()),
+        machine(fabric, mp) {}
+
+  static net::FabricParams fabric_params() {
+    net::FabricParams p;
+    p.inter_bw = 1e9;
+    p.intra_bw = 4e9;
+    p.inter_latency = 100;
+    p.intra_latency = 10;
+    return p;
+  }
+
+  void run(const std::function<void(smpi::Mpi&)>& prog) {
+    conductor.run([&](sim::RankCtx& ctx) {
+      smpi::Mpi mpi(machine, ctx);
+      prog(mpi);
+    });
+  }
+};
+
+}  // namespace
+
+TEST(MpiColl, BarrierHoldsEveryoneToMax) {
+  Rig rig(8);
+  std::vector<sim::Time> after(8);
+  rig.run([&](smpi::Mpi& mpi) {
+    mpi.ctx().advance(static_cast<sim::Duration>(mpi.rank()) * 1000);
+    mpi.barrier();
+    after[static_cast<std::size_t>(mpi.rank())] = mpi.ctx().now();
+  });
+  for (int r = 1; r < 8; ++r) EXPECT_EQ(after[static_cast<std::size_t>(r)], after[0]);
+  EXPECT_GE(after[0], 7000);  // at least the slowest arrival
+  EXPECT_GT(after[0], 7000);  // plus a log-P cost
+}
+
+TEST(MpiColl, BarrierCostGrowsWithRanks) {
+  auto cost = [](int n) {
+    Rig rig(n);
+    sim::Time t = 0;
+    rig.run([&](smpi::Mpi& mpi) {
+      mpi.barrier();
+      if (mpi.rank() == 0) t = mpi.ctx().now();
+    });
+    return t;
+  };
+  EXPECT_LT(cost(2), cost(32));
+}
+
+TEST(MpiColl, AllgathervRoundTripsData) {
+  Rig rig(6);
+  rig.run([&](smpi::Mpi& mpi) {
+    // Rank r contributes r+1 bytes, each = r.
+    std::vector<std::byte> mine(static_cast<std::size_t>(mpi.rank() + 1),
+                                static_cast<std::byte>(mpi.rank()));
+    auto all = mpi.allgatherv(mine);
+    ASSERT_EQ(all.size(), 6u);
+    for (int r = 0; r < 6; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)].size(),
+                static_cast<std::size_t>(r + 1));
+      for (std::byte b : all[static_cast<std::size_t>(r)]) {
+        EXPECT_EQ(b, static_cast<std::byte>(r));
+      }
+    }
+  });
+}
+
+TEST(MpiColl, AllgathervEmptyContributionsAllowed) {
+  Rig rig(4);
+  rig.run([&](smpi::Mpi& mpi) {
+    std::vector<std::byte> mine;
+    if (mpi.rank() == 2) mine.assign(8, std::byte{42});
+    auto all = mpi.allgatherv(mine);
+    EXPECT_TRUE(all[0].empty());
+    EXPECT_EQ(all[2].size(), 8u);
+  });
+}
+
+TEST(MpiColl, RepeatedAllgathervGenerationsIsolated) {
+  Rig rig(4);
+  rig.run([&](smpi::Mpi& mpi) {
+    for (int round = 0; round < 10; ++round) {
+      std::vector<std::byte> mine(4, static_cast<std::byte>(mpi.rank() * 16 + round));
+      auto all = mpi.allgatherv(mine);
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(r)][0],
+                  static_cast<std::byte>(r * 16 + round))
+            << "round " << round;
+      }
+    }
+  });
+}
+
+TEST(MpiColl, AllreduceOps) {
+  Rig rig(5);
+  rig.run([&](smpi::Mpi& mpi) {
+    const auto v = static_cast<std::uint64_t>(mpi.rank() + 1);  // 1..5
+    EXPECT_EQ(mpi.allreduce_max(v), 5u);
+    EXPECT_EQ(mpi.allreduce_min(v), 1u);
+    EXPECT_EQ(mpi.allreduce_sum(v), 15u);
+  });
+}
+
+TEST(MpiColl, BcastFromNonzeroRoot) {
+  Rig rig(7);
+  rig.run([&](smpi::Mpi& mpi) {
+    std::vector<std::byte> data(32);
+    if (mpi.rank() == 3) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<std::byte>(i * 3);
+      }
+    }
+    mpi.bcast(data, 3);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      EXPECT_EQ(data[i], static_cast<std::byte>(i * 3));
+    }
+  });
+}
+
+TEST(MpiColl, CollectiveAfterP2PTrafficStillCorrect) {
+  Rig rig(4);
+  rig.run([&](smpi::Mpi& mpi) {
+    std::vector<std::byte> buf(16);
+    if (mpi.rank() == 0) {
+      mpi.send(1, 0, std::vector<std::byte>(16, std::byte{1}));
+    } else if (mpi.rank() == 1) {
+      mpi.recv(0, 0, buf);
+    }
+    const auto sum = mpi.allreduce_sum(1);
+    EXPECT_EQ(sum, 4u);
+  });
+}
+
+TEST(MpiColl, DeterministicCollectiveTimes) {
+  auto once = [] {
+    Rig rig(8);
+    sim::Time t = 0;
+    rig.run([&](smpi::Mpi& mpi) {
+      mpi.ctx().advance(static_cast<sim::Duration>((mpi.rank() * 97) % 31));
+      for (int i = 0; i < 5; ++i) {
+        std::vector<std::byte> mine(static_cast<std::size_t>(mpi.rank()) * 7 + 1);
+        (void)mpi.allgatherv(mine);
+      }
+      mpi.barrier();
+      if (mpi.rank() == 0) t = mpi.ctx().now();
+    });
+    return t;
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(MpiColl, GathervOnlyRootReceives) {
+  Rig rig(5);
+  rig.run([&](smpi::Mpi& mpi) {
+    std::vector<std::byte> mine(static_cast<std::size_t>(mpi.rank() + 1),
+                                static_cast<std::byte>(0x40 + mpi.rank()));
+    auto all = mpi.gatherv(mine, 2);
+    if (mpi.rank() == 2) {
+      for (int r = 0; r < 5; ++r) {
+        ASSERT_EQ(all[static_cast<std::size_t>(r)].size(),
+                  static_cast<std::size_t>(r + 1));
+        EXPECT_EQ(all[static_cast<std::size_t>(r)][0],
+                  static_cast<std::byte>(0x40 + r));
+      }
+    } else {
+      for (const auto& b : all) EXPECT_TRUE(b.empty());
+    }
+  });
+}
+
+TEST(MpiColl, ScattervDistributesPerRankBlobs) {
+  Rig rig(4);
+  rig.run([&](smpi::Mpi& mpi) {
+    std::vector<std::vector<std::byte>> blobs;
+    if (mpi.rank() == 1) {
+      for (int r = 0; r < 4; ++r) {
+        blobs.emplace_back(static_cast<std::size_t>(3 * r + 1),
+                           static_cast<std::byte>(r * 11));
+      }
+    }
+    const auto mine = mpi.scatterv(blobs, 1);
+    ASSERT_EQ(mine.size(), static_cast<std::size_t>(3 * mpi.rank() + 1));
+    for (std::byte b : mine) EXPECT_EQ(b, static_cast<std::byte>(mpi.rank() * 11));
+  });
+}
+
+TEST(MpiColl, ScattervEmptyBlobsAllowed) {
+  Rig rig(3);
+  rig.run([&](smpi::Mpi& mpi) {
+    std::vector<std::vector<std::byte>> blobs;
+    if (mpi.rank() == 0) {
+      blobs.resize(3);
+      blobs[1].assign(5, std::byte{9});
+    }
+    const auto mine = mpi.scatterv(blobs, 0);
+    if (mpi.rank() == 1) {
+      EXPECT_EQ(mine.size(), 5u);
+    } else {
+      EXPECT_TRUE(mine.empty());
+    }
+  });
+}

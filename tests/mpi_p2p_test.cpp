@@ -1,0 +1,378 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "net/fabric.hpp"
+#include "simbase/error.hpp"
+#include "simbase/units.hpp"
+
+namespace smpi = tpio::smpi;
+namespace net = tpio::net;
+namespace sim = tpio::sim;
+
+namespace {
+
+struct Rig {
+  net::Topology topo;
+  net::Fabric fabric;
+  sim::Conductor conductor;
+  smpi::Machine machine;
+
+  Rig(int nodes, int ppn, smpi::MpiParams mp = {},
+      net::FabricParams fp = simple_fabric())
+      : topo{nodes, ppn},
+        fabric(topo, fp),
+        conductor(topo.nprocs()),
+        machine(fabric, mp) {}
+
+  static net::FabricParams simple_fabric() {
+    net::FabricParams p;
+    p.inter_bw = 1e9;  // 1 byte per ns
+    p.intra_bw = 4e9;
+    p.inter_latency = 100;
+    p.intra_latency = 10;
+    return p;
+  }
+
+  void run(const std::function<void(smpi::Mpi&)>& prog) {
+    conductor.run([&](sim::RankCtx& ctx) {
+      smpi::Mpi mpi(machine, ctx);
+      prog(mpi);
+    });
+  }
+};
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 131 + seed) & 0xFF);
+  }
+  return v;
+}
+
+smpi::MpiParams zero_overhead_params() {
+  smpi::MpiParams p;
+  p.send_overhead = 0;
+  p.recv_overhead = 0;
+  p.match_cost = 0;
+  p.collective_hop = 0;
+  return p;
+}
+
+}  // namespace
+
+TEST(MpiP2P, EagerSendRecvDeliversData) {
+  Rig rig(2, 1);
+  rig.run([&](smpi::Mpi& mpi) {
+    const auto data = pattern(1024, 7);
+    if (mpi.rank() == 0) {
+      mpi.send(1, 42, data);
+    } else {
+      std::vector<std::byte> buf(1024);
+      mpi.recv(0, 42, buf);
+      EXPECT_EQ(buf, data);
+    }
+  });
+}
+
+TEST(MpiP2P, EagerSenderDoesNotWaitForReceiver) {
+  Rig rig(2, 1, zero_overhead_params());
+  rig.run([&](smpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      const auto data = pattern(1000, 1);
+      mpi.send(1, 0, data);
+      // Eager: local completion, no handshake with the (late) receiver.
+      EXPECT_LT(mpi.ctx().now(), 100'000);
+    } else {
+      mpi.ctx().advance(1'000'000);  // receiver shows up late
+      std::vector<std::byte> buf(1000);
+      mpi.recv(0, 0, buf);
+      EXPECT_EQ(buf, pattern(1000, 1));
+    }
+  });
+}
+
+TEST(MpiP2P, RendezvousSenderBlocksUntilReceiverMatches) {
+  smpi::MpiParams mp = zero_overhead_params();
+  mp.eager_limit = 1024;
+  Rig rig(2, 1, mp);
+  rig.run([&](smpi::Mpi& mpi) {
+    const std::size_t n = 100'000;  // > eager limit -> rendezvous
+    if (mpi.rank() == 0) {
+      const auto data = pattern(n, 2);
+      mpi.send(1, 0, data);
+      // Receiver posts at t=1ms; sender cannot complete before that.
+      EXPECT_GE(mpi.ctx().now(), sim::milliseconds(1.0));
+    } else {
+      mpi.ctx().advance(sim::milliseconds(1.0));
+      std::vector<std::byte> buf(n);
+      mpi.recv(0, 0, buf);
+      EXPECT_EQ(buf, pattern(n, 2));
+    }
+  });
+}
+
+TEST(MpiP2P, RendezvousPrepostedStillDelivers) {
+  smpi::MpiParams mp = zero_overhead_params();
+  mp.eager_limit = 512;
+  Rig rig(2, 1, mp);
+  rig.run([&](smpi::Mpi& mpi) {
+    const std::size_t n = 64 * 1024;
+    if (mpi.rank() == 1) {
+      std::vector<std::byte> buf(n);
+      smpi::Request r = mpi.irecv(0, 5, buf);  // pre-posted
+      mpi.wait(r);
+      EXPECT_EQ(buf, pattern(n, 3));
+    } else {
+      mpi.ctx().advance(1000);
+      mpi.send(1, 5, pattern(n, 3));
+    }
+  });
+}
+
+TEST(MpiP2P, UnavailableTargetDelaysRendezvousNotEager) {
+  smpi::MpiParams mp = zero_overhead_params();
+  mp.eager_limit = 1024;
+  Rig rig(2, 1, mp);
+  rig.run([&](smpi::Mpi& mpi) {
+    if (mpi.rank() == 1) {
+      std::vector<std::byte> small(100), big(10'000);
+      smpi::Request r1 = mpi.irecv(0, 1, small);
+      smpi::Request r2 = mpi.irecv(0, 2, big);
+      // Simulates a blocking file write until t=1ms.
+      mpi.set_unavailable_until(sim::milliseconds(1.0));
+      mpi.ctx().advance(sim::milliseconds(1.0));
+      mpi.wait(r1);
+      // Eager message landed during the "write" — completion at arrival,
+      // observed now.
+      EXPECT_EQ(mpi.ctx().now(), sim::milliseconds(1.0));
+      mpi.wait(r2);
+      // Rendezvous handshake was deferred to t=1ms, then transferred.
+      EXPECT_GE(mpi.ctx().now(), sim::milliseconds(1.0) + 10'000);
+    } else {
+      // Stagger past the receiver's unavailability declaration so the RTS
+      // genuinely lands mid-"write".
+      mpi.ctx().advance(10);
+      mpi.send(1, 1, pattern(100, 4));
+      mpi.send(1, 2, pattern(10'000, 5));
+    }
+  });
+}
+
+TEST(MpiP2P, ProgressThreadServicesRendezvousImmediately) {
+  smpi::MpiParams mp = zero_overhead_params();
+  mp.eager_limit = 1024;
+  mp.progress_thread = true;
+  Rig rig(2, 1, mp);
+  rig.run([&](smpi::Mpi& mpi) {
+    if (mpi.rank() == 1) {
+      std::vector<std::byte> big(10'000);
+      smpi::Request r = mpi.irecv(0, 2, big);
+      mpi.set_unavailable_until(sim::milliseconds(1.0));
+      mpi.ctx().advance(sim::milliseconds(1.0));
+      mpi.wait(r);
+      // With a progress thread, the transfer finished long before 1ms.
+      EXPECT_EQ(mpi.ctx().now(), sim::milliseconds(1.0));
+    } else {
+      mpi.send(1, 2, pattern(10'000, 5));
+    }
+  });
+}
+
+TEST(MpiP2P, TagSelectsMessage) {
+  Rig rig(2, 1);
+  rig.run([&](smpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.send(1, 10, pattern(64, 1));
+      mpi.send(1, 20, pattern(64, 2));
+    } else {
+      std::vector<std::byte> a(64), b(64);
+      mpi.recv(0, 20, b);  // out of order by tag
+      mpi.recv(0, 10, a);
+      EXPECT_EQ(a, pattern(64, 1));
+      EXPECT_EQ(b, pattern(64, 2));
+    }
+  });
+}
+
+TEST(MpiP2P, FifoOrderPerTag) {
+  Rig rig(2, 1);
+  rig.run([&](smpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      for (unsigned i = 0; i < 8; ++i) mpi.send(1, 0, pattern(32, i));
+    } else {
+      for (unsigned i = 0; i < 8; ++i) {
+        std::vector<std::byte> buf(32);
+        mpi.recv(0, 0, buf);
+        EXPECT_EQ(buf, pattern(32, i)) << "message " << i << " out of order";
+      }
+    }
+  });
+}
+
+TEST(MpiP2P, AnySourceMatches) {
+  Rig rig(3, 1);
+  rig.run([&](smpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      std::vector<std::byte> buf(16);
+      mpi.recv(smpi::kAnySource, 0, buf);
+      mpi.recv(smpi::kAnySource, 0, buf);
+    } else {
+      mpi.send(0, 0, pattern(16, static_cast<unsigned>(mpi.rank())));
+    }
+  });
+}
+
+TEST(MpiP2P, WaitallCompletesEverything) {
+  Rig rig(4, 1);
+  rig.run([&](smpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      std::vector<std::vector<std::byte>> bufs(3, std::vector<std::byte>(256));
+      std::vector<smpi::Request> reqs;
+      for (int s = 1; s < 4; ++s) {
+        reqs.push_back(mpi.irecv(s, 0, bufs[static_cast<std::size_t>(s - 1)]));
+      }
+      mpi.waitall(reqs);
+      for (int s = 1; s < 4; ++s) {
+        EXPECT_EQ(bufs[static_cast<std::size_t>(s - 1)],
+                  pattern(256, static_cast<unsigned>(s)));
+      }
+    } else {
+      mpi.send(0, 0, pattern(256, static_cast<unsigned>(mpi.rank())));
+    }
+  });
+}
+
+TEST(MpiP2P, TestPollsWithoutBlocking) {
+  Rig rig(2, 1, zero_overhead_params());
+  rig.run([&](smpi::Mpi& mpi) {
+    if (mpi.rank() == 1) {
+      std::vector<std::byte> buf(64);
+      smpi::Request r = mpi.irecv(0, 0, buf);
+      EXPECT_FALSE(mpi.test(r));  // sender still sleeping
+      mpi.ctx().advance_to(sim::milliseconds(2.0));
+      EXPECT_TRUE(mpi.test(r));
+      EXPECT_EQ(buf, pattern(64, 9));
+    } else {
+      mpi.ctx().advance(sim::milliseconds(1.0));
+      mpi.send(1, 0, pattern(64, 9));
+    }
+  });
+}
+
+TEST(MpiP2P, MatchCostScalesWithQueueDepth) {
+  // A receive that scans a deep unexpected queue pays match_cost per entry.
+  smpi::MpiParams mp = zero_overhead_params();
+  mp.match_cost = 1000;  // exaggerate
+  Rig rig(2, 1, mp);
+  rig.run([&](smpi::Mpi& mpi) {
+    const int nmsgs = 50;
+    if (mpi.rank() == 0) {
+      for (int i = 0; i < nmsgs; ++i) {
+        mpi.send(1, i, pattern(8, static_cast<unsigned>(i)));
+      }
+    } else {
+      mpi.ctx().advance_to(sim::milliseconds(1.0));
+      std::vector<std::byte> buf(8);
+      const sim::Time before = mpi.ctx().now();
+      // Match the LAST message: scans all 50 entries.
+      mpi.recv(0, nmsgs - 1, buf);
+      EXPECT_GE(mpi.ctx().now() - before, 50 * 1000);
+    }
+  });
+}
+
+TEST(MpiP2P, IncastSerializesOnAggregatorNic) {
+  // 8 single-rank nodes send 1 MB each to rank 0: arrivals serialized at
+  // rank 0's receive channel -> total >= 8 MB / bw.
+  smpi::MpiParams mp = zero_overhead_params();
+  mp.eager_limit = 16 * sim::MiB;  // keep it eager to isolate the NIC effect
+  Rig rig(9, 1, mp);
+  rig.run([&](smpi::Mpi& mpi) {
+    const std::size_t n = 1 << 20;
+    if (mpi.rank() == 0) {
+      std::vector<std::vector<std::byte>> bufs(8, std::vector<std::byte>(n));
+      std::vector<smpi::Request> reqs;
+      for (int s = 1; s <= 8; ++s) {
+        reqs.push_back(mpi.irecv(s, 0, bufs[static_cast<std::size_t>(s - 1)]));
+      }
+      mpi.waitall(reqs);
+      // 8 MiB at 1 byte/ns ~ 8.39 ms serialized.
+      EXPECT_GE(mpi.ctx().now(), 8 * 1'048'576);
+      EXPECT_LE(mpi.ctx().now(), 8 * 1'048'576 + 100'000);
+    } else {
+      mpi.send(0, 0, pattern(n, static_cast<unsigned>(mpi.rank())));
+    }
+  });
+}
+
+TEST(MpiP2P, SelfSendOnNodeUsesMemoryChannel) {
+  Rig rig(1, 2, zero_overhead_params());
+  rig.run([&](smpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.send(1, 0, pattern(4000, 3));
+    } else {
+      std::vector<std::byte> buf(4000);
+      mpi.recv(0, 0, buf);
+      // 4000 B at 4 B/ns + 10 ns latency.
+      EXPECT_EQ(mpi.ctx().now(), 1010);
+    }
+  });
+}
+
+TEST(MpiP2P, BufferTooSmallThrows) {
+  Rig rig(2, 1);
+  EXPECT_THROW(rig.run([&](smpi::Mpi& mpi) {
+                 if (mpi.rank() == 0) {
+                   mpi.send(1, 0, pattern(128, 0));
+                 } else {
+                   std::vector<std::byte> buf(64);
+                   mpi.recv(0, 0, buf);
+                 }
+               }),
+               tpio::Error);
+}
+
+TEST(MpiP2P, MismatchedTagDeadlocks) {
+  Rig rig(2, 1);
+  EXPECT_THROW(rig.run([&](smpi::Mpi& mpi) {
+                 if (mpi.rank() == 0) {
+                   mpi.send(1, 1, pattern(8, 0));
+                   std::vector<std::byte> b(8);
+                   mpi.recv(1, 1, b);
+                 } else {
+                   std::vector<std::byte> b(8);
+                   mpi.recv(0, 99, b);  // tag never sent
+                 }
+               }),
+               tpio::Error);
+}
+
+TEST(MpiP2P, DeterministicTimesAcrossRuns) {
+  auto once = [] {
+    Rig rig(4, 2);
+    std::vector<sim::Time> finish(8);
+    rig.run([&](smpi::Mpi& mpi) {
+      // All-to-one with mixed sizes.
+      if (mpi.rank() == 0) {
+        std::vector<std::vector<std::byte>> bufs;
+        std::vector<smpi::Request> reqs;
+        for (int s = 1; s < 8; ++s) {
+          bufs.emplace_back(static_cast<std::size_t>(s) * 10'000);
+          reqs.push_back(mpi.irecv(s, 0, bufs.back()));
+        }
+        mpi.waitall(reqs);
+      } else {
+        mpi.send(0, 0,
+                 pattern(static_cast<std::size_t>(mpi.rank()) * 10'000,
+                         static_cast<unsigned>(mpi.rank())));
+      }
+      finish[static_cast<std::size_t>(mpi.rank())] = mpi.ctx().now();
+    });
+    return finish;
+  };
+  EXPECT_EQ(once(), once());
+}

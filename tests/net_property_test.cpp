@@ -1,0 +1,102 @@
+// Property tests of the fabric model: conservation and monotonicity
+// invariants that must hold for any traffic pattern.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "simbase/rng.hpp"
+
+namespace net = tpio::net;
+namespace sim = tpio::sim;
+
+namespace {
+
+net::FabricParams flat() {
+  net::FabricParams p;
+  p.inter_bw = 1e9;
+  p.intra_bw = 4e9;
+  p.inter_latency = 100;
+  p.intra_latency = 10;
+  return p;
+}
+
+class NetFuzz : public testing::TestWithParam<std::uint64_t> {};
+
+}  // namespace
+
+TEST_P(NetFuzz, ArrivalNeverBeforePhysicalMinimum) {
+  // arrival >= depart + latency + serialization, whatever the contention.
+  net::Topology topo{6, 2};
+  net::Fabric f(topo, flat());
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const int src = static_cast<int>(rng.next_below(12));
+    const int dst = static_cast<int>(rng.next_below(12));
+    if (src == dst) continue;
+    const std::uint64_t bytes = rng.next_below(1 << 20);
+    const auto depart = static_cast<sim::Time>(rng.next_below(1'000'000));
+    const sim::Time arr = f.transfer(src, dst, bytes, depart);
+    const bool same = topo.same_node(src, dst);
+    const sim::Duration lat = same ? 10 : 100;
+    const double bw = same ? 4e9 : 1e9;
+    EXPECT_GE(arr, depart + lat + sim::transfer_time(bytes, bw))
+        << "src=" << src << " dst=" << dst << " bytes=" << bytes;
+  }
+}
+
+TEST_P(NetFuzz, ChannelThroughputNeverExceedsBandwidth) {
+  // Pushing N bytes through one receiver cannot finish faster than N/bw.
+  net::Topology topo{9, 1};
+  net::Fabric f(topo, flat());
+  sim::Rng rng(GetParam() ^ 0xBEEF);
+  std::uint64_t total = 0;
+  sim::Time last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const int src = 1 + static_cast<int>(rng.next_below(8));
+    const std::uint64_t bytes = 1 + rng.next_below(1 << 18);
+    total += bytes;
+    last = std::max(last, f.transfer(src, 0, bytes, 0));
+  }
+  EXPECT_GE(last, sim::transfer_time(total, 1e9));
+}
+
+TEST_P(NetFuzz, InterNodeByteAccountingExact) {
+  net::Topology topo{4, 2};
+  net::Fabric f(topo, flat());
+  sim::Rng rng(GetParam() ^ 0xCAFE);
+  std::uint64_t expect = 0;
+  for (int i = 0; i < 100; ++i) {
+    const int src = static_cast<int>(rng.next_below(8));
+    const int dst = static_cast<int>(rng.next_below(8));
+    const std::uint64_t bytes = rng.next_below(10'000);
+    f.transfer(src, dst, bytes, 0);
+    if (!topo.same_node(src, dst)) expect += bytes;
+  }
+  EXPECT_EQ(f.inter_node_bytes(), expect);
+}
+
+TEST_P(NetFuzz, ControlLaneIndependentOfBulkBacklog) {
+  net::Topology topo{2, 1};
+  net::Fabric f(topo, flat());
+  // Saturate the data channels...
+  for (int i = 0; i < 20; ++i) f.transfer(0, 1, 1 << 20, 0);
+  // ...control messages still arrive at pure latency.
+  EXPECT_EQ(f.transfer_control(0, 1, 12345), 12345 + 100);
+  EXPECT_EQ(f.transfer_control(1, 1, 777), 777 + 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetFuzz, testing::Values(7u, 13u, 99u));
+
+TEST(NetProperty, LaterDepartNeverEarlierArrival) {
+  // Monotonicity: on a fresh fabric pair, delaying departure cannot make
+  // the message arrive earlier.
+  for (sim::Time d1 : {0, 500, 5000}) {
+    net::Topology topo{2, 1};
+    net::Fabric f1(topo, flat()), f2(topo, flat());
+    const sim::Time a1 = f1.transfer(0, 1, 4096, d1);
+    const sim::Time a2 = f2.transfer(0, 1, 4096, d1 + 1000);
+    EXPECT_GE(a2, a1);
+  }
+}

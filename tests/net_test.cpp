@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "simbase/error.hpp"
+
+namespace net = tpio::net;
+namespace sim = tpio::sim;
+
+TEST(Topology, BlockMapping) {
+  net::Topology t{4, 8};
+  EXPECT_EQ(t.nprocs(), 32);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(7), 0);
+  EXPECT_EQ(t.node_of(8), 1);
+  EXPECT_EQ(t.node_of(31), 3);
+  EXPECT_TRUE(t.same_node(0, 7));
+  EXPECT_FALSE(t.same_node(7, 8));
+}
+
+TEST(Topology, RankOutOfRangeThrows) {
+  net::Topology t{2, 4};
+  EXPECT_THROW(t.node_of(8), tpio::Error);
+  EXPECT_THROW(t.node_of(-1), tpio::Error);
+}
+
+TEST(Topology, FitRoundsUp) {
+  auto t = net::Topology::fit(33, 8);
+  EXPECT_EQ(t.nodes, 5);
+  EXPECT_EQ(t.procs_per_node, 8);
+  auto exact = net::Topology::fit(32, 8);
+  EXPECT_EQ(exact.nodes, 4);
+}
+
+namespace {
+
+net::FabricParams flat_params() {
+  net::FabricParams p;
+  p.inter_bw = 1e9;   // 1 byte/ns
+  p.intra_bw = 4e9;   // 4 bytes/ns
+  p.inter_latency = 100;
+  p.intra_latency = 10;
+  p.noise_sigma = 0.0;
+  return p;
+}
+
+}  // namespace
+
+TEST(Fabric, SingleInterNodeMessage) {
+  net::Topology topo{2, 1};
+  net::Fabric f(topo, flat_params());
+  // 1000 bytes at 1 byte/ns + 100ns latency, departing at t=0.
+  const sim::Time arr = f.transfer(0, 1, 1000, 0);
+  EXPECT_EQ(arr, 100 + 1000);
+  EXPECT_EQ(f.inter_node_bytes(), 1000u);
+}
+
+TEST(Fabric, IntraNodeUsesMemoryChannel) {
+  net::Topology topo{1, 2};
+  net::Fabric f(topo, flat_params());
+  // 1000 bytes at 4 bytes/ns = 250ns + 10ns latency.
+  const sim::Time arr = f.transfer(0, 1, 1000, 0);
+  EXPECT_EQ(arr, 10 + 250);
+  EXPECT_EQ(f.inter_node_bytes(), 0u);
+}
+
+TEST(Fabric, IncastSerializesAtReceiverNic) {
+  net::Topology topo{3, 1};
+  net::Fabric f(topo, flat_params());
+  // Two senders to the same node, both depart at 0. Second is delayed by
+  // the receive channel.
+  const sim::Time a = f.transfer(0, 2, 1000, 0);
+  const sim::Time b = f.transfer(1, 2, 1000, 0);
+  EXPECT_EQ(a, 1100);
+  EXPECT_EQ(b, 2100);  // queued behind the first at the rx channel
+}
+
+TEST(Fabric, OutcastSerializesAtSenderNic) {
+  net::Topology topo{3, 1};
+  net::Fabric f(topo, flat_params());
+  const sim::Time a = f.transfer(0, 1, 1000, 0);
+  const sim::Time b = f.transfer(0, 2, 1000, 0);
+  EXPECT_EQ(a, 1100);
+  EXPECT_EQ(b, 2100);  // tx channel busy until 2000
+}
+
+TEST(Fabric, DisjointPairsDoNotContend) {
+  net::Topology topo{4, 1};
+  net::Fabric f(topo, flat_params());
+  const sim::Time a = f.transfer(0, 1, 1000, 0);
+  const sim::Time b = f.transfer(2, 3, 1000, 0);
+  EXPECT_EQ(a, 1100);
+  EXPECT_EQ(b, 1100);
+}
+
+TEST(Fabric, LaterDepartureRespected) {
+  net::Topology topo{2, 1};
+  net::Fabric f(topo, flat_params());
+  const sim::Time arr = f.transfer(0, 1, 500, 5000);
+  EXPECT_EQ(arr, 5000 + 100 + 500);
+}
+
+TEST(Fabric, ZeroByteMessageIsLatencyOnly) {
+  net::Topology topo{2, 1};
+  net::Fabric f(topo, flat_params());
+  EXPECT_EQ(f.transfer(0, 1, 0, 0), 100);
+}
+
+TEST(Fabric, WireTime) {
+  net::Topology topo{2, 1};
+  net::Fabric f(topo, flat_params());
+  EXPECT_EQ(f.wire_time(4096), 4096);
+}
+
+TEST(Fabric, ReserveTxOccupiesTransmit) {
+  net::Topology topo{2, 1};
+  net::Fabric f(topo, flat_params());
+  EXPECT_EQ(f.reserve_tx(0, 1000, 0), 1000);
+  // An MPI message from the same node now queues behind the storage push.
+  EXPECT_EQ(f.transfer(0, 1, 1000, 0), 100 + 2000);
+}
+
+TEST(Fabric, NoiseChangesTimesDeterministically) {
+  net::Topology topo{2, 1};
+  auto p = flat_params();
+  p.noise_sigma = 0.1;
+  p.noise_seed = 42;
+
+  net::Fabric f1(topo, p), f2(topo, p);
+  const sim::Time a1 = f1.transfer(0, 1, 100000, 0);
+  const sim::Time a2 = f2.transfer(0, 1, 100000, 0);
+  EXPECT_EQ(a1, a2);  // same seed -> identical
+
+  p.noise_seed = 43;
+  net::Fabric f3(topo, p);
+  EXPECT_NE(f3.transfer(0, 1, 100000, 0), a1);  // different seed -> differs
+}
+
+TEST(Fabric, ManyMessagesAggregateBandwidth) {
+  // 10 senders, one receiver: total time ~ n * size / bw at the rx channel.
+  net::Topology topo{11, 1};
+  net::Fabric f(topo, flat_params());
+  sim::Time last = 0;
+  for (int s = 0; s < 10; ++s) {
+    last = std::max(last, f.transfer(s, 10, 10'000, 0));
+  }
+  EXPECT_GE(last, 100'000);          // serialized on rx
+  EXPECT_LE(last, 100'000 + 2000);   // but only endpoint-limited
+}

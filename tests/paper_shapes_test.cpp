@@ -1,0 +1,131 @@
+// Regression locks on the paper's headline shapes at test scale. These are
+// the properties the benchmark suite reproduces at full sweep scale; the
+// tests pin them at small, fast, noise-free configurations so a model or
+// calibration change that silently breaks a headline result fails CI.
+
+#include <gtest/gtest.h>
+
+#include "harness/sweep.hpp"
+#include "simbase/units.hpp"
+
+namespace xp = tpio::xp;
+namespace wl = tpio::wl;
+namespace coll = tpio::coll;
+namespace sim = tpio::sim;
+
+namespace {
+
+xp::Platform quiet(xp::Platform p) {
+  p = xp::scaled(p);
+  p.fabric.noise_sigma = 0;
+  p.pfs.noise_sigma = 0;
+  p.pfs.aio_penalty_sigma = 0;
+  return p;
+}
+
+double run_ms(const xp::Platform& plat, const wl::Spec& w, int procs,
+              coll::OverlapMode mode,
+              coll::Transfer transfer = coll::Transfer::TwoSided) {
+  xp::RunSpec spec;
+  spec.platform = plat;
+  spec.workload = w;
+  spec.nprocs = procs;
+  spec.options.cb_size = xp::kCbSize;
+  spec.options.overlap = mode;
+  spec.options.transfer = transfer;
+  spec.seed = 5;
+  return sim::to_millis(xp::execute(spec).makespan);
+}
+
+}  // namespace
+
+TEST(PaperShapes, IbexMuchFasterThanCrill) {
+  // Ibex's storage system outperforms crill's HDD-backed BeeGFS (sec. IV).
+  const auto w = wl::make_tile1m(1, 2);
+  EXPECT_GT(run_ms(quiet(xp::crill()), w, 36, coll::OverlapMode::None),
+            2 * run_ms(quiet(xp::ibex()), w, 36, coll::OverlapMode::None));
+}
+
+TEST(PaperShapes, OverlapGainLargerOnIbexThanCrill) {
+  // Fig. 1: the overlap benefit tracks the communication share, which is
+  // much larger on ibex.
+  const auto w = wl::make_tile1m(1, 2);
+  auto gain = [&](const xp::Platform& p) {
+    const double none = run_ms(p, w, 36, coll::OverlapMode::None);
+    const double wc2 = run_ms(p, w, 36, coll::OverlapMode::WriteComm2);
+    return (none - wc2) / none;
+  };
+  const double crill = gain(quiet(xp::crill()));
+  const double ibex = gain(quiet(xp::ibex()));
+  EXPECT_GT(ibex, crill);
+  EXPECT_GT(ibex, 0.05);   // double-digit-ish on ibex
+  EXPECT_LT(crill, 0.10);  // single-digit on crill
+}
+
+TEST(PaperShapes, AsyncWriteOverlapBeatsCommOverlapOnIbex) {
+  // The central conclusion: algorithms with asynchronous I/O outperform
+  // overlap that relies on non-blocking communication only.
+  const auto w = wl::make_tile1m(1, 2);
+  const auto p = quiet(xp::ibex());
+  EXPECT_LT(run_ms(p, w, 36, coll::OverlapMode::Write),
+            run_ms(p, w, 36, coll::OverlapMode::Comm));
+  EXPECT_LT(run_ms(p, w, 36, coll::OverlapMode::WriteComm2),
+            run_ms(p, w, 36, coll::OverlapMode::Comm));
+}
+
+TEST(PaperShapes, TwoSidedBeatsOneSidedOnContiguousWorkloads) {
+  // Fig. 4 main trend: synchronization costs of RMA epochs outweigh the
+  // matching-free puts for IOR-like patterns.
+  const auto w = wl::make_ior(1ull << 20);
+  const auto p = quiet(xp::ibex());
+  const double ts = run_ms(p, w, 36, coll::OverlapMode::WriteComm2,
+                           coll::Transfer::TwoSided);
+  EXPECT_LT(ts, run_ms(p, w, 36, coll::OverlapMode::WriteComm2,
+                       coll::Transfer::OneSidedFence));
+  EXPECT_LT(ts, run_ms(p, w, 36, coll::OverlapMode::WriteComm2,
+                       coll::Transfer::OneSidedLock));
+}
+
+TEST(PaperShapes, OneSidedWinsTile256) {
+  // Fig. 4 exception: element-granular discontiguity makes the aggregator's
+  // two-sided unpack the bottleneck; origin-side RMA placement removes it.
+  const auto w = wl::make_tile256(2, 1024);
+  const auto p = quiet(xp::ibex());
+  const double ts = run_ms(p, w, 36, coll::OverlapMode::WriteComm2,
+                           coll::Transfer::TwoSided);
+  const double fence = run_ms(p, w, 36, coll::OverlapMode::WriteComm2,
+                              coll::Transfer::OneSidedFence);
+  EXPECT_LT(fence, ts);
+  EXPECT_GT((ts - fence) / ts, 0.10);  // a decisive win, not noise
+}
+
+TEST(PaperShapes, LustreLikeAioInvertsAsyncAdvantage) {
+  // Section V: pathological aio makes blocking-write algorithms win.
+  auto p = quiet(xp::ibex());
+  p.pfs.aio_penalty = 2.5;
+  const auto w = wl::make_tile1m(1, 2);
+  EXPECT_LT(run_ms(p, w, 36, coll::OverlapMode::Comm),
+            run_ms(p, w, 36, coll::OverlapMode::Write));
+}
+
+TEST(PaperShapes, CrillIsIoDominatedIbexLess) {
+  // Section IV-A breakdown: crill's communication share is far below
+  // ibex's.
+  auto share = [&](const xp::Platform& p) {
+    xp::RunSpec spec;
+    spec.platform = p;
+    spec.workload = wl::make_tile1m(1, 2);
+    spec.nprocs = 36;
+    spec.options.cb_size = xp::kCbSize;
+    spec.options.overlap = coll::OverlapMode::None;
+    spec.seed = 5;
+    const auto r = xp::execute(spec);
+    const double comm = static_cast<double>(r.agg_max.shuffle + r.agg_max.pack);
+    return comm / (comm + static_cast<double>(r.agg_max.write));
+  };
+  const double crill = share(quiet(xp::crill()));
+  const double ibex = share(quiet(xp::ibex()));
+  EXPECT_LT(crill, 0.10);  // paper: ~7%
+  EXPECT_GT(ibex, crill);
+  EXPECT_GT(ibex, 0.08);   // paper: ~23%
+}

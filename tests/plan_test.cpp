@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "core/plan.hpp"
+#include "simbase/error.hpp"
+
+namespace coll = tpio::coll;
+namespace net = tpio::net;
+namespace sim = tpio::sim;
+
+namespace {
+
+coll::Options opts(std::uint64_t cb, coll::OverlapMode m = coll::OverlapMode::None) {
+  coll::Options o;
+  o.cb_size = cb;
+  o.overlap = m;
+  o.stripe_align = false;
+  return o;
+}
+
+/// 1-D block decomposition: rank r owns [r*n, (r+1)*n).
+std::vector<coll::FileView> block_views(int P, std::uint64_t n) {
+  std::vector<coll::FileView> v(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    v[static_cast<std::size_t>(r)].extents.push_back(
+        coll::Extent{static_cast<std::uint64_t>(r) * n, n});
+  }
+  return v;
+}
+
+}  // namespace
+
+TEST(FileView, ValidateRejectsOverlapsAndEmpties) {
+  coll::FileView ok;
+  ok.extents = {{0, 10}, {10, 5}, {100, 1}};
+  EXPECT_NO_THROW(ok.validate());
+
+  coll::FileView empty_extent;
+  empty_extent.extents = {{0, 0}};
+  EXPECT_THROW(empty_extent.validate(), tpio::Error);
+
+  coll::FileView overlapping;
+  overlapping.extents = {{0, 10}, {5, 10}};
+  EXPECT_THROW(overlapping.validate(), tpio::Error);
+
+  coll::FileView unsorted;
+  unsorted.extents = {{100, 10}, {0, 10}};
+  EXPECT_THROW(unsorted.validate(), tpio::Error);
+}
+
+TEST(FileView, SerializeRoundTrip) {
+  coll::FileView v;
+  v.extents = {{7, 13}, {1000, 1}, {4096, 4096}};
+  const auto blob = v.serialize();
+  const auto w = coll::FileView::deserialize(blob);
+  EXPECT_EQ(v.extents, w.extents);
+  EXPECT_TRUE(coll::FileView::deserialize({}).extents.empty());
+}
+
+TEST(AutoAggregators, VolumeCappedByNodes) {
+  net::Topology topo{16, 48};
+  // Tiny job: one buffer's worth -> 1 aggregator.
+  EXPECT_EQ(coll::auto_aggregator_count(1, 32 << 20, topo), 1);
+  EXPECT_EQ(coll::auto_aggregator_count(32 << 20, 32 << 20, topo), 1);
+  // Two buffers -> 2.
+  EXPECT_EQ(coll::auto_aggregator_count((32 << 20) + 1, 32 << 20, topo), 2);
+  // Huge volume -> capped at node count.
+  EXPECT_EQ(coll::auto_aggregator_count(1ull << 40, 32 << 20, topo), 16);
+}
+
+TEST(AutoAggregators, CappedByProcs) {
+  net::Topology topo{4, 1};
+  EXPECT_EQ(coll::auto_aggregator_count(1ull << 40, 1 << 20, topo), 4);
+}
+
+TEST(Plan, DomainsPartitionRangeExactly) {
+  net::Topology topo{4, 2};
+  auto views = block_views(8, 1000);
+  coll::Plan plan(views, topo, 0, opts(2000));
+  const int A = plan.num_aggregators();
+  ASSERT_GE(A, 1);
+  std::uint64_t covered = 0;
+  std::uint64_t prev_end = plan.range_begin();
+  for (int a = 0; a < A; ++a) {
+    auto d = plan.domain(a);
+    EXPECT_EQ(d.begin, prev_end);
+    prev_end = d.end;
+    covered += d.size();
+  }
+  EXPECT_EQ(prev_end, plan.range_end());
+  EXPECT_EQ(covered, 8000u);
+  EXPECT_EQ(plan.global_bytes(), 8000u);
+}
+
+TEST(Plan, AggregatorsSpreadAcrossNodes) {
+  net::Topology topo{4, 2};
+  auto views = block_views(8, 1 << 20);
+  coll::Options o = opts(1 << 20);
+  o.num_aggregators = 4;
+  coll::Plan plan(views, topo, 0, o);
+  ASSERT_EQ(plan.num_aggregators(), 4);
+  // One per node: ranks 0, 2, 4, 6.
+  EXPECT_EQ(plan.agg_rank(0), 0);
+  EXPECT_EQ(plan.agg_rank(1), 2);
+  EXPECT_EQ(plan.agg_rank(2), 4);
+  EXPECT_EQ(plan.agg_rank(3), 6);
+  EXPECT_TRUE(plan.is_aggregator(2));
+  EXPECT_FALSE(plan.is_aggregator(1));
+  EXPECT_EQ(plan.agg_index(4), 2);
+  EXPECT_EQ(plan.agg_index(5), -1);
+}
+
+TEST(Plan, MoreAggregatorsThanNodesWrapWithinNodes) {
+  net::Topology topo{2, 4};
+  auto views = block_views(8, 100);
+  coll::Options o = opts(100);
+  o.num_aggregators = 4;
+  coll::Plan plan(views, topo, 0, o);
+  // Nodes 0,1 then second pass: ranks 0, 4, 1, 5.
+  EXPECT_EQ(plan.agg_rank(0), 0);
+  EXPECT_EQ(plan.agg_rank(1), 4);
+  EXPECT_EQ(plan.agg_rank(2), 1);
+  EXPECT_EQ(plan.agg_rank(3), 5);
+}
+
+TEST(Plan, CycleCountFromLargestDomain) {
+  net::Topology topo{2, 1};
+  auto views = block_views(2, 1000);  // 2000 bytes, 2 aggregators
+  coll::Options o = opts(300);        // sub-buffer 300 (no overlap)
+  o.num_aggregators = 2;
+  coll::Plan plan(views, topo, 0, o);
+  // Domain of 1000 bytes each; ceil(1000/300) = 4 cycles.
+  EXPECT_EQ(plan.num_cycles(), 4);
+  EXPECT_EQ(plan.sub_buffer_bytes(), 300u);
+}
+
+TEST(Plan, OverlapHalvesSubBuffer) {
+  net::Topology topo{2, 1};
+  auto views = block_views(2, 1000);
+  coll::Options o = opts(300, coll::OverlapMode::WriteComm2);
+  o.num_aggregators = 2;
+  coll::Plan plan(views, topo, 0, o);
+  EXPECT_EQ(plan.sub_buffer_bytes(), 150u);
+  EXPECT_EQ(plan.num_cycles(), 7);  // ceil(1000/150)
+}
+
+TEST(Plan, CycleRangesTileTheDomain) {
+  net::Topology topo{1, 4};
+  auto views = block_views(4, 777);
+  coll::Options o = opts(100);
+  o.num_aggregators = 2;
+  coll::Plan plan(views, topo, 0, o);
+  for (int a = 0; a < plan.num_aggregators(); ++a) {
+    const auto d = plan.domain(a);
+    std::uint64_t pos = d.begin;
+    for (int c = 0; c < plan.num_cycles(); ++c) {
+      const auto r = plan.cycle_range(a, c);
+      EXPECT_EQ(r.begin, std::min(pos, d.end));
+      pos = r.end;
+    }
+    EXPECT_EQ(pos, d.end);
+  }
+}
+
+TEST(Plan, StripeAlignmentRoundsDomains) {
+  net::Topology topo{2, 1};
+  auto views = block_views(2, 1500);  // range 3000
+  coll::Options o = opts(8192);
+  o.num_aggregators = 2;
+  o.stripe_align = true;
+  coll::Plan plan(views, topo, 1024, o);
+  // Unaligned split would be 1500/1500; aligned: 2048 then the rest.
+  EXPECT_EQ(plan.domain(0).begin, 0u);
+  EXPECT_EQ(plan.domain(0).end, 2048u);
+  EXPECT_EQ(plan.domain(1).begin, 2048u);
+  EXPECT_EQ(plan.domain(1).end, 3000u);
+}
+
+TEST(Plan, SegmentsRespectLocalOffsets) {
+  // Rank with two extents: [100,150) and [300,400); local buffer holds
+  // 50 + 100 bytes contiguously.
+  net::Topology topo{1, 1};
+  std::vector<coll::FileView> views(1);
+  views[0].extents = {{100, 50}, {300, 100}};
+  coll::Plan plan(views, topo, 0, opts(1 << 20));
+
+  // Window covering the tail of extent 0 and head of extent 1.
+  auto segs = plan.segments_in(0, 120, 350);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].file_offset, 120u);
+  EXPECT_EQ(segs[0].local_offset, 20u);
+  EXPECT_EQ(segs[0].length, 30u);
+  EXPECT_EQ(segs[1].file_offset, 300u);
+  EXPECT_EQ(segs[1].local_offset, 50u);
+  EXPECT_EQ(segs[1].length, 50u);
+
+  EXPECT_EQ(plan.bytes_in(0, 120, 350), 80u);
+  EXPECT_EQ(plan.bytes_in(0, 0, 100), 0u);
+  EXPECT_EQ(plan.bytes_in(0, 0, 1000), 150u);
+  EXPECT_TRUE(plan.segments_in(0, 150, 300).empty());
+}
+
+TEST(Plan, EmptyJob) {
+  net::Topology topo{2, 2};
+  std::vector<coll::FileView> views(4);
+  coll::Plan plan(views, topo, 0, opts(1 << 20));
+  EXPECT_EQ(plan.global_bytes(), 0u);
+  EXPECT_EQ(plan.num_cycles(), 0);
+}
+
+TEST(Plan, ViewsWithHolesStillPartition) {
+  // Ranks write disjoint extents with large gaps; domains span the holes.
+  net::Topology topo{2, 1};
+  std::vector<coll::FileView> views(2);
+  views[0].extents = {{0, 100}};
+  views[1].extents = {{1'000'000, 100}};
+  coll::Options o = opts(512);
+  o.num_aggregators = 2;
+  coll::Plan plan(views, topo, 0, o);
+  EXPECT_EQ(plan.range_begin(), 0u);
+  EXPECT_EQ(plan.range_end(), 1'000'100u);
+  EXPECT_EQ(plan.global_bytes(), 200u);
+  // Cycle count is driven by the (mostly empty) domain size.
+  EXPECT_GT(plan.num_cycles(), 900);
+}

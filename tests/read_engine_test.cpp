@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/read_engine.hpp"
+#include "simbase/error.hpp"
+#include "test_rig.hpp"
+
+namespace coll = tpio::coll;
+namespace pfs = tpio::pfs;
+namespace sim = tpio::sim;
+using tpio::test::Cluster;
+using tpio::test::ClusterSpec;
+using tpio::test::file_byte;
+using tpio::test::fill_view;
+
+namespace {
+
+coll::FileView block_view(int rank, std::uint64_t n) {
+  coll::FileView v;
+  v.extents.push_back(coll::Extent{static_cast<std::uint64_t>(rank) * n, n});
+  return v;
+}
+
+coll::FileView strided_view(int rank, int P, std::uint64_t piece, int rows) {
+  coll::FileView v;
+  for (int r = 0; r < rows; ++r) {
+    v.extents.push_back(coll::Extent{
+        (static_cast<std::uint64_t>(r) * static_cast<std::uint64_t>(P) +
+         static_cast<std::uint64_t>(rank)) *
+            piece,
+        piece});
+  }
+  return v;
+}
+
+/// Pre-populate a file with file_byte() content via a collective write,
+/// then collectively read it back with the given options and check every
+/// rank got exactly its view's bytes.
+void write_then_read(
+    Cluster& cluster, const coll::Options& read_opt,
+    const std::function<coll::FileView(int rank, int P)>& make_view) {
+  auto file = cluster.storage().create("rt", pfs::Integrity::Store);
+  cluster.run([&](tpio::smpi::Mpi& mpi) {
+    const coll::FileView view = make_view(mpi.rank(), mpi.size());
+    const auto data = fill_view(view);
+    coll::Options wopt;
+    wopt.cb_size = read_opt.cb_size;
+    coll::collective_write(mpi, *file, view, data, wopt);
+    mpi.barrier();
+
+    std::vector<std::byte> out(view.total_bytes(), std::byte{0xEE});
+    coll::collective_read(mpi, *file, view, out, read_opt);
+    ASSERT_EQ(out, data) << "rank " << mpi.rank() << " read wrong bytes";
+  });
+}
+
+class CollectiveRead : public testing::TestWithParam<coll::OverlapMode> {};
+
+coll::Options read_options(coll::OverlapMode m, std::uint64_t cb = 16384) {
+  coll::Options o;
+  o.cb_size = cb;
+  o.overlap = m;
+  return o;
+}
+
+}  // namespace
+
+TEST_P(CollectiveRead, BlockViewRoundTrips) {
+  Cluster cluster;
+  write_then_read(cluster, read_options(GetParam()),
+                  [](int r, int) { return block_view(r, 20'000); });
+}
+
+TEST_P(CollectiveRead, StridedViewRoundTrips) {
+  Cluster cluster;
+  write_then_read(cluster, read_options(GetParam()),
+                  [](int r, int P) { return strided_view(r, P, 512, 24); });
+}
+
+TEST_P(CollectiveRead, TinyPiecesRoundTrip) {
+  Cluster cluster;
+  write_then_read(cluster, read_options(GetParam(), 4096),
+                  [](int r, int P) { return strided_view(r, P, 64, 30); });
+}
+
+TEST_P(CollectiveRead, SomeRanksReadNothing) {
+  Cluster cluster;
+  write_then_read(cluster, read_options(GetParam()), [](int r, int) {
+    coll::FileView v;
+    if (r % 2 == 0) {
+      v.extents.push_back(
+          coll::Extent{static_cast<std::uint64_t>(r / 2) * 9000, 9000});
+    }
+    return v;
+  });
+}
+
+TEST_P(CollectiveRead, SingleCycle) {
+  Cluster cluster;
+  write_then_read(cluster, read_options(GetParam(), 1 << 20),
+                  [](int r, int) { return block_view(r, 700); });
+}
+
+TEST_P(CollectiveRead, DeterministicMakespan) {
+  auto once = [&] {
+    Cluster cluster;
+    auto file = cluster.storage().create("rt", pfs::Integrity::Store);
+    cluster.run([&](tpio::smpi::Mpi& mpi) {
+      const auto view = strided_view(mpi.rank(), mpi.size(), 768, 10);
+      const auto data = fill_view(view);
+      coll::Options wopt;
+      wopt.cb_size = 16384;
+      coll::collective_write(mpi, *file, view, data, wopt);
+      std::vector<std::byte> out(view.total_bytes());
+      coll::collective_read(mpi, *file, view, out,
+                            read_options(GetParam()));
+    });
+    return cluster.conductor().makespan();
+  };
+  EXPECT_EQ(once(), once());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, CollectiveRead,
+    testing::Values(coll::OverlapMode::None, coll::OverlapMode::Comm,
+                    coll::OverlapMode::Write, coll::OverlapMode::WriteComm,
+                    coll::OverlapMode::WriteComm2),
+    [](const testing::TestParamInfo<coll::OverlapMode>& info) {
+      std::string s = coll::to_string(info.param);
+      for (char& c : s) {
+        if (c == '-') c = '_';
+      }
+      return s;
+    });
+
+TEST(CollectiveReadMisc, OneSidedScatterRejected) {
+  Cluster cluster;
+  auto file = cluster.storage().create("rt", pfs::Integrity::Store);
+  EXPECT_THROW(cluster.run([&](tpio::smpi::Mpi& mpi) {
+                 coll::FileView v = block_view(mpi.rank(), 512);
+                 std::vector<std::byte> out(512);
+                 coll::Options o;
+                 o.transfer = coll::Transfer::OneSidedFence;
+                 coll::collective_read(mpi, *file, v, out, o);
+               }),
+               tpio::Error);
+}
+
+TEST(CollectiveReadMisc, UnwrittenRegionsReadZero) {
+  Cluster cluster;
+  auto file = cluster.storage().create("rt", pfs::Integrity::Store);
+  cluster.run([&](tpio::smpi::Mpi& mpi) {
+    coll::FileView v = block_view(mpi.rank(), 1000);
+    std::vector<std::byte> out(1000, std::byte{0xAB});
+    coll::Options o;
+    o.cb_size = 4096;
+    coll::collective_read(mpi, *file, v, out, o);
+    for (std::byte b : out) ASSERT_EQ(b, std::byte{0});
+  });
+}
+
+TEST(CollectiveReadMisc, ReadAheadOverlapsScatter) {
+  // With per-request fixed costs removed (so halving the buffer is free),
+  // the read-ahead scheduler must beat strict alternation: cycle c+1's
+  // file read proceeds behind cycle c's scatter.
+  // Equal sub-buffer (hence cycle) geometry: the overlap mode halves its
+  // collective buffer internally, so give it twice the budget.
+  auto run = [](coll::OverlapMode m, std::uint64_t cb) {
+    ClusterSpec spec;
+    spec.pfs.op_overhead = 0;
+    spec.pfs.request_overhead = 0;
+    Cluster cluster(spec);
+    auto file = cluster.storage().create("rt", pfs::Integrity::Store);
+    cluster.run([&](tpio::smpi::Mpi& mpi) {
+      const auto view = block_view(mpi.rank(), 30'000);
+      const auto data = fill_view(view);
+      coll::Options wopt;
+      wopt.cb_size = 8192;
+      coll::collective_write(mpi, *file, view, data, wopt);
+      std::vector<std::byte> out(view.total_bytes());
+      coll::collective_read(mpi, *file, view, out, read_options(m, cb));
+    });
+    return cluster.conductor().makespan();
+  };
+  EXPECT_LT(run(coll::OverlapMode::Write, 8192),
+            run(coll::OverlapMode::None, 4096));
+}
+
+TEST(CollectiveReadMisc, WriteReadCycleTagsDoNotCollide) {
+  // Interleave writes and reads on the same machine repeatedly.
+  Cluster cluster;
+  auto f1 = cluster.storage().create("a", pfs::Integrity::Store);
+  auto f2 = cluster.storage().create("b", pfs::Integrity::Store);
+  cluster.run([&](tpio::smpi::Mpi& mpi) {
+    coll::Options o;
+    o.cb_size = 8192;
+    for (int round = 0; round < 3; ++round) {
+      const auto view = block_view(mpi.rank(), 5000);
+      const auto data = fill_view(view);
+      auto& f = round % 2 == 0 ? *f1 : *f2;
+      coll::collective_write(mpi, f, view, data, o);
+      std::vector<std::byte> out(view.total_bytes());
+      coll::collective_read(mpi, f, view, out, o);
+      ASSERT_EQ(out, data);
+    }
+  });
+}

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "simbase/crc.hpp"
+#include "simbase/error.hpp"
+#include "simbase/rng.hpp"
+#include "simbase/stats.hpp"
+#include "simbase/time.hpp"
+#include "simbase/units.hpp"
+
+namespace sim = tpio::sim;
+
+// ---------------------------------------------------------------- time
+
+TEST(Time, TransferTimeBasics) {
+  // 1 GiB/s -> 1 byte takes ~1 ns (ceil).
+  EXPECT_EQ(sim::transfer_time(1, 1e9), 1);
+  EXPECT_EQ(sim::transfer_time(0, 1e9), 0);
+  // 1000 bytes at 1 GB/s = 1 us.
+  EXPECT_EQ(sim::transfer_time(1000, 1e9), 1000);
+}
+
+TEST(Time, TransferTimeRoundsUp) {
+  // 3 bytes at 2 bytes/ns = 1.5 ns -> 2 ns.
+  EXPECT_EQ(sim::transfer_time(3, 2e9), 2);
+}
+
+TEST(Time, TransferTimeZeroBandwidthNever) {
+  EXPECT_EQ(sim::transfer_time(10, 0.0), sim::kTimeNever);
+}
+
+TEST(Time, Literals) {
+  EXPECT_EQ(sim::microseconds(1.0), 1000);
+  EXPECT_EQ(sim::milliseconds(1.0), 1000000);
+  EXPECT_EQ(sim::seconds(1.0), 1000000000);
+  EXPECT_DOUBLE_EQ(sim::to_seconds(sim::seconds(2.5)), 2.5);
+}
+
+TEST(Time, Format) {
+  EXPECT_EQ(sim::format_time(500), "500 ns");
+  EXPECT_EQ(sim::format_time(sim::microseconds(1.5)), "1.500 us");
+  EXPECT_EQ(sim::format_time(sim::milliseconds(12.345)), "12.345 ms");
+  EXPECT_EQ(sim::format_time(sim::seconds(3.0)), "3.000 s");
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed) {
+  sim::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  sim::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  sim::Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  sim::Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  sim::Rng r(9);
+  EXPECT_THROW(r.next_below(0), tpio::Error);
+}
+
+TEST(Rng, NormalRoughlyStandard) {
+  sim::Rng r(123);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.next_normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, DeriveSeedDecorrelates) {
+  const auto s1 = sim::Rng::derive_seed(42, 0);
+  const auto s2 = sim::Rng::derive_seed(42, 1);
+  EXPECT_NE(s1, s2);
+  EXPECT_NE(s1, 42u);
+}
+
+TEST(Noise, ZeroSigmaIsIdentity) {
+  sim::NoiseModel n(0.0, 1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(n.factor(), 1.0);
+}
+
+TEST(Noise, PositiveSigmaVariesAroundOne) {
+  sim::NoiseModel n(0.1, 77);
+  double sum = 0;
+  const int k = 10000;
+  bool varied = false;
+  double first = n.factor();
+  for (int i = 0; i < k; ++i) {
+    const double f = n.factor();
+    EXPECT_GT(f, 0.0);
+    if (f != first) varied = true;
+    sum += f;
+  }
+  EXPECT_TRUE(varied);
+  // lognormal mean = exp(sigma^2/2) ~ 1.005
+  EXPECT_NEAR(sum / k, 1.005, 0.05);
+}
+
+// ---------------------------------------------------------------- units
+
+TEST(Units, ParsePlainBytes) {
+  EXPECT_EQ(sim::parse_bytes("0"), 0u);
+  EXPECT_EQ(sim::parse_bytes("512"), 512u);
+  EXPECT_EQ(sim::parse_bytes("512B"), 512u);
+}
+
+TEST(Units, ParseSuffixes) {
+  EXPECT_EQ(sim::parse_bytes("1K"), 1024u);
+  EXPECT_EQ(sim::parse_bytes("1kb"), 1024u);
+  EXPECT_EQ(sim::parse_bytes("1KiB"), 1024u);
+  EXPECT_EQ(sim::parse_bytes("32MB"), 32u * sim::MiB);
+  EXPECT_EQ(sim::parse_bytes("2g"), 2u * sim::GiB);
+  EXPECT_EQ(sim::parse_bytes("1.5M"), 1536u * sim::KiB);
+  EXPECT_EQ(sim::parse_bytes(" 4 MiB "), 4u * sim::MiB);
+}
+
+TEST(Units, ParseRejectsGarbage) {
+  EXPECT_THROW(sim::parse_bytes(""), tpio::Error);
+  EXPECT_THROW(sim::parse_bytes("abc"), tpio::Error);
+  EXPECT_THROW(sim::parse_bytes("12X"), tpio::Error);
+  EXPECT_THROW(sim::parse_bytes("-5M"), tpio::Error);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(sim::format_bytes(512), "512 B");
+  EXPECT_EQ(sim::format_bytes(2 * sim::MiB), "2.00 MiB");
+  EXPECT_EQ(sim::format_bytes(3 * sim::GiB), "3.00 GiB");
+}
+
+TEST(Units, RoundTripParseFormat) {
+  for (std::uint64_t v : {1ull, 100ull, 4096ull, 1ull << 20, 7ull << 30}) {
+    EXPECT_EQ(sim::parse_bytes(std::to_string(v)), v);
+  }
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, BasicMoments) {
+  sim::Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+  EXPECT_NEAR(s.stddev(), 1.29099, 1e-4);
+}
+
+TEST(Stats, SingleValue) {
+  sim::Summary s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, EmptyThrows) {
+  sim::Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.min(), tpio::Error);
+  EXPECT_THROW(s.mean(), tpio::Error);
+}
+
+TEST(Stats, Percentile) {
+  sim::Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+}
+
+TEST(Stats, RelativeImprovement) {
+  EXPECT_DOUBLE_EQ(sim::relative_improvement(10.0, 8.0), 0.2);
+  EXPECT_DOUBLE_EQ(sim::relative_improvement(10.0, 12.0), -0.2);
+  EXPECT_THROW(sim::relative_improvement(0.0, 1.0), tpio::Error);
+}
+
+// ---------------------------------------------------------------- crc
+
+TEST(Crc, EmptyIsSeedStable) {
+  EXPECT_EQ(sim::crc64({}), sim::crc64({}));
+}
+
+TEST(Crc, DetectsSingleBitFlip) {
+  std::vector<std::byte> a(256), b(256);
+  for (int i = 0; i < 256; ++i) a[i] = b[i] = static_cast<std::byte>(i);
+  b[100] ^= std::byte{1};
+  EXPECT_NE(sim::crc64(a), sim::crc64(b));
+}
+
+TEST(Crc, SeedChaining) {
+  // crc(whole) differs from crc(parts) in general, but chaining must be
+  // deterministic and order-sensitive.
+  std::vector<std::byte> a(64, std::byte{0xAB}), b(64, std::byte{0xCD});
+  const auto c1 = sim::crc64(sim::crc64(a), b);
+  const auto c2 = sim::crc64(sim::crc64(a), b);
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, sim::crc64(sim::crc64(b), a));
+}
+
+TEST(Crc, KnownDistinctInputsDistinct) {
+  std::vector<std::byte> x{std::byte{1}, std::byte{2}, std::byte{3}};
+  std::vector<std::byte> y{std::byte{3}, std::byte{2}, std::byte{1}};
+  EXPECT_NE(sim::crc64(x), sim::crc64(y));
+}

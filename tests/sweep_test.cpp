@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "harness/sweep.hpp"
+#include "simbase/units.hpp"
+
+namespace xp = tpio::xp;
+namespace wl = tpio::wl;
+namespace coll = tpio::coll;
+namespace sim = tpio::sim;
+
+TEST(Sweep, ScaledPlatformGeometry) {
+  const xp::Platform c = xp::scaled(xp::crill());
+  EXPECT_EQ(c.pfs.stripe_size, sim::MiB / xp::kGeometryScale);
+  EXPECT_EQ(c.mpi.eager_limit,
+            512 * sim::KiB * xp::kProcScale / xp::kGeometryScale);
+  EXPECT_EQ(c.procs_per_node, 48 / xp::kProcScale);
+  const xp::Platform i = xp::scaled(xp::ibex());
+  EXPECT_EQ(i.procs_per_node, 40 / xp::kProcScale);
+}
+
+TEST(Sweep, PaperWorkloadsCoverAllKinds) {
+  const auto cases = xp::paper_workloads();
+  EXPECT_EQ(cases.size(), 8u);  // two sizes per benchmark
+  int kinds[4] = {0, 0, 0, 0};
+  for (const auto& c : cases) {
+    kinds[static_cast<int>(c.kind)] += 1;
+    EXPECT_GT(c.workload.bytes_per_proc(), 0u);
+  }
+  for (int k : kinds) EXPECT_EQ(k, 2);
+}
+
+TEST(Sweep, ProcCountsQuickIsSubset) {
+  const auto full = xp::paper_proc_counts(false);
+  const auto quick = xp::paper_proc_counts(true);
+  EXPECT_GT(full.size(), quick.size());
+  for (int q : quick) {
+    EXPECT_NE(std::find(full.begin(), full.end(), q), full.end());
+  }
+}
+
+TEST(Sweep, SeriesWinnerAndImprovement) {
+  xp::OverlapSeries s;
+  s.min_ms[coll::OverlapMode::None] = 100.0;
+  s.min_ms[coll::OverlapMode::Comm] = 90.0;
+  s.min_ms[coll::OverlapMode::Write] = 80.0;
+  s.min_ms[coll::OverlapMode::WriteComm] = 95.0;
+  s.min_ms[coll::OverlapMode::WriteComm2] = 85.0;
+  EXPECT_EQ(s.winner(), coll::OverlapMode::Write);
+  EXPECT_DOUBLE_EQ(s.improvement(coll::OverlapMode::Write), 0.2);
+  EXPECT_DOUBLE_EQ(s.improvement(coll::OverlapMode::None), 0.0);
+}
+
+TEST(Sweep, PrimitiveSeriesWinner) {
+  xp::PrimitiveSeries s;
+  s.min_ms[coll::Transfer::TwoSided] = 50.0;
+  s.min_ms[coll::Transfer::OneSidedFence] = 40.0;
+  s.min_ms[coll::Transfer::OneSidedLock] = 60.0;
+  EXPECT_EQ(s.winner(), coll::Transfer::OneSidedFence);
+  EXPECT_DOUBLE_EQ(s.improvement(coll::Transfer::OneSidedFence), 0.2);
+  EXPECT_DOUBLE_EQ(s.improvement(coll::Transfer::OneSidedLock), -0.2);
+}
+
+TEST(Sweep, MiniOverlapSweepRuns) {
+  // One tiny platform variant so the sweep machinery itself is covered.
+  xp::Platform plat = xp::ibex();
+  const auto series = xp::run_overlap_sweep(plat, /*reps=*/1, 7, /*quick=*/true);
+  EXPECT_EQ(series.size(), 8u * 2u);  // 8 workloads x 2 quick proc counts
+  for (const auto& s : series) {
+    EXPECT_EQ(s.min_ms.size(), 5u);
+    for (const auto& [mode, ms] : s.min_ms) {
+      EXPECT_GT(ms, 0.0) << coll::to_string(mode);
+    }
+    // The winner is one of the measured modes and has the smallest time.
+    const double best = s.min_ms.at(s.winner());
+    for (const auto& [mode, ms] : s.min_ms) EXPECT_GE(ms, best);
+  }
+}
+
+TEST(Sweep, MiniPrimitiveSweepRuns) {
+  xp::Platform plat = xp::crill();
+  const auto series =
+      xp::run_primitive_sweep(plat, /*reps=*/1, 7, /*quick=*/true);
+  EXPECT_EQ(series.size(), 6u * 2u);  // flash excluded, 2 proc counts
+  for (const auto& s : series) {
+    EXPECT_EQ(s.min_ms.size(), 3u);
+    EXPECT_NE(s.kind, wl::Kind::Flash);
+  }
+}
+
+TEST(Sweep, SweepDeterministicForSeed) {
+  xp::Platform plat = xp::ibex();
+  const auto a = xp::run_overlap_sweep(plat, 1, 11, true);
+  const auto b = xp::run_overlap_sweep(plat, 1, 11, true);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].min_ms, b[i].min_ms);
+  }
+}

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/conductor.hpp"
+#include "sched/sync.hpp"
+
+namespace sim = tpio::sim;
+using sim::Conductor;
+using sim::RankCtx;
+using sim::SyncPoint;
+using sim::Time;
+
+TEST(SyncPoint, AllResumeAtMaxArrival) {
+  const int n = 8;
+  Conductor c(n);
+  SyncPoint sp(n);
+  c.run([&](RankCtx& ctx) {
+    ctx.advance(static_cast<sim::Duration>(ctx.rank() * 100));
+    const Time t = sp.arrive(ctx);
+    EXPECT_EQ(t, (n - 1) * 100);
+    EXPECT_EQ(ctx.now(), (n - 1) * 100);
+  });
+}
+
+TEST(SyncPoint, ExtraCostUsesMax) {
+  const int n = 4;
+  Conductor c(n);
+  SyncPoint sp(n);
+  c.run([&](RankCtx& ctx) {
+    // Arrivals all at clock 0; extra costs 0,10,20,30 -> release at 30.
+    const Time t = sp.arrive(ctx, static_cast<sim::Duration>(ctx.rank() * 10));
+    EXPECT_EQ(t, 30);
+  });
+}
+
+TEST(SyncPoint, ReusableAcrossGenerations) {
+  const int n = 6;
+  const int rounds = 20;
+  Conductor c(n);
+  SyncPoint sp(n);
+  c.run([&](RankCtx& ctx) {
+    Time prev = -1;
+    for (int i = 0; i < rounds; ++i) {
+      ctx.advance(static_cast<sim::Duration>((ctx.rank() * 13 + i * 7) % 50 + 1));
+      const Time t = sp.arrive(ctx);
+      EXPECT_GT(t, prev);  // strictly increasing (everyone advances >= 1)
+      prev = t;
+    }
+  });
+}
+
+TEST(SyncPoint, SinglePartyImmediate) {
+  Conductor c(1);
+  SyncPoint sp(1);
+  c.run([&](RankCtx& ctx) {
+    ctx.advance(42);
+    EXPECT_EQ(sp.arrive(ctx, 8), 50);
+    EXPECT_EQ(ctx.now(), 50);
+  });
+}
+
+TEST(SyncPoint, BarrierSemanticsNoOneEscapesEarly) {
+  // Classic barrier property: no rank's post-barrier clock is below any
+  // rank's pre-barrier arrival clock.
+  const int n = 16;
+  Conductor c(n);
+  SyncPoint sp(n);
+  std::vector<Time> arrivals(n), releases(n);
+  c.run([&](RankCtx& ctx) {
+    ctx.advance(static_cast<sim::Duration>((ctx.rank() * 997) % 777));
+    arrivals[static_cast<std::size_t>(ctx.rank())] = ctx.now();
+    releases[static_cast<std::size_t>(ctx.rank())] = sp.arrive(ctx);
+  });
+  Time max_arrival = 0;
+  for (Time a : arrivals) max_arrival = std::max(max_arrival, a);
+  for (Time r : releases) EXPECT_EQ(r, max_arrival);
+}
+
+TEST(SyncPoint, SubsetOfRanksCanSync) {
+  // Only even ranks participate in the sync point.
+  const int n = 8;
+  Conductor c(n);
+  SyncPoint sp(n / 2);
+  c.run([&](RankCtx& ctx) {
+    if (ctx.rank() % 2 == 0) {
+      ctx.advance(static_cast<sim::Duration>(ctx.rank()));
+      EXPECT_EQ(sp.arrive(ctx), 6);  // max even-rank arrival
+    } else {
+      ctx.advance(1'000'000);  // odd ranks uninvolved
+    }
+  });
+}

@@ -1,0 +1,86 @@
+#pragma once
+
+// Shared test harness: a complete simulated cluster (fabric + MPI machine +
+// parallel file system + conductor) with cheap-to-reason-about parameters.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "mpi/mpi.hpp"
+#include "net/fabric.hpp"
+#include "pfs/pfs.hpp"
+#include "sched/conductor.hpp"
+
+namespace tpio::test {
+
+struct ClusterSpec {
+  int nodes = 4;
+  int ppn = 2;
+  net::FabricParams fabric;
+  smpi::MpiParams mpi;
+  pfs::PfsParams pfs;
+
+  ClusterSpec() {
+    fabric.inter_bw = 1e9;
+    fabric.intra_bw = 4e9;
+    fabric.inter_latency = 100;
+    fabric.intra_latency = 10;
+    pfs.num_targets = 4;
+    pfs.stripe_size = 4096;
+    pfs.target_bw = 1e9;
+    pfs.client_bw = 4e9;
+    pfs.request_overhead = 100;
+    pfs.storage_latency = 10;
+  }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterSpec& spec = ClusterSpec{})
+      : topo_{spec.nodes, spec.ppn},
+        fabric_(topo_, spec.fabric),
+        conductor_(topo_.nprocs()),
+        machine_(fabric_, spec.mpi),
+        storage_(spec.pfs, &fabric_) {}
+
+  int nprocs() const { return topo_.nprocs(); }
+  net::Topology topology() const { return topo_; }
+  pfs::StorageSystem& storage() { return storage_; }
+  sim::Conductor& conductor() { return conductor_; }
+
+  /// Run `prog` on every rank with a fresh Mpi facade.
+  void run(const std::function<void(smpi::Mpi&)>& prog) {
+    conductor_.run([&](sim::RankCtx& ctx) {
+      smpi::Mpi mpi(machine_, ctx);
+      prog(mpi);
+    });
+  }
+
+ private:
+  net::Topology topo_;
+  net::Fabric fabric_;
+  sim::Conductor conductor_;
+  smpi::Machine machine_;
+  pfs::StorageSystem storage_;
+};
+
+/// Deterministic content for file offset `o` (non-periodic).
+inline std::byte file_byte(std::uint64_t o) {
+  return static_cast<std::byte>((o * 131 + o / 977 + 5) & 0xFF);
+}
+
+/// Build the local buffer for a view, filled with file_byte() content.
+inline std::vector<std::byte> fill_view(const coll::FileView& v) {
+  std::vector<std::byte> data(v.total_bytes());
+  std::size_t pos = 0;
+  for (const coll::Extent& e : v.extents) {
+    for (std::uint64_t i = 0; i < e.length; ++i) {
+      data[pos++] = file_byte(e.offset + i);
+    }
+  }
+  return data;
+}
+
+}  // namespace tpio::test

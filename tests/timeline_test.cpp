@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "sched/timeline.hpp"
+#include "simbase/error.hpp"
+#include "simbase/rng.hpp"
+
+namespace sim = tpio::sim;
+using sim::Timeline;
+
+TEST(Timeline, FifoServiceFromIdle) {
+  Timeline t;
+  auto a = t.reserve(0, 100);
+  EXPECT_EQ(a.start, 0);
+  EXPECT_EQ(a.end, 100);
+  auto b = t.reserve(0, 50);
+  EXPECT_EQ(b.start, 100);  // queued behind a
+  EXPECT_EQ(b.end, 150);
+}
+
+TEST(Timeline, IdleGapRespected) {
+  Timeline t;
+  t.reserve(0, 10);
+  auto b = t.reserve(1000, 10);  // resource idle between 10 and 1000
+  EXPECT_EQ(b.start, 1000);
+  EXPECT_EQ(b.end, 1010);
+  EXPECT_EQ(t.next_free(), 1010);
+}
+
+TEST(Timeline, ZeroDurationReservation) {
+  Timeline t;
+  auto a = t.reserve(5, 0);
+  EXPECT_EQ(a.start, 5);
+  EXPECT_EQ(a.end, 5);
+}
+
+TEST(Timeline, BusyTimeAccumulates) {
+  Timeline t;
+  t.reserve(0, 100);
+  t.reserve(500, 200);
+  EXPECT_EQ(t.busy_time(), 300);
+}
+
+TEST(Timeline, NegativeArgumentsThrow) {
+  Timeline t;
+  EXPECT_THROW(t.reserve(-1, 10), tpio::Error);
+  EXPECT_THROW(t.reserve(0, -10), tpio::Error);
+}
+
+TEST(Timeline, NoiseInflatesButStaysPositive) {
+  sim::NoiseModel noise(0.2, 99);
+  Timeline t;
+  t.set_noise(&noise);
+  sim::Duration total = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto iv = t.reserve(0, 1000);
+    const auto d = iv.end - iv.start;
+    EXPECT_GE(d, 1);
+    total += d;
+  }
+  // Lognormal(0.2) mean ~ 1.02: total near 200k, definitely not exactly.
+  EXPECT_GT(total, 150'000);
+  EXPECT_LT(total, 280'000);
+  EXPECT_NE(total, 200'000);
+}
+
+TEST(Timeline, NoiseDeterministicPerSeed) {
+  auto run = [] {
+    sim::NoiseModel noise(0.1, 4242);
+    Timeline t;
+    t.set_noise(&noise);
+    for (int i = 0; i < 50; ++i) t.reserve(0, 777);
+    return t.next_free();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Timeline, ZeroDurationNotNoised) {
+  sim::NoiseModel noise(0.5, 1);
+  Timeline t;
+  t.set_noise(&noise);
+  auto iv = t.reserve(10, 0);
+  EXPECT_EQ(iv.start, iv.end);
+}

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/trace.hpp"
+#include "test_rig.hpp"
+
+namespace coll = tpio::coll;
+namespace pfs = tpio::pfs;
+namespace sim = tpio::sim;
+using tpio::test::Cluster;
+using tpio::test::fill_view;
+
+namespace {
+
+std::vector<coll::Trace> traced_run(coll::OverlapMode mode) {
+  Cluster cluster;
+  std::vector<coll::Trace> traces(static_cast<std::size_t>(cluster.nprocs()));
+  auto file = cluster.storage().create("tr", pfs::Integrity::None);
+  cluster.run([&](tpio::smpi::Mpi& mpi) {
+    coll::FileView v;
+    v.extents.push_back(
+        coll::Extent{static_cast<std::uint64_t>(mpi.rank()) * 20'000, 20'000});
+    const auto data = fill_view(v);
+    coll::Options o;
+    o.cb_size = 16384;
+    o.overlap = mode;
+    o.trace = &traces[static_cast<std::size_t>(mpi.rank())];
+    coll::collective_write(mpi, *file, v, data, o);
+  });
+  return traces;
+}
+
+}  // namespace
+
+TEST(Trace, RecordsPhasesOnEveryRank) {
+  const auto traces = traced_run(coll::OverlapMode::WriteComm2);
+  for (const auto& t : traces) {
+    EXPECT_FALSE(t.empty());
+  }
+  // Aggregators must show write phases; everyone shows shuffles.
+  bool any_write = false;
+  for (const auto& t : traces) {
+    bool shuffle = false;
+    for (const auto& e : t.events()) {
+      if (std::string(e.name).find("shuffle") != std::string::npos) {
+        shuffle = true;
+      }
+      if (std::string(e.name).find("write") != std::string::npos) {
+        any_write = true;
+      }
+    }
+    EXPECT_TRUE(shuffle);
+  }
+  EXPECT_TRUE(any_write);
+}
+
+TEST(Trace, EventsWellFormedAndOrdered) {
+  const auto traces = traced_run(coll::OverlapMode::Write);
+  for (const auto& t : traces) {
+    sim::Time prev_begin = 0;
+    for (const auto& e : t.events()) {
+      EXPECT_LE(e.begin, e.end);
+      EXPECT_GE(e.begin, prev_begin);  // per-rank events begin in order
+      prev_begin = e.begin;
+      EXPECT_GE(e.cycle, 0);
+    }
+  }
+}
+
+TEST(Trace, OverlapVisibleInTimeline) {
+  // In Write overlap, some write_wait (cycle c) must begin after the
+  // shuffle of cycle c+1 began on the same rank — that IS the overlap.
+  const auto traces = traced_run(coll::OverlapMode::Write);
+  bool overlap_seen = false;
+  for (const auto& t : traces) {
+    sim::Time first_write_init = -1;
+    for (const auto& e : t.events()) {
+      if (std::string(e.name) == "write_init" && e.cycle == 0) {
+        first_write_init = e.begin;
+      }
+      if (std::string(e.name) == "shuffle_init" && e.cycle == 1 &&
+          first_write_init >= 0 && e.begin >= first_write_init) {
+        overlap_seen = true;
+      }
+    }
+  }
+  EXPECT_TRUE(overlap_seen);
+}
+
+TEST(Trace, ChromeDocumentShape) {
+  const auto traces = traced_run(coll::OverlapMode::None);
+  const std::string doc = coll::Trace::chrome_document(traces);
+  EXPECT_EQ(doc.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(doc.find("shuffle_init"), std::string::npos);
+  EXPECT_NE(doc.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Balanced braces at the ends.
+  EXPECT_EQ(doc.back(), '\n');
+}
+
+TEST(Trace, NullTraceIsFreeOfEvents) {
+  Cluster cluster;
+  auto file = cluster.storage().create("tr", pfs::Integrity::None);
+  cluster.run([&](tpio::smpi::Mpi& mpi) {
+    coll::FileView v;
+    v.extents.push_back(
+        coll::Extent{static_cast<std::uint64_t>(mpi.rank()) * 4096, 4096});
+    const auto data = fill_view(v);
+    coll::Options o;  // trace == nullptr
+    coll::collective_write(mpi, *file, v, data, o);
+  });
+  SUCCEED();  // merely must not crash
+}

@@ -1,0 +1,71 @@
+// tpio_sweep: run the paper's benchmark sweep on one platform and emit
+// machine-readable CSV (one row per series x algorithm) for external
+// analysis/plotting.
+//
+//   tpio_sweep --platform crill [--primitives] [--quick] [--reps N] > out.csv
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/cli.hpp"
+#include "harness/sweep.hpp"
+
+namespace xp = tpio::xp;
+namespace wl = tpio::wl;
+namespace coll = tpio::coll;
+
+int main(int argc, char** argv) {
+  std::string platform = "ibex";
+  bool primitives = false;
+  bool quick = false;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--platform" && i + 1 < argc) {
+      platform = argv[++i];
+    } else if (a == "--primitives") {
+      primitives = true;
+    } else if (a == "--quick") {
+      quick = true;
+    } else if (a == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: tpio_sweep [--platform crill|ibex|lustre] "
+                   "[--primitives] [--quick] [--reps N]\n");
+      return 2;
+    }
+  }
+
+  // The sweep scales internally; pass the unscaled preset.
+  xp::Platform plat;
+  if (platform == "crill") plat = xp::crill();
+  else if (platform == "ibex") plat = xp::ibex();
+  else {
+    std::fprintf(stderr, "unknown platform '%s'\n", platform.c_str());
+    return 2;
+  }
+
+  if (primitives) {
+    std::puts("platform,benchmark,size,procs,transfer,min_ms");
+    for (const auto& s : xp::run_primitive_sweep(plat, reps, 0xC57, quick)) {
+      for (const auto& [t, ms] : s.min_ms) {
+        std::printf("%s,%s,%s,%d,%s,%.6f\n", s.platform.c_str(),
+                    wl::to_string(s.kind), s.size_label.c_str(), s.procs,
+                    coll::to_string(t), ms);
+      }
+    }
+  } else {
+    std::puts("platform,benchmark,size,procs,overlap,min_ms");
+    for (const auto& s : xp::run_overlap_sweep(plat, reps, 0xC57, quick)) {
+      for (const auto& [m, ms] : s.min_ms) {
+        std::printf("%s,%s,%s,%d,%s,%.6f\n", s.platform.c_str(),
+                    wl::to_string(s.kind), s.size_label.c_str(), s.procs,
+                    coll::to_string(m), ms);
+      }
+    }
+  }
+  return 0;
+}
