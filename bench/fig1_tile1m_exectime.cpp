@@ -31,7 +31,14 @@ constexpr coll::OverlapMode kModes[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const xp::BenchArgs args = xp::parse_bench_args(argc, argv);
+  if (!args.ok) {
+    std::fprintf(stderr,
+                 "usage: fig1_tile1m_exectime [--quick] [--jobs N] "
+                 "[--progress]\n");
+    return 2;
+  }
+  const bool quick = args.quick;
   const std::vector<int> proc_counts =
       quick ? std::vector<int>{16, 36} : std::vector<int>{64, 144};
   const int reps = quick ? 2 : 3;
@@ -41,12 +48,13 @@ int main(int argc, char** argv) {
   std::puts("Paper (256/576 procs): crill ~0%/6% best improvement; "
             "ibex ~34%/17%. Scaled stand-ins: 64/144 procs.\n");
 
-  xp::Table table({"platform", "procs", "algorithm", "min time(ms)",
-                   "vs no-overlap"});
+  // Plan the (platform x procs x mode) grid, fan out over the executor,
+  // then render rows in grid order. Seeds depend only on the grid point,
+  // so any --jobs value prints the identical table.
+  std::vector<xp::SweepJob> jobs;
   for (const auto& platform : {xp::crill(), xp::ibex()}) {
     const xp::Platform plat = xp::scaled(platform);
     for (int procs : proc_counts) {
-      double base = 0.0;
       for (coll::OverlapMode mode : kModes) {
         xp::RunSpec spec;
         spec.platform = plat;
@@ -54,9 +62,29 @@ int main(int argc, char** argv) {
         spec.nprocs = procs;
         spec.options.cb_size = xp::kCbSize;
         spec.options.overlap = mode;
-        const xp::Series series = xp::execute_series(
-            spec, reps, 0xF161000 + static_cast<std::uint64_t>(procs));
-        const double t = sim::to_millis(series.min_makespan());
+        const std::uint64_t seed =
+            0xF161000 + static_cast<std::uint64_t>(procs);
+        jobs.push_back(xp::SweepJob{
+            plat.name + "/p" + std::to_string(procs) + "/" +
+                coll::to_string(mode),
+            [spec, reps, seed] {
+              return sim::to_millis(
+                  xp::execute_series(spec, reps, seed).min_makespan());
+            }});
+      }
+    }
+  }
+  const std::vector<double> min_ms = xp::run_jobs(jobs, args.exec);
+
+  xp::Table table({"platform", "procs", "algorithm", "min time(ms)",
+                   "vs no-overlap"});
+  std::size_t i = 0;
+  for (const auto& platform : {xp::crill(), xp::ibex()}) {
+    const xp::Platform plat = xp::scaled(platform);
+    for (int procs : proc_counts) {
+      double base = 0.0;
+      for (coll::OverlapMode mode : kModes) {
+        const double t = min_ms[i++];
         if (mode == coll::OverlapMode::None) base = t;
         char tbuf[32], ibuf[32];
         std::snprintf(tbuf, sizeof(tbuf), "%.2f", t);

@@ -20,14 +20,21 @@ namespace sim = tpio::sim;
 
 int run_improvement_figure(const xp::Platform& platform, const char* figure,
                            const char* paper_note, int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const xp::BenchArgs args = xp::parse_bench_args(argc, argv);
+  if (!args.ok) {
+    std::fprintf(stderr, "usage: %s [--quick] [--jobs N] [--progress]\n",
+                 argv[0]);
+    return 2;
+  }
+  const bool quick = args.quick;
   const int reps = quick ? 2 : 3;
 
   std::printf("== %s: average positive improvement over no-overlap, %s ==\n",
               figure, platform.name.c_str());
   std::printf("%s\n\n", paper_note);
 
-  const auto sweep = xp::run_overlap_sweep(platform, reps, 0xF16, quick);
+  const auto sweep =
+      xp::run_overlap_sweep(platform, reps, 0xF16, quick, args.exec);
 
   xp::Table table({"Benchmark", "Comm Overlap", "Write Overlap",
                    "Write-Comm Overlap", "Write-Comm 2 Overlap"});

@@ -35,12 +35,20 @@ constexpr coll::Transfer kTransfers[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const xp::BenchArgs args = xp::parse_bench_args(argc, argv);
+  if (!args.ok) {
+    std::fprintf(stderr,
+                 "usage: fig4_primitive_wins [--quick] [--jobs N] "
+                 "[--progress]\n");
+    return 2;
+  }
+  const bool quick = args.quick;
   const int reps = quick ? 2 : 3;
 
   std::vector<xp::PrimitiveSeries> all;
   for (const auto& platform : {xp::crill(), xp::ibex()}) {
-    auto sweep = xp::run_primitive_sweep(platform, reps, 0xF164, quick);
+    auto sweep =
+        xp::run_primitive_sweep(platform, reps, 0xF164, quick, args.exec);
     all.insert(all.end(), sweep.begin(), sweep.end());
   }
 

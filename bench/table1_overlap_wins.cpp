@@ -33,7 +33,14 @@ constexpr coll::OverlapMode kModes[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const xp::BenchArgs args = xp::parse_bench_args(argc, argv);
+  if (!args.ok) {
+    std::fprintf(stderr,
+                 "usage: table1_overlap_wins [--quick] [--jobs N] "
+                 "[--progress]\n");
+    return 2;
+  }
+  const bool quick = args.quick;
   const int reps = quick ? 2 : 3;
 
   std::map<wl::Kind, std::map<coll::OverlapMode, int>> wins;
@@ -41,7 +48,8 @@ int main(int argc, char** argv) {
   int series_count = 0;
 
   for (const auto& platform : {xp::crill(), xp::ibex()}) {
-    const auto sweep = xp::run_overlap_sweep(platform, reps, 0x7AB1E1, quick);
+    const auto sweep =
+        xp::run_overlap_sweep(platform, reps, 0x7AB1E1, quick, args.exec);
     for (const auto& s : sweep) {
       wins[s.kind][s.winner()] += 1;
       total[s.winner()] += 1;

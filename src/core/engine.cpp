@@ -243,14 +243,15 @@ void Engine::shuffle_blocking(int cycle, int slot) {
 // ---------------------------------------------------------------------------
 
 void Engine::write_init(int cycle, int slot) {
-  ScopedTraceEvent ev_(opt_.trace, "write_init", cycle, mpi_.ctx().now());
-  struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
   Slot& s = slots_[slot];
   TPIO_CHECK(!s.wr.valid(), "write_init with an outstanding write on slot");
   TPIO_CHECK(!s.sh.pending, "write_init while the sub-buffer is shuffling");
-  if (my_agg_ < 0) return;
+  if (my_agg_ < 0) return;  // non-aggregator: no write, no trace event
   const Plan::Range r = plan_.cycle_range(my_agg_, cycle);
   if (r.size() == 0) return;
+  ScopedTraceEvent ev_(opt_.trace, "write_init", cycle, mpi_.ctx().now());
+  struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
+  s.wr_cycle = cycle;
   timed(mpi_.ctx(), t_.write, [&] {
     s.wr = file_.start_write(mpi_.ctx(), node_, r.begin,
                              cb_span(slot).subspan(0, r.size()),
@@ -259,22 +260,23 @@ void Engine::write_init(int cycle, int slot) {
 }
 
 void Engine::write_wait(int slot) {
-  ScopedTraceEvent ev_(opt_.trace, "write_wait", slots_[slot].sh.cycle, mpi_.ctx().now());
-  struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
   Slot& s = slots_[slot];
-  if (!s.wr.valid()) return;  // non-aggregator or empty cycle
+  if (!s.wr.valid()) return;  // non-aggregator or empty cycle: no trace event
+  ScopedTraceEvent ev_(opt_.trace, "write_wait", s.wr_cycle, mpi_.ctx().now());
+  struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
   timed(mpi_.ctx(), t_.write, [&] { file_.wait(mpi_.ctx(), s.wr); });
+  s.wr_cycle = -1;
 }
 
 void Engine::write_blocking(int cycle, int slot) {
-  ScopedTraceEvent ev_(opt_.trace, "write_blocking", cycle, mpi_.ctx().now());
-  struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
   Slot& s = slots_[slot];
   TPIO_CHECK(!s.wr.valid(), "blocking write with an outstanding write on slot");
   TPIO_CHECK(!s.sh.pending, "blocking write while the sub-buffer is shuffling");
-  if (my_agg_ < 0) return;
+  if (my_agg_ < 0) return;  // non-aggregator: no write, no trace event
   const Plan::Range r = plan_.cycle_range(my_agg_, cycle);
   if (r.size() == 0) return;
+  ScopedTraceEvent ev_(opt_.trace, "write_blocking", cycle, mpi_.ctx().now());
+  struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
   timed(mpi_.ctx(), t_.write, [&] {
     pfs::WriteOp op = file_.start_write(mpi_.ctx(), node_, r.begin,
                                         cb_span(slot).subspan(0, r.size()),

@@ -50,6 +50,7 @@ class Engine {
     std::shared_ptr<smpi::Window> win;   // one-sided sub-buffer
     ShuffleState sh;
     pfs::WriteOp wr;
+    int wr_cycle = -1;  // cycle of the outstanding write, -1 if none
   };
 
   std::span<std::byte> cb_span(int slot);

@@ -80,6 +80,17 @@ Plan::Plan(std::vector<FileView> views, const net::Topology& topo,
     begin = domains_.back().end;
   }
 
+  // Stripe-aligned rounding can exhaust the range before the last
+  // aggregators get any bytes. Domains fill front to back, so only a
+  // trailing run can be empty: drop those aggregators entirely rather than
+  // have them allocate buffers and windows, join barriers, and inflate the
+  // reported aggregator count for zero bytes of I/O.
+  while (!domains_.empty() && domains_.back().size() == 0) {
+    agg_index_of_rank_[static_cast<std::size_t>(agg_ranks_.back())] = -1;
+    agg_ranks_.pop_back();
+    domains_.pop_back();
+  }
+
   // Cycle count: the largest domain processed `sub_buffer_` bytes at a time.
   // Overlap modes split the collective buffer in two (paper, section III-A).
   sub_buffer_ = opt.overlap == OverlapMode::None ? opt.cb_size

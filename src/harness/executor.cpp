@@ -1,0 +1,337 @@
+#include "harness/executor.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "simbase/error.hpp"
+
+namespace tpio::xp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON (only the subset the checkpoint format needs)
+// ---------------------------------------------------------------------------
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Cursor over a JSON text; every parse_* returns false on mismatch.
+struct JsonCursor {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p != end && (*p == ' ' || *p == '\n' || *p == '\r' || *p == '\t')) {
+      ++p;
+    }
+  }
+  bool literal(char c) {
+    skip_ws();
+    if (p == end || *p != c) return false;
+    ++p;
+    return true;
+  }
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (p == end || *p != '"') return false;
+    ++p;
+    out.clear();
+    while (p != end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p == end) return false;
+        switch (*p) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (end - p < 5) return false;
+            out += static_cast<char>(std::strtol(std::string(p + 1, p + 5).c_str(),
+                                                 nullptr, 16));
+            p += 4;
+            break;
+          }
+          default: return false;
+        }
+        ++p;
+      } else {
+        out += *p++;
+      }
+    }
+    if (p == end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+  bool parse_number(double& out) {
+    skip_ws();
+    char* after = nullptr;
+    out = std::strtod(p, &after);
+    if (after == p) return false;
+    p = after;
+    return true;
+  }
+};
+
+}  // namespace
+
+bool checkpoint_load(const std::string& path, Checkpoint& out) {
+  out = Checkpoint{};
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  JsonCursor c{text.data(), text.data() + text.size()};
+
+  std::string key;
+  if (!c.literal('{') || !c.parse_string(key) || key != "manifest" ||
+      !c.literal(':') || !c.parse_string(out.manifest) || !c.literal(',') ||
+      !c.parse_string(key) || key != "done" || !c.literal(':') ||
+      !c.literal('{')) {
+    out = Checkpoint{};
+    return false;
+  }
+  c.skip_ws();
+  if (c.p != c.end && *c.p == '}') {
+    ++c.p;
+  } else {
+    for (;;) {
+      double v = 0.0;
+      if (!c.parse_string(key) || !c.literal(':') || !c.parse_number(v)) {
+        out = Checkpoint{};
+        return false;
+      }
+      out.done[key] = v;
+      if (c.literal(',')) continue;
+      if (c.literal('}')) break;
+      out = Checkpoint{};
+      return false;
+    }
+  }
+  if (!c.literal('}')) {
+    out = Checkpoint{};
+    return false;
+  }
+  return true;
+}
+
+void checkpoint_save(const std::string& path, const Checkpoint& cp) {
+  std::string text = "{\n  ";
+  append_json_string(text, "manifest");
+  text += ": ";
+  append_json_string(text, cp.manifest);
+  text += ",\n  ";
+  append_json_string(text, "done");
+  text += ": {";
+  bool first = true;
+  for (const auto& [key, value] : cp.done) {
+    text += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(text, key);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), ": %.17g", value);
+    text += buf;
+  }
+  text += first ? "}\n}\n" : "\n  }\n}\n";
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    TPIO_CHECK(static_cast<bool>(out), "cannot write checkpoint " + tmp);
+    out << text;
+  }
+  TPIO_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+             "cannot move checkpoint into place: " + path);
+}
+
+int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace {
+
+/// Shared mutable state of one sweep execution. All fields under `mu`
+/// except the claim counter, which workers advance lock-free.
+struct SweepState {
+  explicit SweepState(std::size_t n)
+      : results(n, 0.0), status(n, Pending), started_at(n) {}
+
+  enum Status : char { Pending, Running, Done, Restored };
+
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::vector<double> results;
+  std::vector<Status> status;
+  std::vector<Clock::time_point> started_at;
+  std::size_t completed = 0;   // finished this run (excludes restored)
+  std::size_t restored = 0;    // satisfied from the checkpoint
+  Clock::time_point run_start = Clock::now();
+  bool aborted = false;
+  std::exception_ptr first_error;
+  Checkpoint checkpoint;       // mirrors the on-disk file
+};
+
+void report_progress(const std::vector<SweepJob>& jobs, SweepState& st) {
+  // Caller holds st.mu.
+  const std::size_t total = jobs.size();
+  const std::size_t finished = st.completed + st.restored;
+  std::size_t running = 0;
+  std::ptrdiff_t slowest = -1;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (st.status[i] != SweepState::Running) continue;
+    ++running;
+    if (slowest < 0 || st.started_at[i] < st.started_at[static_cast<std::size_t>(slowest)]) {
+      slowest = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  std::string line = "[sweep] " + std::to_string(finished) + "/" +
+                     std::to_string(total) + " jobs, " +
+                     std::to_string(running) + " running";
+  if (st.completed > 0 && finished < total) {
+    // ETA from this run's own throughput (restored jobs cost ~nothing):
+    // elapsed wall-clock per completed job, scaled by the remaining count.
+    // Concurrency is already folded in — elapsed/completed measures the
+    // pool's aggregate rate, not a single worker's.
+    const double elapsed = seconds_since(st.run_start);
+    const double per_job = elapsed / static_cast<double>(st.completed);
+    const double eta = per_job * static_cast<double>(total - finished);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ", ETA %.0fs", eta);
+    line += buf;
+  }
+  if (slowest >= 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " (%.1fs)",
+                  seconds_since(st.started_at[static_cast<std::size_t>(slowest)]));
+    line += ", slowest: " + jobs[static_cast<std::size_t>(slowest)].key + buf;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+/// Claim-execute-record loop shared by the pool workers and the serial path.
+void drain(const std::vector<SweepJob>& jobs, const ExecOptions& opt,
+           SweepState& st) {
+  for (;;) {
+    const std::size_t i = st.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= jobs.size()) return;
+    {
+      std::lock_guard lk(st.mu);
+      if (st.aborted) return;
+      if (st.status[i] == SweepState::Restored) continue;
+      st.status[i] = SweepState::Running;
+      st.started_at[i] = Clock::now();
+    }
+    double value = 0.0;
+    try {
+      value = jobs[i].run();
+    } catch (...) {
+      std::lock_guard lk(st.mu);
+      if (!st.first_error) st.first_error = std::current_exception();
+      st.aborted = true;
+      st.status[i] = SweepState::Pending;
+      return;
+    }
+    std::lock_guard lk(st.mu);
+    st.results[i] = value;
+    st.status[i] = SweepState::Done;
+    ++st.completed;
+    if (!opt.checkpoint.empty()) {
+      st.checkpoint.done[jobs[i].key] = value;
+      checkpoint_save(opt.checkpoint, st.checkpoint);
+    }
+    if (opt.progress) report_progress(jobs, st);
+  }
+}
+
+}  // namespace
+
+std::vector<double> run_jobs(const std::vector<SweepJob>& jobs,
+                             const ExecOptions& opt) {
+  {
+    std::set<std::string> keys;
+    for (const SweepJob& j : jobs) {
+      TPIO_CHECK(keys.insert(j.key).second,
+                 "duplicate sweep job key: " + j.key);
+      TPIO_CHECK(static_cast<bool>(j.run), "sweep job without a body");
+    }
+  }
+  SweepState st(jobs.size());
+  st.checkpoint.manifest = opt.manifest;
+
+  // Resume: splice in results of a matching checkpoint, skip those jobs.
+  if (!opt.checkpoint.empty()) {
+    Checkpoint prior;
+    if (checkpoint_load(opt.checkpoint, prior) &&
+        prior.manifest == opt.manifest) {
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto it = prior.done.find(jobs[i].key);
+        if (it == prior.done.end()) continue;
+        st.results[i] = it->second;
+        st.status[i] = SweepState::Restored;
+        st.checkpoint.done[jobs[i].key] = it->second;
+        ++st.restored;
+      }
+    }
+    if (opt.progress && st.restored > 0) {
+      std::fprintf(stderr, "[sweep] resumed %zu/%zu jobs from %s\n",
+                   st.restored, jobs.size(), opt.checkpoint.c_str());
+    }
+  }
+
+  const int workers =
+      std::min<int>(resolve_jobs(opt.jobs),
+                    static_cast<int>(std::max<std::size_t>(jobs.size(), 1)));
+  if (workers <= 1) {
+    // Serial path: inline, in input order, on the calling thread.
+    drain(jobs, opt, st);
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] { drain(jobs, opt, st); });
+    }
+  }
+
+  if (st.first_error) std::rethrow_exception(st.first_error);
+  TPIO_CHECK(st.completed + st.restored == jobs.size(),
+             "sweep executor finished with unprocessed jobs");
+  return std::move(st.results);
+}
+
+}  // namespace tpio::xp

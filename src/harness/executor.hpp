@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tpio::xp {
+
+/// One independent unit of sweep work: a stable key (unique within the
+/// sweep; used for checkpointing and progress display) plus the closure
+/// that produces its measurement. Jobs must be independent — each derives
+/// its own seeds — so they can run concurrently in any order.
+struct SweepJob {
+  std::string key;
+  std::function<double()> run;  // returns the series minimum, in ms
+};
+
+/// Execution policy of a sweep.
+struct ExecOptions {
+  /// Worker threads. 0 = hardware concurrency; 1 = run jobs inline on the
+  /// calling thread in input order (the historical serial path). Because
+  /// every job derives its own seeds, any value produces bit-identical
+  /// result tables — only wall-clock changes.
+  int jobs = 0;
+  /// Live progress to stderr: jobs done/total, ETA, and the key of the
+  /// longest-running in-flight job (the current bottleneck config).
+  bool progress = false;
+  /// Path of a JSON checkpoint file; empty disables checkpointing. Jobs
+  /// already recorded in a matching checkpoint are not re-run; their
+  /// results are merged from the file. The file is rewritten atomically as
+  /// jobs complete, so an interrupted sweep resumes where it stopped.
+  std::string checkpoint;
+  /// Identifies the sweep grid (kind, platform, seed, reps, quick). A
+  /// checkpoint whose manifest differs is ignored and overwritten — results
+  /// from a different grid must never be spliced in.
+  std::string manifest;
+};
+
+/// Effective worker count for a requested `jobs` value (0 -> hardware).
+int resolve_jobs(int jobs);
+
+/// Run every job and return the results in input order, regardless of
+/// completion order. With opt.jobs == 1 the jobs execute inline on the
+/// calling thread; otherwise a bounded std::jthread pool drains them.
+/// A job that throws aborts the sweep (the first exception is rethrown
+/// after the pool winds down) — partial results are still checkpointed.
+std::vector<double> run_jobs(const std::vector<SweepJob>& jobs,
+                             const ExecOptions& opt);
+
+// ---------------------------------------------------------------------------
+// Checkpoint file format (exposed for tests and external tooling)
+// ---------------------------------------------------------------------------
+
+/// In-memory image of a sweep checkpoint: the grid manifest and the
+/// completed jobs' results by key.
+struct Checkpoint {
+  std::string manifest;
+  std::map<std::string, double> done;
+};
+
+/// Load `path`; returns false (and leaves `out` empty) when the file is
+/// absent or not a checkpoint this writer produced.
+bool checkpoint_load(const std::string& path, Checkpoint& out);
+
+/// Write `cp` to `path` atomically (temp file + rename).
+void checkpoint_save(const std::string& path, const Checkpoint& cp);
+
+}  // namespace tpio::xp

@@ -1,6 +1,8 @@
 #include "harness/sweep.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "simbase/error.hpp"
 #include "simbase/units.hpp"
@@ -50,11 +52,39 @@ double OverlapSeries::improvement(coll::OverlapMode mode) const {
   return (base - min_ms.at(mode)) / base;
 }
 
+namespace {
+
+/// A stable, checkpoint-friendly identifier for one grid point.
+std::string job_key(const SweepCase& c, int procs, const char* variant) {
+  return std::string(wl::to_string(c.kind)) + "/" + c.size_label + "/p" +
+         std::to_string(procs) + "/" + variant;
+}
+
+std::string sweep_manifest(const char* sweep, const Platform& plat, int reps,
+                           std::uint64_t seed, bool quick) {
+  return std::string(sweep) + "|platform=" + plat.name +
+         "|seed=" + std::to_string(seed) + "|reps=" + std::to_string(reps) +
+         "|quick=" + (quick ? "1" : "0");
+}
+
+}  // namespace
+
 std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
                                              int reps, std::uint64_t seed,
-                                             bool quick) {
+                                             bool quick,
+                                             const ExecOptions& exec) {
   const Platform plat = scaled(platform);
+  constexpr coll::OverlapMode kModes[] = {
+      coll::OverlapMode::None, coll::OverlapMode::Comm,
+      coll::OverlapMode::Write, coll::OverlapMode::WriteComm,
+      coll::OverlapMode::WriteComm2};
+
+  // Plan the whole (series x algorithm) grid up front: every job carries a
+  // seed derived from its grid position, so results are independent of both
+  // execution order and worker count.
   std::vector<OverlapSeries> out;
+  std::vector<SweepJob> jobs;
+  std::vector<std::pair<std::size_t, coll::OverlapMode>> slot;  // per job
   std::uint64_t series_id = 0;
   for (const SweepCase& c : paper_workloads()) {
     for (int procs : paper_proc_counts(quick)) {
@@ -63,10 +93,7 @@ std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
       series.kind = c.kind;
       series.size_label = c.size_label;
       series.procs = procs;
-      for (coll::OverlapMode mode :
-           {coll::OverlapMode::None, coll::OverlapMode::Comm,
-            coll::OverlapMode::Write, coll::OverlapMode::WriteComm,
-            coll::OverlapMode::WriteComm2}) {
+      for (coll::OverlapMode mode : kModes) {
         RunSpec spec;
         spec.platform = plat;
         spec.workload = c.workload;
@@ -75,17 +102,36 @@ std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
         spec.options.overlap = mode;
         // Independent noise per (series, algorithm): real measurements of
         // different code versions are separate runs on the machine.
-        const Series s = execute_series(
-            spec, reps,
-            sim::Rng::derive_seed(seed, series_id * 16 +
-                                            static_cast<std::uint64_t>(mode)));
-        series.min_ms[mode] = sim::to_millis(s.min_makespan());
+        const std::uint64_t job_seed = sim::Rng::derive_seed(
+            seed, series_id * 16 + static_cast<std::uint64_t>(mode));
+        jobs.push_back(SweepJob{job_key(c, procs, coll::to_string(mode)),
+                                [spec, reps, job_seed] {
+                                  const Series s =
+                                      execute_series(spec, reps, job_seed);
+                                  return sim::to_millis(s.min_makespan());
+                                }});
+        slot.emplace_back(out.size(), mode);
       }
       ++series_id;
       out.push_back(std::move(series));
     }
   }
+
+  ExecOptions e = exec;
+  if (e.manifest.empty()) {
+    e.manifest = sweep_manifest("overlap", plat, reps, seed, quick);
+  }
+  const std::vector<double> min_ms = run_jobs(jobs, e);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    out[slot[i].first].min_ms[slot[i].second] = min_ms[i];
+  }
   return out;
+}
+
+std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
+                                             int reps, std::uint64_t seed,
+                                             bool quick) {
+  return run_overlap_sweep(platform, reps, seed, quick, ExecOptions{});
 }
 
 coll::Transfer PrimitiveSeries::winner() const {
@@ -104,9 +150,12 @@ double PrimitiveSeries::improvement(coll::Transfer t) const {
 
 std::vector<PrimitiveSeries> run_primitive_sweep(const Platform& platform,
                                                  int reps, std::uint64_t seed,
-                                                 bool quick) {
+                                                 bool quick,
+                                                 const ExecOptions& exec) {
   const Platform plat = scaled(platform);
   std::vector<PrimitiveSeries> out;
+  std::vector<SweepJob> jobs;
+  std::vector<std::pair<std::size_t, coll::Transfer>> slot;  // per job
   std::uint64_t series_id = 0x40000;
   for (const SweepCase& c : paper_workloads()) {
     if (c.kind == wl::Kind::Flash) continue;  // paper Fig. 4: IOR + Tile only
@@ -130,12 +179,50 @@ std::vector<PrimitiveSeries> run_primitive_sweep(const Platform& platform,
         // and machine-noise draws are paired across them: the comparison
         // isolates the shuffle implementation, as the paper's same-day
         // back-to-back measurements effectively did.
-        const Series s =
-            execute_series(spec, reps, sim::Rng::derive_seed(seed, series_id));
-        series.min_ms[t] = sim::to_millis(s.min_makespan());
+        const std::uint64_t job_seed = sim::Rng::derive_seed(seed, series_id);
+        jobs.push_back(SweepJob{job_key(c, procs, coll::to_string(t)),
+                                [spec, reps, job_seed] {
+                                  const Series s =
+                                      execute_series(spec, reps, job_seed);
+                                  return sim::to_millis(s.min_makespan());
+                                }});
+        slot.emplace_back(out.size(), t);
       }
       ++series_id;
       out.push_back(std::move(series));
+    }
+  }
+
+  ExecOptions e = exec;
+  if (e.manifest.empty()) {
+    e.manifest = sweep_manifest("primitive", plat, reps, seed, quick);
+  }
+  const std::vector<double> min_ms = run_jobs(jobs, e);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    out[slot[i].first].min_ms[slot[i].second] = min_ms[i];
+  }
+  return out;
+}
+
+std::vector<PrimitiveSeries> run_primitive_sweep(const Platform& platform,
+                                                 int reps, std::uint64_t seed,
+                                                 bool quick) {
+  return run_primitive_sweep(platform, reps, seed, quick, ExecOptions{});
+}
+
+BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs out;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--quick") == 0) {
+      out.quick = true;
+    } else if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
+      out.exec.jobs = std::atoi(argv[++i]);
+      if (out.exec.jobs < 0) out.ok = false;
+    } else if (std::strcmp(a, "--progress") == 0) {
+      out.exec.progress = true;
+    } else {
+      out.ok = false;
     }
   }
   return out;

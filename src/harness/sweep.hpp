@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/executor.hpp"
 #include "harness/runner.hpp"
 
 namespace tpio::xp {
@@ -59,6 +60,17 @@ struct OverlapSeries {
 };
 
 /// Run the full overlap-algorithm sweep on one platform.
+///
+/// The sweep is planned as a flat grid of independent (series, mode) jobs —
+/// each with its seed derived up front from (seed, series, mode) — and
+/// executed by the parallel sweep executor (harness/executor.hpp). Results
+/// are merged back in grid order, so the returned tables are bit-identical
+/// for every `exec.jobs` value; `exec.jobs == 1` runs the historical serial
+/// path on the calling thread.
+std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
+                                             int reps, std::uint64_t seed,
+                                             bool quick,
+                                             const ExecOptions& exec);
 std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
                                              int reps, std::uint64_t seed,
                                              bool quick);
@@ -77,6 +89,22 @@ struct PrimitiveSeries {
 
 std::vector<PrimitiveSeries> run_primitive_sweep(const Platform& platform,
                                                  int reps, std::uint64_t seed,
+                                                 bool quick,
+                                                 const ExecOptions& exec);
+std::vector<PrimitiveSeries> run_primitive_sweep(const Platform& platform,
+                                                 int reps, std::uint64_t seed,
                                                  bool quick);
+
+/// Command-line flags shared by the paper-reproduction bench drivers:
+///   --quick        reduced grid / fewer reps
+///   --jobs N       worker threads (0 = hardware concurrency, 1 = serial)
+///   --progress     live sweep progress on stderr
+/// Unknown flags set ok = false (caller prints usage and exits).
+struct BenchArgs {
+  bool quick = false;
+  ExecOptions exec;
+  bool ok = true;
+};
+BenchArgs parse_bench_args(int argc, char** argv);
 
 }  // namespace tpio::xp

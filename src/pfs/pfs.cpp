@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "simbase/error.hpp"
 
@@ -61,39 +62,87 @@ std::uint64_t File::mix(std::uint64_t offset, std::byte value) {
   return z ^ (z >> 31);
 }
 
-void File::record(std::uint64_t offset, std::span<const std::byte> data) {
+void File::record(std::uint64_t offset, std::span<const std::byte> data,
+                  sim::Time visible_at) {
+  // Submission accounting is immediate — the storage system has accepted
+  // the bytes — but the *content* only becomes observable once the write
+  // completes on the virtual timeline.
   size_ = std::max(size_, offset + data.size());
   bytes_accepted_ += data.size();
   sys_->bytes_written_ += data.size();
-  if (integrity_ == Integrity::None) return;
+  if (integrity_ == Integrity::None || data.empty()) return;
 
+  PendingWrite w;
+  w.visible_at = visible_at;
+  w.offset = offset;
+  w.length = data.size();
+  if (integrity_ == Integrity::Store) {
+    w.bytes.assign(data.begin(), data.end());
+  } else {
+    // Digest mode: fold each chunk's contribution now (the caller may
+    // overwrite its buffer after submission) and retain only the deltas.
+    const std::uint64_t ss = sys_->params_.stripe_size;
+    std::uint64_t pos = offset;
+    std::size_t consumed = 0;
+    while (consumed < data.size()) {
+      const std::uint64_t in_chunk = pos % ss;
+      const std::uint64_t n =
+          std::min<std::uint64_t>(ss - in_chunk, data.size() - consumed);
+      std::uint64_t delta = 0;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        delta += mix(pos + i, data[consumed + i]);
+      }
+      w.deltas.push_back(delta);
+      pos += n;
+      consumed += static_cast<std::size_t>(n);
+    }
+  }
+  pending_.push_back(std::move(w));
+}
+
+void File::apply_content(const PendingWrite& w) {
   const std::uint64_t ss = sys_->params_.stripe_size;
-  std::uint64_t pos = offset;
+  std::uint64_t pos = w.offset;
+  std::uint64_t left = w.length;
   std::size_t consumed = 0;
-  while (consumed < data.size()) {
+  std::size_t delta_idx = 0;
+  while (left > 0) {
     const std::uint64_t chunk_idx = pos / ss;
     const std::uint64_t in_chunk = pos % ss;
-    const std::uint64_t n =
-        std::min<std::uint64_t>(ss - in_chunk, data.size() - consumed);
+    const std::uint64_t n = std::min(ss - in_chunk, left);
     Chunk& c = chunks_[chunk_idx];
     c.written += n;
     if (integrity_ == Integrity::Store) {
       if (c.bytes.empty()) c.bytes.resize(ss);
-      std::memcpy(c.bytes.data() + in_chunk, data.data() + consumed, n);
+      std::memcpy(c.bytes.data() + in_chunk, w.bytes.data() + consumed, n);
     } else {
-      for (std::uint64_t i = 0; i < n; ++i) {
-        c.digest += mix(pos + i, data[consumed + i]);
-      }
+      c.digest += w.deltas[delta_idx++];
     }
     pos += n;
+    left -= n;
     consumed += static_cast<std::size_t>(n);
   }
+}
+
+void File::flush_content(sim::Time upto) {
+  if (pending_.empty()) return;
+  std::vector<PendingWrite> keep;
+  for (PendingWrite& w : pending_) {
+    if (w.visible_at <= upto) {
+      apply_content(w);
+    } else {
+      keep.push_back(std::move(w));
+    }
+  }
+  pending_.swap(keep);
 }
 
 std::vector<std::byte> File::read_back(std::uint64_t offset,
                                        std::uint64_t len) const {
   TPIO_CHECK(integrity_ == Integrity::Store,
              "read_back requires Integrity::Store");
+  // Post-run inspection: every scheduled write has logically completed.
+  const_cast<File*>(this)->flush_content(std::numeric_limits<sim::Time>::max());
   std::vector<std::byte> out(len, std::byte{0});
   const std::uint64_t ss = sys_->params_.stripe_size;
   std::uint64_t pos = offset;
@@ -116,6 +165,8 @@ std::string File::verify(
     const std::function<std::byte(std::uint64_t)>& expected) const {
   TPIO_CHECK(integrity_ != Integrity::None,
              "verify requires Store or Digest integrity");
+  // Post-run inspection: every scheduled write has logically completed.
+  const_cast<File*>(this)->flush_content(std::numeric_limits<sim::Time>::max());
   if (bytes_accepted_ != size_) {
     return "bytes written (" + std::to_string(bytes_accepted_) +
            ") != file size (" + std::to_string(size_) +
@@ -161,7 +212,6 @@ sim::Time File::schedule_write(sim::RankCtx& ctx, int node,
                                std::uint64_t offset,
                                std::span<const std::byte> data, bool async) {
   const PfsParams& p = sys_->params_;
-  record(offset, data);
 
   // The client streams stripe chunks: each chunk is pushed through the
   // node's storage channel (and, on co-located storage, the compute NIC),
@@ -200,6 +250,9 @@ sim::Time File::schedule_write(sim::RankCtx& ctx, int node,
     pos += n;
     left -= n;
   }
+  // Content is snapshotted now (submission semantics) but becomes
+  // observable only at `done`, when the last chunk is durable.
+  record(offset, data, done);
   return done;
 }
 
@@ -207,6 +260,10 @@ WriteOp File::start_read(sim::RankCtx& ctx, int node, std::uint64_t offset,
                          std::span<std::byte> out, bool async) {
   auto ev = std::make_shared<sim::Event>();
   ctx.act([&] {
+    // Reads observe exactly the writes that completed by issue time.
+    // Baton actions execute in nondecreasing virtual time, so flushing up
+    // to now() here is deterministic across schedules and worker counts.
+    flush_content(ctx.now());
     // Timing mirrors the write path: per-chunk target service, then the
     // client pulls the bytes through its storage channel.
     const PfsParams& p = sys_->params_;

@@ -146,6 +146,8 @@ class File {
   /// Schedule a read of [offset, offset+out.size()) into `out`. Contents
   /// come from stored chunks (Store mode); unwritten bytes — and all bytes
   /// in Digest/None modes — read as zero, with full timing either way.
+  /// Content visibility follows the virtual timeline: a read issued before
+  /// an asynchronous write's completion does not observe that write's data.
   /// `async` selects the aio path, as for writes.
   WriteOp start_read(sim::RankCtx& ctx, int node, std::uint64_t offset,
                      std::span<std::byte> out, bool async);
@@ -186,10 +188,30 @@ class File {
     std::uint64_t written = 0;      // bytes accepted into this chunk
   };
 
+  /// Content handed to the storage system but not yet durable: snapshotted
+  /// at submission (the caller may reuse its buffer immediately, like
+  /// aio_write), applied to chunks_ only once the virtual clock passes the
+  /// write's completion — a read issued before then sees the old contents.
+  struct PendingWrite {
+    sim::Time visible_at = 0;       // write completion time
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+    std::vector<std::byte> bytes;   // Store mode: submission-time snapshot
+    // Digest mode: per-chunk digest deltas precomputed at submission (in
+    // chunk order), so no byte copy is retained.
+    std::vector<std::uint64_t> deltas;
+  };
+
   /// Record content + compute service completion. Under the baton.
   sim::Time schedule_write(sim::RankCtx& ctx, int node, std::uint64_t offset,
                            std::span<const std::byte> data, bool async);
-  void record(std::uint64_t offset, std::span<const std::byte> data);
+  /// Account the write immediately (size, byte counters) and queue its
+  /// content to become visible at `visible_at`.
+  void record(std::uint64_t offset, std::span<const std::byte> data,
+              sim::Time visible_at);
+  /// Apply every pending write with visible_at <= `upto` to chunks_.
+  void flush_content(sim::Time upto);
+  void apply_content(const PendingWrite& w);
 
   StorageSystem* sys_;
   std::string name_;
@@ -197,6 +219,7 @@ class File {
   std::uint64_t size_ = 0;
   std::uint64_t bytes_accepted_ = 0;
   std::unordered_map<std::uint64_t, Chunk> chunks_;  // by chunk index
+  std::vector<PendingWrite> pending_;  // submission order
 };
 
 }  // namespace tpio::pfs

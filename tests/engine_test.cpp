@@ -261,6 +261,32 @@ TEST(CollectiveWriteMisc, EmptyJobCompletes) {
   EXPECT_EQ(file->size(), 0u);
 }
 
+TEST(CollectiveWriteMisc, MoreAggregatorsThanStripesTrimsCleanly) {
+  // 8 ranks x 512 B = one 4096 B stripe; four requested aggregators with
+  // stripe alignment collapse to a single populated file domain. The empty
+  // trailing aggregators are trimmed: every rank reports one aggregator
+  // and the write is still complete and correct.
+  Cluster cluster;
+  auto file = cluster.storage().create("out", pfs::Integrity::Store);
+  std::vector<coll::Result> results(
+      static_cast<std::size_t>(cluster.nprocs()));
+  cluster.run([&](tpio::smpi::Mpi& mpi) {
+    const auto view = block_view(mpi.rank(), mpi.size(), 512);
+    const auto data = fill_view(view);
+    coll::Options o;
+    o.cb_size = 16384;
+    o.num_aggregators = 4;
+    o.overlap = coll::OverlapMode::WriteComm2;
+    results[static_cast<std::size_t>(mpi.rank())] =
+        coll::collective_write(mpi, *file, view, data, o);
+  });
+  ASSERT_EQ(file->verify(file_byte), "");
+  for (const auto& r : results) {
+    EXPECT_EQ(r.aggregators, 1);
+    EXPECT_EQ(r.bytes_global, 4096u);
+  }
+}
+
 TEST(CollectiveWriteMisc, TimingsAccountedAndTotalCovers) {
   Cluster cluster;
   auto file = cluster.storage().create("out", pfs::Integrity::None);

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/executor.hpp"
+#include "simbase/error.hpp"
+
+namespace xp = tpio::xp;
+
+namespace {
+
+/// A scratch file path removed on destruction.
+struct TempFile {
+  explicit TempFile(const char* stem)
+      : path(std::string(::testing::TempDir()) + stem) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+  std::string path;
+};
+
+std::vector<xp::SweepJob> square_jobs(int n, std::atomic<int>* executed) {
+  std::vector<xp::SweepJob> jobs;
+  for (int i = 0; i < n; ++i) {
+    jobs.push_back(xp::SweepJob{"job/" + std::to_string(i), [i, executed] {
+                                  if (executed != nullptr) ++*executed;
+                                  return static_cast<double>(i) * i;
+                                }});
+  }
+  return jobs;
+}
+
+}  // namespace
+
+TEST(Executor, ResolveJobs) {
+  EXPECT_EQ(xp::resolve_jobs(1), 1);
+  EXPECT_EQ(xp::resolve_jobs(7), 7);
+  EXPECT_GE(xp::resolve_jobs(0), 1);  // hardware concurrency, at least one
+}
+
+TEST(Executor, ResultsInInputOrderRegardlessOfWorkers) {
+  for (int workers : {1, 2, 8}) {
+    xp::ExecOptions opt;
+    opt.jobs = workers;
+    const auto results = xp::run_jobs(square_jobs(23, nullptr), opt);
+    ASSERT_EQ(results.size(), 23u) << "workers=" << workers;
+    for (int i = 0; i < 23; ++i) {
+      EXPECT_EQ(results[static_cast<std::size_t>(i)],
+                static_cast<double>(i) * i)
+          << "workers=" << workers;
+    }
+  }
+}
+
+TEST(Executor, EmptyJobListIsFine) {
+  xp::ExecOptions opt;
+  opt.jobs = 4;
+  EXPECT_TRUE(xp::run_jobs({}, opt).empty());
+}
+
+TEST(Executor, DuplicateKeysRejected) {
+  std::vector<xp::SweepJob> jobs;
+  jobs.push_back(xp::SweepJob{"same", [] { return 1.0; }});
+  jobs.push_back(xp::SweepJob{"same", [] { return 2.0; }});
+  xp::ExecOptions opt;
+  opt.jobs = 1;
+  EXPECT_THROW(xp::run_jobs(jobs, opt), tpio::Error);
+}
+
+TEST(Executor, JobExceptionPropagates) {
+  std::vector<xp::SweepJob> jobs = square_jobs(6, nullptr);
+  jobs[3].run = []() -> double { throw std::runtime_error("boom"); };
+  for (int workers : {1, 4}) {
+    xp::ExecOptions opt;
+    opt.jobs = workers;
+    EXPECT_THROW(xp::run_jobs(jobs, opt), std::runtime_error)
+        << "workers=" << workers;
+  }
+}
+
+TEST(Executor, CheckpointRoundTripPreservesAwkwardKeys) {
+  TempFile f("executor_ckpt_roundtrip.json");
+  xp::Checkpoint cp;
+  cp.manifest = "grid|with \"quotes\" and \\slashes\\";
+  cp.done["plain/key"] = 1.5;
+  cp.done["tab\there"] = -2.25;
+  cp.done["new\nline"] = 1e-9;
+  xp::checkpoint_save(f.path, cp);
+
+  xp::Checkpoint back;
+  ASSERT_TRUE(xp::checkpoint_load(f.path, back));
+  EXPECT_EQ(back.manifest, cp.manifest);
+  EXPECT_EQ(back.done, cp.done);
+}
+
+TEST(Executor, CheckpointLoadRejectsMissingAndGarbage) {
+  xp::Checkpoint cp;
+  EXPECT_FALSE(xp::checkpoint_load("/nonexistent/dir/ckpt.json", cp));
+
+  TempFile f("executor_ckpt_garbage.json");
+  std::FILE* out = std::fopen(f.path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  std::fputs("this is not a checkpoint", out);
+  std::fclose(out);
+  EXPECT_FALSE(xp::checkpoint_load(f.path, cp));
+}
+
+TEST(Executor, ResumeSkipsCompletedJobs) {
+  TempFile f("executor_ckpt_resume.json");
+  xp::Checkpoint cp;
+  cp.manifest = "grid-A";
+  cp.done["job/0"] = 1000.0;  // deliberately NOT 0*0: proves it was merged
+  cp.done["job/2"] = 2000.0;
+  xp::checkpoint_save(f.path, cp);
+
+  std::atomic<int> executed{0};
+  xp::ExecOptions opt;
+  opt.jobs = 2;
+  opt.checkpoint = f.path;
+  opt.manifest = "grid-A";
+  const auto results = xp::run_jobs(square_jobs(5, &executed), opt);
+  EXPECT_EQ(executed.load(), 3);  // jobs 1, 3, 4
+  EXPECT_EQ(results[0], 1000.0);
+  EXPECT_EQ(results[1], 1.0);
+  EXPECT_EQ(results[2], 2000.0);
+  EXPECT_EQ(results[3], 9.0);
+  EXPECT_EQ(results[4], 16.0);
+}
+
+TEST(Executor, MismatchedManifestIsIgnored) {
+  TempFile f("executor_ckpt_mismatch.json");
+  xp::Checkpoint cp;
+  cp.manifest = "grid-B";  // a different sweep's leftovers
+  cp.done["job/0"] = 1000.0;
+  xp::checkpoint_save(f.path, cp);
+
+  std::atomic<int> executed{0};
+  xp::ExecOptions opt;
+  opt.jobs = 1;
+  opt.checkpoint = f.path;
+  opt.manifest = "grid-A";
+  const auto results = xp::run_jobs(square_jobs(3, &executed), opt);
+  EXPECT_EQ(executed.load(), 3);  // nothing spliced in
+  EXPECT_EQ(results[0], 0.0);
+
+  // The stale file was replaced by this sweep's checkpoint.
+  xp::Checkpoint back;
+  ASSERT_TRUE(xp::checkpoint_load(f.path, back));
+  EXPECT_EQ(back.manifest, "grid-A");
+  EXPECT_EQ(back.done.size(), 3u);
+}
+
+TEST(Executor, CheckpointWrittenAsJobsComplete) {
+  TempFile f("executor_ckpt_written.json");
+  xp::ExecOptions opt;
+  opt.jobs = 4;
+  opt.checkpoint = f.path;
+  opt.manifest = "grid-C";
+  xp::run_jobs(square_jobs(7, nullptr), opt);
+
+  xp::Checkpoint back;
+  ASSERT_TRUE(xp::checkpoint_load(f.path, back));
+  EXPECT_EQ(back.manifest, "grid-C");
+  ASSERT_EQ(back.done.size(), 7u);
+  EXPECT_EQ(back.done.at("job/6"), 36.0);
+
+  // A rerun restores everything from the file and executes nothing.
+  std::atomic<int> executed{0};
+  const auto results = xp::run_jobs(square_jobs(7, &executed), opt);
+  EXPECT_EQ(executed.load(), 0);
+  EXPECT_EQ(results[5], 25.0);
+}
+
+TEST(Executor, PartialResultsCheckpointedOnFailure) {
+  TempFile f("executor_ckpt_partial.json");
+  std::vector<xp::SweepJob> jobs = square_jobs(4, nullptr);
+  jobs[1].run = []() -> double { throw std::runtime_error("boom"); };
+  xp::ExecOptions opt;
+  opt.jobs = 1;  // serial: job 0 completes before job 1 throws
+  opt.checkpoint = f.path;
+  opt.manifest = "grid-D";
+  EXPECT_THROW(xp::run_jobs(jobs, opt), std::runtime_error);
+
+  xp::Checkpoint back;
+  ASSERT_TRUE(xp::checkpoint_load(f.path, back));
+  EXPECT_EQ(back.manifest, "grid-D");
+  EXPECT_EQ(back.done.count("job/0"), 1u);
+  EXPECT_EQ(back.done.count("job/1"), 0u);
+}

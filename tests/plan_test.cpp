@@ -175,6 +175,44 @@ TEST(Plan, StripeAlignmentRoundsDomains) {
   EXPECT_EQ(plan.domain(1).end, 3000u);
 }
 
+TEST(Plan, StripeAlignmentTrimsEmptyTrailingDomains) {
+  // Four aggregators over a 2048-byte range with 1024-byte stripes:
+  // rounding the per-aggregator share (512) up to a stripe leaves the last
+  // two aggregators with nothing. They must be dropped from the plan, not
+  // kept as zero-byte aggregators that allocate buffers and join barriers.
+  net::Topology topo{4, 1};
+  auto views = block_views(4, 512);
+  coll::Options o = opts(8192);
+  o.num_aggregators = 4;
+  o.stripe_align = true;
+  coll::Plan plan(views, topo, 1024, o);
+
+  ASSERT_EQ(plan.num_aggregators(), 2);
+  EXPECT_EQ(plan.domain(0).begin, 0u);
+  EXPECT_EQ(plan.domain(0).end, 1024u);
+  EXPECT_EQ(plan.domain(1).begin, 1024u);
+  EXPECT_EQ(plan.domain(1).end, 2048u);
+  EXPECT_TRUE(plan.is_aggregator(0));
+  EXPECT_TRUE(plan.is_aggregator(1));
+  EXPECT_FALSE(plan.is_aggregator(2));
+  EXPECT_FALSE(plan.is_aggregator(3));
+  EXPECT_EQ(plan.agg_index(2), -1);
+  EXPECT_EQ(plan.num_cycles(), 1);  // 1024 <= 8192 sub-buffer
+}
+
+TEST(Plan, UnalignedTinyRangeAlsoTrims) {
+  // Even without stripe alignment, a range smaller than the aggregator
+  // count (per-aggregator share of 1 byte) exhausts before the tail.
+  net::Topology topo{4, 1};
+  std::vector<coll::FileView> views(4);
+  views[0].extents = {{0, 3}};  // 3 bytes, 4 requested aggregators
+  coll::Options o = opts(64);
+  o.num_aggregators = 4;
+  coll::Plan plan(views, topo, 0, o);
+  EXPECT_EQ(plan.num_aggregators(), 3);
+  EXPECT_EQ(plan.global_bytes(), 3u);
+}
+
 TEST(Plan, SegmentsRespectLocalOffsets) {
   // Rank with two extents: [100,150) and [300,400); local buffer holds
   // 50 + 100 bytes contiguously.

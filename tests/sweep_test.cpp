@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "harness/sweep.hpp"
 #include "simbase/units.hpp"
 
@@ -95,4 +98,43 @@ TEST(Sweep, SweepDeterministicForSeed) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].min_ms, b[i].min_ms);
   }
+}
+
+TEST(Sweep, ParallelExecutionBitIdenticalToSerial) {
+  // Every grid point derives its own seed, so the worker count must not
+  // change a single bit of the result tables (EXPECT_EQ on the double maps
+  // is exact equality, not a tolerance).
+  xp::Platform plat = xp::ibex();
+  xp::ExecOptions serial;
+  serial.jobs = 1;
+  xp::ExecOptions parallel;
+  parallel.jobs = 4;
+  const auto a = xp::run_primitive_sweep(plat, 1, 42, true, serial);
+  const auto b = xp::run_primitive_sweep(plat, 1, 42, true, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].min_ms, b[i].min_ms);
+    EXPECT_EQ(a[i].platform, b[i].platform);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].procs, b[i].procs);
+  }
+}
+
+TEST(Sweep, ResumeFromCheckpointReproducesTable) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "sweep_resume_ckpt.json";
+  std::remove(path.c_str());
+  xp::ExecOptions e;
+  e.jobs = 2;
+  e.checkpoint = path;
+  const auto a = xp::run_primitive_sweep(xp::crill(), 1, 99, true, e);
+  // The rerun restores every job from the checkpoint file (the default
+  // manifest encodes platform/seed/reps/quick, so the grids match) and
+  // must reproduce the identical table.
+  const auto b = xp::run_primitive_sweep(xp::crill(), 1, 99, true, e);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].min_ms, b[i].min_ms);
+  }
+  std::remove(path.c_str());
 }

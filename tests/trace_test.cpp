@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -87,6 +89,57 @@ TEST(Trace, OverlapVisibleInTimeline) {
     }
   }
   EXPECT_TRUE(overlap_seen);
+}
+
+TEST(Trace, WriteEventsOnlyOnAggregatorRanks) {
+  // With the Cluster geometry (4 nodes x 2 ppn, 160000 bytes, 16 KiB cb)
+  // the plan places aggregators on the even ranks. Non-aggregators never
+  // touch the file, so their traces must carry no write phases at all.
+  for (coll::OverlapMode mode :
+       {coll::OverlapMode::None, coll::OverlapMode::Comm,
+        coll::OverlapMode::Write, coll::OverlapMode::WriteComm,
+        coll::OverlapMode::WriteComm2}) {
+    const auto traces = traced_run(mode);
+    for (std::size_t r = 0; r < traces.size(); ++r) {
+      bool any_write = false;
+      for (const auto& e : traces[r].events()) {
+        if (std::string(e.name).find("write") != std::string::npos) {
+          any_write = true;
+        }
+      }
+      EXPECT_EQ(any_write, r % 2 == 0)
+          << "rank " << r << " mode " << coll::to_string(mode);
+    }
+  }
+}
+
+TEST(Trace, WriteWaitCyclesMatchTheirWriteInits) {
+  // Every write_wait must be labeled with the cycle of the write it waits
+  // on (recorded at write_init time), under each asynchronous-write
+  // scheduler — not with the slot's most recent shuffle cycle.
+  for (coll::OverlapMode mode :
+       {coll::OverlapMode::Write, coll::OverlapMode::WriteComm,
+        coll::OverlapMode::WriteComm2}) {
+    const auto traces = traced_run(mode);
+    for (std::size_t r = 0; r < traces.size(); ++r) {
+      std::vector<int> inits;
+      std::vector<int> waits;
+      for (const auto& e : traces[r].events()) {
+        if (std::string(e.name) == "write_init") inits.push_back(e.cycle);
+        if (std::string(e.name) == "write_wait") waits.push_back(e.cycle);
+      }
+      if (r % 2 == 1) {
+        EXPECT_TRUE(inits.empty() && waits.empty()) << "rank " << r;
+        continue;
+      }
+      EXPECT_FALSE(inits.empty()) << "rank " << r;
+      // One wait per init, covering exactly the same cycles. Waits are
+      // posted in cycle order by every scheduler, so compare directly.
+      std::sort(inits.begin(), inits.end());
+      EXPECT_EQ(waits, inits)
+          << "rank " << r << " mode " << coll::to_string(mode);
+    }
+  }
 }
 
 TEST(Trace, ChromeDocumentShape) {

@@ -2,7 +2,14 @@
 // machine-readable CSV (one row per series x algorithm) for external
 // analysis/plotting.
 //
-//   tpio_sweep --platform crill [--primitives] [--quick] [--reps N] > out.csv
+//   tpio_sweep --platform crill [--primitives] [--quick] [--reps N]
+//              [--jobs N] [--resume FILE] [--progress] > out.csv
+//
+// Series are independent simulations, so the sweep fans out over a worker
+// pool (--jobs, default: hardware concurrency); any worker count produces a
+// byte-identical CSV because every grid point derives its own seed.
+// --resume FILE checkpoints completed grid points to FILE (JSON) and, when
+// re-run with the same grid, skips everything already recorded there.
 
 #include <cstdio>
 #include <cstring>
@@ -21,6 +28,8 @@ int main(int argc, char** argv) {
   bool primitives = false;
   bool quick = false;
   int reps = 3;
+  xp::ExecOptions exec;
+  exec.jobs = 0;  // hardware concurrency
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--platform" && i + 1 < argc) {
@@ -31,10 +40,21 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (a == "--reps" && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
+    } else if (a == "--jobs" && i + 1 < argc) {
+      exec.jobs = std::atoi(argv[++i]);
+      if (exec.jobs < 0) {
+        std::fprintf(stderr, "--jobs wants a count >= 0 (0 = hardware)\n");
+        return 2;
+      }
+    } else if (a == "--resume" && i + 1 < argc) {
+      exec.checkpoint = argv[++i];
+    } else if (a == "--progress") {
+      exec.progress = true;
     } else {
       std::fprintf(stderr,
                    "usage: tpio_sweep [--platform crill|ibex|lustre] "
-                   "[--primitives] [--quick] [--reps N]\n");
+                   "[--primitives] [--quick] [--reps N] [--jobs N] "
+                   "[--resume FILE] [--progress]\n");
       return 2;
     }
   }
@@ -50,7 +70,8 @@ int main(int argc, char** argv) {
 
   if (primitives) {
     std::puts("platform,benchmark,size,procs,transfer,min_ms");
-    for (const auto& s : xp::run_primitive_sweep(plat, reps, 0xC57, quick)) {
+    for (const auto& s :
+         xp::run_primitive_sweep(plat, reps, 0xC57, quick, exec)) {
       for (const auto& [t, ms] : s.min_ms) {
         std::printf("%s,%s,%s,%d,%s,%.6f\n", s.platform.c_str(),
                     wl::to_string(s.kind), s.size_label.c_str(), s.procs,
@@ -59,7 +80,8 @@ int main(int argc, char** argv) {
     }
   } else {
     std::puts("platform,benchmark,size,procs,overlap,min_ms");
-    for (const auto& s : xp::run_overlap_sweep(plat, reps, 0xC57, quick)) {
+    for (const auto& s :
+         xp::run_overlap_sweep(plat, reps, 0xC57, quick, exec)) {
       for (const auto& [m, ms] : s.min_ms) {
         std::printf("%s,%s,%s,%d,%s,%.6f\n", s.platform.c_str(),
                     wl::to_string(s.kind), s.size_label.c_str(), s.procs,
