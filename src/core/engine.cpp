@@ -20,6 +20,13 @@ void timed(sim::RankCtx& ctx, sim::Duration& field, F&& fn) {
   field += ctx.now() - before;
 }
 
+/// Tag space of the intra-node gather (member -> leader); disjoint from
+/// the forward tags (plain cycle numbers) so a rank that is both a member
+/// and an aggregator can never cross-match the two streams.
+smpi::Tag gather_tag(int cycle) {
+  return static_cast<smpi::Tag>(cycle) | (smpi::Tag{1} << 40);
+}
+
 }  // namespace
 
 Engine::Engine(smpi::Mpi& mpi, pfs::File& file, const Plan& plan,
@@ -35,6 +42,12 @@ Engine::Engine(smpi::Mpi& mpi, pfs::File& file, const Plan& plan,
              "local buffer size does not match the file view");
   my_agg_ = plan_.agg_index(mpi_.rank());
   node_ = mpi_.machine().fabric().topology().node_of(mpi_.rank());
+  if (opt_.hierarchical) {
+    is_leader_ = plan_.is_leader(mpi_.rank());
+    const auto [first, last] = plan_.node_rank_range(node_);
+    node_first_ = first;
+    node_last_ = last;
+  }
 
   const int nslots = opt_.overlap == OverlapMode::None ? 1 : 2;
   const std::uint64_t sb = plan_.sub_buffer_bytes();
@@ -71,7 +84,153 @@ sim::Duration Engine::pack_cost(std::size_t segs, std::uint64_t bytes) const {
 // Shuffle phase
 // ---------------------------------------------------------------------------
 
+std::vector<Segment> Engine::incoming_segments(int src, std::uint64_t lo,
+                                               std::uint64_t hi) const {
+  if (!opt_.hierarchical) return plan_.segments_in(src, lo, hi);
+  return plan_.node_segments_in(plan_.topology().node_of(src), lo, hi);
+}
+
+void Engine::leader_gather(int cycle, int slot) {
+  if (!opt_.hierarchical) return;
+  Slot& s = slots_[slot];
+  if (s.gathered_cycle == cycle) return;
+  TPIO_CHECK(!s.sh.pending,
+             "leader_gather while a shuffle is pending on slot");
+  s.gathered_cycle = cycle;
+  if (node_last_ - node_first_ <= 1) return;  // degenerate: direct path
+
+  const int me = mpi_.rank();
+  const int A = plan_.num_aggregators();
+
+  // The staging layout: concatenation over aggregators of the node's
+  // coalesced cycle segments, file-ordered within each aggregator slice.
+  // Every member derives it identically from the shared plan, so members
+  // pack and the leader unpacks without exchanging metadata.
+  std::vector<Segment> layout;  // local_offset = position in stage
+  std::uint64_t stage_bytes = 0;
+  for (int a = 0; a < A; ++a) {
+    const Plan::Range r = plan_.cycle_range(a, cycle);
+    const auto segs = plan_.node_segments_in(node_, r.begin, r.end);
+    for (Segment g : segs) {
+      g.local_offset += stage_bytes;
+      layout.push_back(g);
+    }
+    if (!segs.empty()) {
+      stage_bytes += segs.back().local_offset + segs.back().length;
+    }
+  }
+  if (stage_bytes == 0) return;  // node contributes nothing this cycle
+
+  // Map a member piece to its slot in the merged layout. Union segments
+  // are maximal coalesced runs, so each piece fits inside exactly one.
+  auto stage_pos = [&](const Segment& piece) -> std::uint64_t {
+    auto it = std::upper_bound(
+        layout.begin(), layout.end(), piece.file_offset,
+        [](std::uint64_t v, const Segment& g) { return v < g.file_offset; });
+    TPIO_CHECK(it != layout.begin(), "gather piece outside node layout");
+    --it;
+    TPIO_CHECK(piece.file_offset >= it->file_offset &&
+                   piece.file_offset + piece.length <=
+                       it->file_offset + it->length,
+               "gather piece straddles node layout");
+    return it->local_offset + (piece.file_offset - it->file_offset);
+  };
+  // Pieces of member `m`, in the (aggregator, file-offset) pack order.
+  auto pieces_of = [&](int m) {
+    std::vector<Segment> out;
+    for (int a = 0; a < A; ++a) {
+      const Plan::Range r = plan_.cycle_range(a, cycle);
+      for (const Segment& g : plan_.segments_in(m, r.begin, r.end)) {
+        out.push_back(g);
+      }
+    }
+    return out;
+  };
+
+  if (!is_leader_) {
+    // Member: pack own pieces and hand them to the leader. The blocking
+    // wait models the copy into node-shared staging; a single contiguous
+    // piece goes zero-copy (the wait keeps the user buffer safe).
+    const auto pieces = pieces_of(me);
+    if (pieces.empty()) return;
+    std::span<const std::byte> payload;
+    std::vector<std::byte> buf;
+    if (pieces.size() == 1) {
+      payload = data_.subspan(pieces[0].local_offset, pieces[0].length);
+    } else {
+      std::uint64_t total = 0;
+      for (const Segment& g : pieces) total += g.length;
+      buf.resize(total);
+      std::uint64_t pos = 0;
+      for (const Segment& g : pieces) {
+        std::memcpy(buf.data() + pos, data_.data() + g.local_offset,
+                    g.length);
+        pos += g.length;
+      }
+      timed(mpi_.ctx(), t_.pack,
+            [&] { mpi_.ctx().advance(pack_cost(pieces.size(), total)); });
+      payload = buf;
+    }
+    timed(mpi_.ctx(), t_.gather, [&] {
+      smpi::Request rq =
+          mpi_.isend(plan_.leader_of(me), gather_tag(cycle), payload);
+      mpi_.wait(rq);
+    });
+    return;
+  }
+
+  // Leader: receive every member's packed pieces, scatter them (and our
+  // own) into the merged staging buffer.
+  ScopedTraceEvent ev_(opt_.trace, "leader_gather", cycle, mpi_.ctx().now());
+  struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
+  s.stage.resize(stage_bytes);
+  std::vector<std::pair<int, std::vector<std::byte>>> bufs;
+  std::vector<smpi::Request> reqs;
+  for (int m = node_first_; m < node_last_; ++m) {
+    if (m == me) continue;
+    std::uint64_t n = 0;
+    for (int a = 0; a < A; ++a) {
+      const Plan::Range r = plan_.cycle_range(a, cycle);
+      n += plan_.bytes_in(m, r.begin, r.end);
+    }
+    if (n == 0) continue;
+    bufs.emplace_back(m, std::vector<std::byte>(n));
+    timed(mpi_.ctx(), t_.gather, [&] {
+      reqs.push_back(mpi_.irecv(m, gather_tag(cycle), bufs.back().second));
+    });
+  }
+  const auto own = pieces_of(me);
+  std::uint64_t own_bytes = 0;
+  for (const Segment& g : own) {
+    std::memcpy(s.stage.data() + stage_pos(g),
+                data_.data() + g.local_offset, g.length);
+    own_bytes += g.length;
+  }
+  if (own_bytes > 0) {
+    timed(mpi_.ctx(), t_.pack,
+          [&] { mpi_.ctx().advance(pack_cost(own.size(), own_bytes)); });
+  }
+  timed(mpi_.ctx(), t_.gather, [&] { mpi_.waitall(reqs); });
+  std::size_t nsegs = 0;
+  std::uint64_t bytes = 0;
+  for (const auto& [m, buf] : bufs) {
+    std::uint64_t pos = 0;
+    for (const Segment& g : pieces_of(m)) {
+      std::memcpy(s.stage.data() + stage_pos(g), buf.data() + pos, g.length);
+      pos += g.length;
+      ++nsegs;
+    }
+    TPIO_CHECK(pos == buf.size(), "gather unpack size mismatch");
+    bytes += pos;
+  }
+  if (bytes > 0) {
+    timed(mpi_.ctx(), t_.pack,
+          [&] { mpi_.ctx().advance(pack_cost(nsegs, bytes)); });
+  }
+}
+
 void Engine::shuffle_init(int cycle, int slot) {
+  leader_gather(cycle, slot);  // hierarchical mode only; no-op otherwise
   ScopedTraceEvent ev_(opt_.trace, "shuffle_init", cycle, mpi_.ctx().now());
   struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
   Slot& s = slots_[slot];
@@ -92,8 +251,22 @@ void Engine::shuffle_init(int cycle, int slot) {
     // race arbitrarily far ahead and pre-deliver future cycles into
     // unexpected-message buffers, which no real implementation allows at
     // collective-buffer granularity.
-    timed(mpi_.ctx(), t_.sync, [&] { mpi_.barrier(); });
-    // Aggregator side: one receive per contributing source. A source whose
+    if (opt_.hierarchical) {
+      // Hierarchical metadata sync: members only need lockstep with their
+      // node leader, leaders with the aggregators — most ranks pay the
+      // cheap shared-memory barrier instead of the O(log P) fabric one.
+      // At one rank per node this decomposes into exactly the flat
+      // barrier (node_barrier is a 1-party no-op, leader_barrier spans
+      // every rank).
+      timed(mpi_.ctx(), t_.sync, [&] {
+        mpi_.node_barrier();
+        if (is_leader_) mpi_.leader_barrier();
+      });
+    } else {
+      timed(mpi_.ctx(), t_.sync, [&] { mpi_.barrier(); });
+    }
+    // Aggregator side: one receive per contributing source — every rank on
+    // the direct path, only node leaders under hierarchy. A source whose
     // contribution is one contiguous piece lands directly at its final
     // position in the collective buffer (no staging, no unpack) — the
     // common case for contiguous workloads like IOR; multi-segment
@@ -102,8 +275,11 @@ void Engine::shuffle_init(int cycle, int slot) {
     if (my_agg_ >= 0) {
       const Plan::Range r = plan_.cycle_range(my_agg_, cycle);
       std::span<std::byte> cb = cb_span(slot);
-      for (int src = 0; src < mpi_.size(); ++src) {
-        const auto segs = plan_.segments_in(src, r.begin, r.end);
+      const int nsrc =
+          opt_.hierarchical ? plan_.topology().nodes : mpi_.size();
+      for (int i = 0; i < nsrc; ++i) {
+        const int src = opt_.hierarchical ? plan_.leader_rank(i) : i;
+        const auto segs = incoming_segments(src, r.begin, r.end);
         if (segs.empty()) continue;
         std::span<std::byte> dest;
         if (segs.size() == 1) {
@@ -118,8 +294,29 @@ void Engine::shuffle_init(int cycle, int slot) {
               [&] { s.sh.reqs.push_back(mpi_.irecv(src, tag, dest)); });
       }
     }
-    // Sender side: a single contiguous piece is sent zero-copy from the
-    // user buffer; scattered pieces are packed into one message first.
+    if (opt_.hierarchical && node_last_ - node_first_ > 1) {
+      // Hierarchical forward: the leader sends one contiguous slice of the
+      // staging buffer per destination aggregator, zero-copy (the slice
+      // layout is exactly leader_gather's). Members already handed their
+      // pieces to the leader and send nothing.
+      if (is_leader_) {
+        std::uint64_t base = 0;
+        for (int a = 0; a < plan_.num_aggregators(); ++a) {
+          const Plan::Range r = plan_.cycle_range(a, cycle);
+          const std::uint64_t n = plan_.node_bytes_in(node_, r.begin, r.end);
+          if (n == 0) continue;
+          const std::span<const std::byte> payload(s.stage.data() + base, n);
+          timed(mpi_.ctx(), t_.shuffle, [&] {
+            s.sh.reqs.push_back(mpi_.isend(plan_.agg_rank(a), tag, payload));
+          });
+          base += n;
+        }
+      }
+      return;
+    }
+    // Sender side (direct path; also hierarchical single-member nodes): a
+    // single contiguous piece is sent zero-copy from the user buffer;
+    // scattered pieces are packed into one message first.
     for (int a = 0; a < plan_.num_aggregators(); ++a) {
       const Plan::Range r = plan_.cycle_range(a, cycle);
       const auto segs = plan_.segments_in(me, r.begin, r.end);
@@ -157,6 +354,38 @@ void Engine::shuffle_init(int cycle, int slot) {
   } else {
     // Active target: the opening fence starts the exposure epoch.
     timed(mpi_.ctx(), t_.sync, [&] { mpi_.win_fence(*s.win); });
+  }
+
+  if (opt_.hierarchical && node_last_ - node_first_ > 1) {
+    // Hierarchical one-sided: only node leaders originate puts — one per
+    // coalesced union segment, sourced from the staging buffer. The gather
+    // itself stays two-sided intra-node traffic (it models shared-memory
+    // staging, not RMA).
+    if (!is_leader_) return;
+    std::uint64_t base = 0;
+    for (int a = 0; a < plan_.num_aggregators(); ++a) {
+      const Plan::Range r = plan_.cycle_range(a, cycle);
+      const auto segs = plan_.node_segments_in(node_, r.begin, r.end);
+      if (segs.empty()) continue;
+      const int target = plan_.agg_rank(a);
+      if (opt_.transfer == Transfer::OneSidedLock) {
+        timed(mpi_.ctx(), t_.sync,
+              [&] { mpi_.win_lock(*s.win, target, opt_.lock_type); });
+      }
+      timed(mpi_.ctx(), t_.shuffle, [&] {
+        for (const Segment& g : segs) {
+          mpi_.ctx().advance(opt_.seg_cpu);
+          mpi_.put(*s.win, target, g.file_offset - r.begin,
+                   std::span<const std::byte>(s.stage)
+                       .subspan(base + g.local_offset, g.length));
+        }
+      });
+      if (opt_.transfer == Transfer::OneSidedLock) {
+        timed(mpi_.ctx(), t_.sync, [&] { mpi_.win_unlock(*s.win, target); });
+      }
+      base += segs.back().local_offset + segs.back().length;
+    }
+    return;
   }
 
   for (int a = 0; a < plan_.num_aggregators(); ++a) {
@@ -202,7 +431,7 @@ void Engine::shuffle_wait(int slot) {
         std::size_t nsegs = 0;
         std::uint64_t bytes = 0;
         for (const auto& [src, buf] : s.sh.recv_bufs) {
-          const auto segs = plan_.segments_in(src, r.begin, r.end);
+          const auto segs = incoming_segments(src, r.begin, r.end);
           std::uint64_t pos = 0;
           for (const Segment& g : segs) {
             std::memcpy(cb.data() + (g.file_offset - r.begin),

@@ -27,6 +27,13 @@ class Engine {
   void run();
 
   // ----- individual phase operations (also used by tests) -----------------
+  /// Hierarchical-mode intra-node gather: the node leader collects its
+  /// co-located ranks' pieces of `cycle` into a per-slot staging buffer
+  /// (coalesced, aggregator-major order) over intra-node links. No-op
+  /// unless Options::hierarchical; idempotent per (cycle, slot); called
+  /// automatically at the top of shuffle_init. Single-member nodes skip
+  /// staging entirely — the direct send path is used unchanged.
+  void leader_gather(int cycle, int slot);
   void shuffle_init(int cycle, int slot);
   void shuffle_wait(int slot);
   void shuffle_blocking(int cycle, int slot);
@@ -51,9 +58,20 @@ class Engine {
     ShuffleState sh;
     pfs::WriteOp wr;
     int wr_cycle = -1;  // cycle of the outstanding write, -1 if none
+    // Hierarchical mode, leaders of multi-member nodes only: the node's
+    // merged cycle payload, laid out as the concatenation over aggregators
+    // of the coalesced node segments. Forwards (sends/puts) reference this
+    // memory, so it stays untouched until the slot's shuffle_wait.
+    std::vector<std::byte> stage;
+    int gathered_cycle = -1;  // last cycle gathered into this slot
   };
 
   std::span<std::byte> cb_span(int slot);
+  /// Segment layout of the message an aggregator receives from `src` for
+  /// [lo, hi): per-rank segments on the direct path, the source node's
+  /// coalesced union under hierarchy.
+  std::vector<Segment> incoming_segments(int src, std::uint64_t lo,
+                                         std::uint64_t hi) const;
 
   void run_none();
   void run_comm();        // Algorithm 1
@@ -76,6 +94,9 @@ class Engine {
   PhaseTimings& t_;
   int my_agg_ = -1;  // aggregator index of this rank, or -1
   int node_ = 0;
+  // Hierarchical-mode geometry (valid when opt_.hierarchical).
+  bool is_leader_ = false;
+  int node_first_ = 0, node_last_ = 0;  // this node's rank range
   Slot slots_[2];
 };
 

@@ -19,7 +19,9 @@ int auto_aggregator_count(std::uint64_t total_bytes, std::uint64_t cb_size,
 
 Plan::Plan(std::vector<FileView> views, const net::Topology& topo,
            std::uint64_t stripe_size, const Options& opt)
-    : views_(std::move(views)) {
+    : views_(std::move(views)),
+      topo_(topo),
+      hierarchical_(opt.hierarchical) {
   const int P = topo.nprocs();
   TPIO_CHECK(static_cast<int>(views_.size()) == P,
              "one view per rank required");
@@ -62,6 +64,17 @@ Plan::Plan(std::vector<FileView> views, const net::Topology& topo,
                "duplicate aggregator placement");
     agg_index_of_rank_[static_cast<std::size_t>(rank)] = i;
     agg_ranks_.push_back(rank);
+  }
+
+  // Node-leader election for the two-level shuffle. Computed for every
+  // plan (cheap, one entry per node) so tests and tools can query leader
+  // geometry without opting into hierarchical routing.
+  leader_by_node_.reserve(static_cast<std::size_t>(topo.nodes));
+  for (int n = 0; n < topo.nodes; ++n) {
+    const auto [first, last] = node_rank_range(n);
+    leader_by_node_.push_back(opt.leader_policy == LeaderPolicy::Spread
+                                  ? last - 1
+                                  : first);
   }
 
   // Even byte-range file domains over [range_begin, range_end), optionally
@@ -135,6 +148,56 @@ std::vector<Segment> Plan::segments_in(int r, std::uint64_t lo,
     out.push_back(Segment{s, prefix[idx] + (s - it->offset), e - s});
   }
   return out;
+}
+
+std::pair<int, int> Plan::node_rank_range(int node) const {
+  TPIO_CHECK(node >= 0 && node < topo_.nodes, "node outside topology");
+  const int first = node * topo_.procs_per_node;
+  const int last =
+      std::min((node + 1) * topo_.procs_per_node, topo_.nprocs());
+  TPIO_CHECK(first < last, "empty node in topology");
+  return {first, last};
+}
+
+std::vector<Segment> Plan::node_segments_in(int node, std::uint64_t lo,
+                                            std::uint64_t hi) const {
+  const auto [first, last] = node_rank_range(node);
+  if (last - first == 1) return segments_in(first, lo, hi);
+  std::vector<Segment> all;
+  for (int m = first; m < last; ++m) {
+    for (const Segment& g : segments_in(m, lo, hi)) all.push_back(g);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Segment& a, const Segment& b) {
+              return a.file_offset < b.file_offset;
+            });
+  std::vector<Segment> out;
+  for (const Segment& g : all) {
+    if (!out.empty() &&
+        g.file_offset <= out.back().file_offset + out.back().length) {
+      Segment& back = out.back();
+      back.length = std::max(back.file_offset + back.length,
+                             g.file_offset + g.length) -
+                    back.file_offset;
+    } else {
+      out.push_back(Segment{g.file_offset, 0, g.length});
+    }
+  }
+  std::uint64_t pos = 0;
+  for (Segment& g : out) {
+    g.local_offset = pos;
+    pos += g.length;
+  }
+  return out;
+}
+
+std::uint64_t Plan::node_bytes_in(int node, std::uint64_t lo,
+                                  std::uint64_t hi) const {
+  const auto [first, last] = node_rank_range(node);
+  if (last - first == 1) return bytes_in(first, lo, hi);
+  std::uint64_t n = 0;
+  for (const Segment& g : node_segments_in(node, lo, hi)) n += g.length;
+  return n;
 }
 
 std::uint64_t Plan::bytes_in(int r, std::uint64_t lo, std::uint64_t hi) const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/types.hpp"
@@ -52,12 +53,40 @@ class Plan {
   /// materializing the segments).
   std::uint64_t bytes_in(int r, std::uint64_t lo, std::uint64_t hi) const;
 
+  // ----- two-level (hierarchical) routing ---------------------------------
+  /// Whether this plan was built with Options::hierarchical.
+  bool hierarchical() const { return hierarchical_; }
+  const net::Topology& topology() const { return topo_; }
+  /// The rank elected leader of `node` (per Options::leader_policy).
+  int leader_rank(int node) const {
+    return leader_by_node_[static_cast<std::size_t>(node)];
+  }
+  /// The leader of `rank`'s node.
+  int leader_of(int rank) const { return leader_rank(topo_.node_of(rank)); }
+  bool is_leader(int rank) const { return leader_of(rank) == rank; }
+  /// Half-open rank interval [first, last) living on `node` (block
+  /// mapping; the last node may be partially filled).
+  std::pair<int, int> node_rank_range(int node) const;
+  /// Union of the node's members' segments inside [lo, hi): coalesced
+  /// (touching/overlapping pieces merged), ordered by file offset, with
+  /// `local_offset` re-purposed as the position inside the node's merged
+  /// message. Single-member nodes return segments_in(member) verbatim so
+  /// the hierarchical path degenerates to the direct one exactly.
+  std::vector<Segment> node_segments_in(int node, std::uint64_t lo,
+                                        std::uint64_t hi) const;
+  /// Bytes of the merged node message for [lo, hi) (coalesced size).
+  std::uint64_t node_bytes_in(int node, std::uint64_t lo,
+                              std::uint64_t hi) const;
+
   const FileView& view(int r) const {
     return views_[static_cast<std::size_t>(r)];
   }
 
  private:
   std::vector<FileView> views_;
+  net::Topology topo_;
+  bool hierarchical_ = false;
+  std::vector<int> leader_by_node_;  // per node
   std::vector<std::vector<std::uint64_t>> local_prefix_;  // per rank, per extent
   std::vector<Range> domains_;   // per aggregator index
   std::vector<int> agg_ranks_;   // per aggregator index

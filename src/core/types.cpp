@@ -57,9 +57,18 @@ const char* to_string(Transfer t) {
   return "?";
 }
 
+const char* to_string(LeaderPolicy p) {
+  switch (p) {
+    case LeaderPolicy::Lowest: return "lowest";
+    case LeaderPolicy::Spread: return "spread";
+  }
+  return "?";
+}
+
 PhaseTimings& PhaseTimings::operator+=(const PhaseTimings& o) {
   meta += o.meta;
   pack += o.pack;
+  gather += o.gather;
   shuffle += o.shuffle;
   sync += o.sync;
   write += o.write;

@@ -58,8 +58,16 @@ enum class Transfer {
   OneSidedLock,   // Put + Win_lock/unlock + Barrier (passive target)
 };
 
+/// Which rank of each node acts as the node leader when the hierarchical
+/// (two-level) shuffle is enabled (Options::hierarchical).
+enum class LeaderPolicy {
+  Lowest,  // first rank of the node: co-locates leader and aggregator duty
+  Spread,  // last rank of the node: keeps gather CPU off aggregator ranks
+};
+
 const char* to_string(OverlapMode m);
 const char* to_string(Transfer t);
+const char* to_string(LeaderPolicy p);
 
 /// Tuning knobs of the collective write (OMPIO-flavoured defaults).
 struct Options {
@@ -75,6 +83,14 @@ struct Options {
   /// Lock flavour for Transfer::OneSidedLock; the paper argues Shared is
   /// required for performance, Exclusive kept as an ablation.
   smpi::Mpi::LockType lock_type = smpi::Mpi::LockType::Shared;
+  /// Two-level shuffle (Kang et al., intra-node request aggregation): each
+  /// node elects a leader that gathers its co-located ranks' segments over
+  /// intra-node links, coalesces contiguous pieces, and forwards one merged
+  /// message per (node, aggregator, cycle). Composes with every overlap
+  /// mode and transfer primitive; degenerates to the direct path on
+  /// single-member nodes.
+  bool hierarchical = false;
+  LeaderPolicy leader_policy = LeaderPolicy::Lowest;
   /// CPU bandwidth for pack/unpack memcpy at sender/aggregator.
   double pack_bw = 6e9;
   /// Per-segment CPU cost when packing/unpacking or issuing one put.
@@ -89,6 +105,7 @@ struct Options {
 struct PhaseTimings {
   sim::Duration meta = 0;     // view exchange + planning collectives
   sim::Duration pack = 0;     // CPU pack/unpack
+  sim::Duration gather = 0;   // intra-node leader gather (hierarchical mode)
   sim::Duration shuffle = 0;  // blocked in sends/recvs/puts + their waits
   sim::Duration sync = 0;     // fences, barriers, lock traffic
   sim::Duration write = 0;    // blocked in file writes / write waits

@@ -63,6 +63,13 @@ bool parse_transfer(const std::string& v, coll::Transfer& out) {
   return true;
 }
 
+bool parse_leader(const std::string& v, coll::LeaderPolicy& out) {
+  if (v == "lowest") out = coll::LeaderPolicy::Lowest;
+  else if (v == "spread") out = coll::LeaderPolicy::Spread;
+  else return false;
+  return true;
+}
+
 }  // namespace
 
 Platform platform_by_name(const std::string& name) {
@@ -84,6 +91,8 @@ std::string cli_usage() {
       "  --overlap none|comm|write|write-comm|write-comm-2\n"
       "  --transfer two-sided|fence|lock    shuffle primitive\n"
       "  --aggregators N                    0 = automatic\n"
+      "  --hierarchical                     two-level (intra-node) shuffle\n"
+      "  --leader lowest|spread             node-leader policy (default lowest)\n"
       "  --reps N                           measurements (default 3)\n"
       "  --seed N                           master seed (default 1)\n"
       "  --verify                           check file contents\n"
@@ -141,6 +150,13 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
       } else if (a == "--aggregators") {
         if (!need_value(i)) return cfg;
         cfg.spec.options.num_aggregators = std::atoi(args[++i].c_str());
+      } else if (a == "--hierarchical") {
+        cfg.spec.options.hierarchical = true;
+      } else if (a == "--leader") {
+        if (!need_value(i)) return cfg;
+        if (!parse_leader(args[++i], cfg.spec.options.leader_policy)) {
+          cfg.error = "unknown leader policy '" + args[i] + "'";
+        }
       } else if (a == "--reps") {
         if (!need_value(i)) return cfg;
         cfg.reps = std::atoi(args[++i].c_str());

@@ -26,6 +26,8 @@ struct CliConfig {
 ///   --overlap none|comm|write|write-comm|write-comm-2  (default write-comm-2)
 ///   --transfer two-sided|fence|lock  (default two-sided)
 ///   --aggregators N                  (default auto)
+///   --hierarchical                   (two-level shuffle, off by default)
+///   --leader lowest|spread           (default lowest)
 ///   --reps N                         (default 3)
 ///   --seed N                         (default 1)
 ///   --verify                         (off by default)

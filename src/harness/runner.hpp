@@ -36,6 +36,11 @@ struct RunResult {
   int aggregators = 0;
   int cycles = 0;
   std::uint64_t bytes = 0;           // global volume
+  // Fabric traffic counters (whole run, all ranks): what the hierarchical
+  // shuffle trades — fewer/larger inter-node messages for intra-node copies.
+  std::uint64_t inter_node_bytes = 0;
+  std::uint64_t inter_node_messages = 0;
+  std::uint64_t intra_node_bytes = 0;
   std::string verify_error;          // empty = verified / not requested
   double bandwidth() const {         // effective write bandwidth, bytes/s
     return makespan > 0

@@ -61,15 +61,24 @@ std::string job_key(const SweepCase& c, int procs, const char* variant) {
 }
 
 std::string sweep_manifest(const char* sweep, const Platform& plat, int reps,
-                           std::uint64_t seed, bool quick) {
-  return std::string(sweep) + "|platform=" + plat.name +
-         "|seed=" + std::to_string(seed) + "|reps=" + std::to_string(reps) +
-         "|quick=" + (quick ? "1" : "0");
+                           std::uint64_t seed, bool quick,
+                           const coll::Options& base) {
+  std::string m = std::string(sweep) + "|platform=" + plat.name +
+                  "|seed=" + std::to_string(seed) +
+                  "|reps=" + std::to_string(reps) +
+                  "|quick=" + (quick ? "1" : "0");
+  if (base.hierarchical) {
+    // Keep hierarchical grids in their own checkpoint namespace — the job
+    // keys coincide with the flat sweep's, only the options differ.
+    m += std::string("|hier=1|leader=") + coll::to_string(base.leader_policy);
+  }
+  return m;
 }
 
 }  // namespace
 
 std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
+                                             const coll::Options& base,
                                              int reps, std::uint64_t seed,
                                              bool quick,
                                              const ExecOptions& exec) {
@@ -98,6 +107,7 @@ std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
         spec.platform = plat;
         spec.workload = c.workload;
         spec.nprocs = procs;
+        spec.options = base;
         spec.options.cb_size = kCbSize;
         spec.options.overlap = mode;
         // Independent noise per (series, algorithm): real measurements of
@@ -119,13 +129,20 @@ std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
 
   ExecOptions e = exec;
   if (e.manifest.empty()) {
-    e.manifest = sweep_manifest("overlap", plat, reps, seed, quick);
+    e.manifest = sweep_manifest("overlap", plat, reps, seed, quick, base);
   }
   const std::vector<double> min_ms = run_jobs(jobs, e);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     out[slot[i].first].min_ms[slot[i].second] = min_ms[i];
   }
   return out;
+}
+
+std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
+                                             int reps, std::uint64_t seed,
+                                             bool quick,
+                                             const ExecOptions& exec) {
+  return run_overlap_sweep(platform, coll::Options{}, reps, seed, quick, exec);
 }
 
 std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
@@ -149,6 +166,7 @@ double PrimitiveSeries::improvement(coll::Transfer t) const {
 }
 
 std::vector<PrimitiveSeries> run_primitive_sweep(const Platform& platform,
+                                                 const coll::Options& base,
                                                  int reps, std::uint64_t seed,
                                                  bool quick,
                                                  const ExecOptions& exec) {
@@ -172,6 +190,7 @@ std::vector<PrimitiveSeries> run_primitive_sweep(const Platform& platform,
         spec.platform = plat;
         spec.workload = c.workload;
         spec.nprocs = procs;
+        spec.options = base;
         spec.options.cb_size = kCbSize;
         spec.options.overlap = coll::OverlapMode::WriteComm2;
         spec.options.transfer = t;
@@ -195,13 +214,21 @@ std::vector<PrimitiveSeries> run_primitive_sweep(const Platform& platform,
 
   ExecOptions e = exec;
   if (e.manifest.empty()) {
-    e.manifest = sweep_manifest("primitive", plat, reps, seed, quick);
+    e.manifest = sweep_manifest("primitive", plat, reps, seed, quick, base);
   }
   const std::vector<double> min_ms = run_jobs(jobs, e);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     out[slot[i].first].min_ms[slot[i].second] = min_ms[i];
   }
   return out;
+}
+
+std::vector<PrimitiveSeries> run_primitive_sweep(const Platform& platform,
+                                                 int reps, std::uint64_t seed,
+                                                 bool quick,
+                                                 const ExecOptions& exec) {
+  return run_primitive_sweep(platform, coll::Options{}, reps, seed, quick,
+                             exec);
 }
 
 std::vector<PrimitiveSeries> run_primitive_sweep(const Platform& platform,

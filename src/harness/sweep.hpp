@@ -74,6 +74,13 @@ std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
 std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
                                              int reps, std::uint64_t seed,
                                              bool quick);
+/// Same sweep with caller-supplied base options (e.g. hierarchical mode);
+/// the grid still overrides cb_size and the overlap algorithm per job.
+std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
+                                             const coll::Options& base,
+                                             int reps, std::uint64_t seed,
+                                             bool quick,
+                                             const ExecOptions& exec);
 
 /// Same sweep shape for the data-transfer-primitive study (Fig. 4):
 /// Write-Comm-2 scheduler, three shuffle primitives.
@@ -94,6 +101,13 @@ std::vector<PrimitiveSeries> run_primitive_sweep(const Platform& platform,
 std::vector<PrimitiveSeries> run_primitive_sweep(const Platform& platform,
                                                  int reps, std::uint64_t seed,
                                                  bool quick);
+/// Primitive sweep with caller-supplied base options; the grid still
+/// overrides cb_size, the scheduler and the transfer primitive per job.
+std::vector<PrimitiveSeries> run_primitive_sweep(const Platform& platform,
+                                                 const coll::Options& base,
+                                                 int reps, std::uint64_t seed,
+                                                 bool quick,
+                                                 const ExecOptions& exec);
 
 /// Command-line flags shared by the paper-reproduction bench drivers:
 ///   --quick        reduced grid / fewer reps

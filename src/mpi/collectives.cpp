@@ -21,6 +21,33 @@ void Mpi::barrier() {
                                  machine_->sync_collective_cost(size()));
 }
 
+std::vector<int> Mpi::node_ranks() const {
+  const net::Topology& topo = machine_->fabric_->topology();
+  const int node = topo.node_of(rank());
+  const int first = node * topo.procs_per_node;
+  const int last = std::min((node + 1) * topo.procs_per_node, topo.nprocs());
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(last - first));
+  for (int r = first; r < last; ++r) out.push_back(r);
+  return out;
+}
+
+void Mpi::node_barrier() {
+  Machine& m = *machine_;
+  const int node = m.fabric_->topology().node_of(rank());
+  sim::SyncPoint& sp = *m.node_sync_[static_cast<std::size_t>(node)];
+  const sim::Duration cost =
+      static_cast<sim::Duration>(ceil_log2(std::max(sp.parties(), 1))) *
+      m.params_.node_collective_hop;
+  sp.arrive(*ctx_, cost);
+}
+
+void Mpi::leader_barrier() {
+  Machine& m = *machine_;
+  m.leader_sync_.arrive(
+      *ctx_, m.sync_collective_cost(m.fabric_->topology().nodes));
+}
+
 std::vector<std::vector<std::byte>> Mpi::allgatherv(
     std::span<const std::byte> mine) {
   Machine& m = *machine_;

@@ -16,7 +16,17 @@ Machine::Machine(net::Fabric& fabric, const MpiParams& params)
       params_(params),
       endpoints_(static_cast<std::size_t>(fabric.topology().nprocs())),
       barrier_sync_(fabric.topology().nprocs()),
-      win_sync_(fabric.topology().nprocs()) {}
+      leader_sync_(fabric.topology().nodes),
+      win_sync_(fabric.topology().nprocs()) {
+  const net::Topology& topo = fabric.topology();
+  node_sync_.reserve(static_cast<std::size_t>(topo.nodes));
+  for (int n = 0; n < topo.nodes; ++n) {
+    const int first = n * topo.procs_per_node;
+    const int last =
+        std::min((n + 1) * topo.procs_per_node, topo.nprocs());
+    node_sync_.push_back(std::make_unique<sim::SyncPoint>(last - first));
+  }
+}
 
 sim::Duration Machine::sync_collective_cost(int parties) const {
   return static_cast<sim::Duration>(ceil_log2(std::max(parties, 1))) *

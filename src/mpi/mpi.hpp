@@ -56,6 +56,9 @@ struct MpiParams {
   /// Per-hop cost of synchronizing collectives (barrier, fence):
   /// cost = ceil(log2 P) * collective_hop.
   sim::Duration collective_hop = sim::microseconds(2.5);
+  /// Per-hop cost of node-local synchronizing collectives (node_barrier):
+  /// shared-memory flag propagation, far below the fabric's collective_hop.
+  sim::Duration node_collective_hop = sim::microseconds(0.4);
   /// Win_fence costs fence_cost_factor * barrier: closing an exposure
   /// epoch is a barrier plus a remote-completion flush of every pending
   /// RMA operation — "MPI_Win_fence is known to be an expensive
@@ -123,6 +126,17 @@ class Mpi {
 
   // ----- collectives --------------------------------------------------------
   void barrier();
+  // Sub-communicator helpers for the two-level shuffle. The node
+  // communicator is implicit in the topology's block mapping; the leader
+  // communicator has exactly one member per node.
+  /// Ranks co-located on this rank's node, ascending.
+  std::vector<int> node_ranks() const;
+  /// Barrier over this rank's node only; costs
+  /// ceil(log2 members) * node_collective_hop (shared-memory speed).
+  void node_barrier();
+  /// Barrier over the node-leader sub-communicator. Collective among
+  /// exactly one rank per node — every leader must call it each time.
+  void leader_barrier();
   /// Everyone contributes `mine`; returns all contributions indexed by rank.
   std::vector<std::vector<std::byte>> allgatherv(std::span<const std::byte> mine);
   std::uint64_t allreduce_max(std::uint64_t v);
@@ -223,6 +237,10 @@ class Machine {
 
   // Collective machinery (single job-wide communicator).
   sim::SyncPoint barrier_sync_;
+  // Sub-communicator rendezvous: one per node, plus one for the node
+  // leaders (parties = node count; exactly one rank per node arrives).
+  std::vector<std::unique_ptr<sim::SyncPoint>> node_sync_;
+  sim::SyncPoint leader_sync_;
   struct ExchangeSlot {
     int arrived = 0;
     sim::Time max_clock = 0;

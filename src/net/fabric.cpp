@@ -8,6 +8,7 @@ namespace tpio::net {
 
 Fabric::Fabric(const Topology& topo, const FabricParams& params)
     : topo_(topo), params_(params) {
+  topo.validate();
   TPIO_CHECK(params.inter_bw > 0 && params.intra_bw > 0,
              "fabric bandwidths must be positive");
   nic_tx_.reserve(static_cast<std::size_t>(topo.nodes));
@@ -48,6 +49,7 @@ sim::Time Fabric::transfer(int src, int dst, std::uint64_t bytes,
   const int dn = topo_.node_of(dst);
   if (sn == dn) {
     // Intra-node: a copy through the node's memory system.
+    intra_bytes_ += bytes;
     const sim::Duration t = sim::transfer_time(bytes, params_.intra_bw);
     auto iv = mem_[static_cast<std::size_t>(sn)].reserve(depart, t);
     return iv.start + params_.intra_latency + (iv.end - iv.start);
@@ -57,6 +59,7 @@ sim::Time Fabric::transfer(int src, int dst, std::uint64_t bytes,
   // stream occupies the destination receive channel. Contention at either
   // endpoint delays it.
   inter_bytes_ += bytes;
+  inter_msgs_ += 1;
   const sim::Duration t = sim::transfer_time(bytes, params_.inter_bw);
   auto tx = nic_tx_[static_cast<std::size_t>(sn)].reserve(depart, t);
   auto rx = nic_rx_[static_cast<std::size_t>(dn)].reserve(

@@ -61,6 +61,11 @@ class Fabric {
 
   /// Total bytes that crossed node boundaries (diagnostic).
   std::uint64_t inter_node_bytes() const { return inter_bytes_; }
+  /// Number of bulk transfers that crossed node boundaries (diagnostic;
+  /// the quantity the hierarchical shuffle exists to reduce).
+  std::uint64_t inter_node_messages() const { return inter_msgs_; }
+  /// Total bytes moved over intra-node memory channels (diagnostic).
+  std::uint64_t intra_node_bytes() const { return intra_bytes_; }
 
  private:
   Topology topo_;
@@ -68,6 +73,8 @@ class Fabric {
   std::vector<std::unique_ptr<sim::NoiseModel>> noise_;  // one per timeline
   std::vector<sim::Timeline> nic_tx_, nic_rx_, mem_;     // per node
   std::uint64_t inter_bytes_ = 0;
+  std::uint64_t inter_msgs_ = 0;
+  std::uint64_t intra_bytes_ = 0;
 };
 
 }  // namespace tpio::net

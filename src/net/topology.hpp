@@ -13,7 +13,25 @@ struct Topology {
   /// Actual rank count; 0 means "all nodes full".
   int ranks = 0;
 
-  int nprocs() const { return ranks > 0 ? ranks : nodes * procs_per_node; }
+  /// Central validity check. Aggregate initialization bypasses fit()'s
+  /// argument checks, so every accessor funnels through here: malformed
+  /// shapes (non-positive sizes, rank counts that would leave a node other
+  /// than the last one empty or overflow the machine) fail on first use
+  /// instead of corrupting downstream arithmetic (e.g. node_of dividing by
+  /// zero, or a fabric built with zero NICs).
+  void validate() const {
+    TPIO_CHECK(nodes > 0 && procs_per_node > 0,
+               "topology sizes must be positive");
+    TPIO_CHECK(ranks >= 0 && ranks <= nodes * procs_per_node,
+               "topology rank count exceeds node capacity");
+    TPIO_CHECK(ranks == 0 || ranks > (nodes - 1) * procs_per_node,
+               "topology leaves a node empty (only the last may be partial)");
+  }
+
+  int nprocs() const {
+    validate();
+    return ranks > 0 ? ranks : nodes * procs_per_node;
+  }
 
   int node_of(int rank) const {
     TPIO_CHECK(rank >= 0 && rank < nprocs(), "rank outside topology");

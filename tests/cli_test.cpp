@@ -43,6 +43,16 @@ TEST(Cli, FullConfiguration) {
   EXPECT_TRUE(cfg.spec.verify);
 }
 
+TEST(Cli, HierarchicalFlags) {
+  EXPECT_FALSE(parse({}).spec.options.hierarchical);
+  const auto cfg = parse({"--hierarchical", "--leader", "spread"});
+  ASSERT_TRUE(cfg.error.empty()) << cfg.error;
+  EXPECT_TRUE(cfg.spec.options.hierarchical);
+  EXPECT_EQ(cfg.spec.options.leader_policy, coll::LeaderPolicy::Spread);
+  const auto lowest = parse({"--hierarchical", "--leader", "lowest"});
+  EXPECT_EQ(lowest.spec.options.leader_policy, coll::LeaderPolicy::Lowest);
+}
+
 TEST(Cli, BytesPerProcShapesWorkload) {
   const auto cfg =
       parse({"--workload", "ior", "--bytes-per-proc", "4M"});
@@ -66,6 +76,8 @@ TEST(Cli, Errors) {
   EXPECT_FALSE(parse({"--workload", "wat"}).error.empty());
   EXPECT_FALSE(parse({"--cb", "12Q"}).error.empty());
   EXPECT_FALSE(parse({"--reps", "0"}).error.empty());
+  EXPECT_FALSE(parse({"--leader"}).error.empty());       // missing value
+  EXPECT_FALSE(parse({"--leader", "wat"}).error.empty());
 }
 
 TEST(Cli, PlatformPresets) {

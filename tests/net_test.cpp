@@ -32,6 +32,26 @@ TEST(Topology, FitRoundsUp) {
   EXPECT_EQ(exact.nodes, 4);
 }
 
+TEST(Topology, ValidateCatchesMalformedShapes) {
+  // Aggregate initialization bypasses fit()'s checks; the centralized
+  // validate() must still reject malformed shapes on first use.
+  EXPECT_THROW((net::Topology{0, 2}.nprocs()), tpio::Error);
+  EXPECT_THROW((net::Topology{2, 0}.node_of(0)), tpio::Error);
+  // More ranks than the machine holds.
+  EXPECT_THROW((net::Topology{2, 2, 5}.nprocs()), tpio::Error);
+  // Rank count so small a non-last node would sit empty.
+  EXPECT_THROW((net::Topology{2, 2, 2}.nprocs()), tpio::Error);
+  EXPECT_THROW((net::Topology{2, 2, -1}.nprocs()), tpio::Error);
+  // Partial last node is the one legal shortfall.
+  EXPECT_EQ((net::Topology{2, 2, 3}.nprocs()), 3);
+  EXPECT_EQ((net::Topology{2, 2, 0}.nprocs()), 4);
+}
+
+TEST(Topology, FabricConstructorValidates) {
+  const net::Topology bad{3, 4, 2};  // would leave two nodes empty
+  EXPECT_THROW(net::Fabric(bad, net::FabricParams{}), tpio::Error);
+}
+
 namespace {
 
 net::FabricParams flat_params() {
@@ -53,6 +73,8 @@ TEST(Fabric, SingleInterNodeMessage) {
   const sim::Time arr = f.transfer(0, 1, 1000, 0);
   EXPECT_EQ(arr, 100 + 1000);
   EXPECT_EQ(f.inter_node_bytes(), 1000u);
+  EXPECT_EQ(f.inter_node_messages(), 1u);
+  EXPECT_EQ(f.intra_node_bytes(), 0u);
 }
 
 TEST(Fabric, IntraNodeUsesMemoryChannel) {
@@ -62,6 +84,19 @@ TEST(Fabric, IntraNodeUsesMemoryChannel) {
   const sim::Time arr = f.transfer(0, 1, 1000, 0);
   EXPECT_EQ(arr, 10 + 250);
   EXPECT_EQ(f.inter_node_bytes(), 0u);
+  EXPECT_EQ(f.inter_node_messages(), 0u);
+  EXPECT_EQ(f.intra_node_bytes(), 1000u);
+}
+
+TEST(Fabric, TrafficCountersSplitByLocality) {
+  net::Topology topo{2, 2};
+  net::Fabric f(topo, flat_params());
+  f.transfer(0, 1, 300, 0);  // same node
+  f.transfer(0, 2, 500, 0);  // crosses
+  f.transfer(3, 1, 700, 0);  // crosses
+  EXPECT_EQ(f.intra_node_bytes(), 300u);
+  EXPECT_EQ(f.inter_node_bytes(), 1200u);
+  EXPECT_EQ(f.inter_node_messages(), 2u);
 }
 
 TEST(Fabric, IncastSerializesAtReceiverNic) {

@@ -237,6 +237,90 @@ TEST(Plan, SegmentsRespectLocalOffsets) {
   EXPECT_TRUE(plan.segments_in(0, 150, 300).empty());
 }
 
+TEST(Plan, LeaderPolicies) {
+  net::Topology topo{3, 4, 10};  // partial last node: ranks 8, 9
+  auto views = block_views(10, 100);
+  coll::Options lo = opts(1 << 20);
+  lo.hierarchical = true;
+  coll::Plan lowest(views, topo, 0, lo);
+  EXPECT_TRUE(lowest.hierarchical());
+  EXPECT_EQ(lowest.leader_rank(0), 0);
+  EXPECT_EQ(lowest.leader_rank(1), 4);
+  EXPECT_EQ(lowest.leader_rank(2), 8);
+  EXPECT_EQ(lowest.leader_of(5), 4);
+  EXPECT_TRUE(lowest.is_leader(4));
+  EXPECT_FALSE(lowest.is_leader(5));
+
+  coll::Options sp = lo;
+  sp.leader_policy = coll::LeaderPolicy::Spread;
+  coll::Plan spread(views, topo, 0, sp);
+  EXPECT_EQ(spread.leader_rank(0), 3);
+  EXPECT_EQ(spread.leader_rank(1), 7);
+  EXPECT_EQ(spread.leader_rank(2), 9);  // last node holds only 8, 9
+
+  // Non-hierarchical plans still elect leaders (cheap) but report off.
+  coll::Plan flat(views, topo, 0, opts(1 << 20));
+  EXPECT_FALSE(flat.hierarchical());
+}
+
+TEST(Plan, NodeRankRanges) {
+  net::Topology topo{3, 4, 10};
+  auto views = block_views(10, 100);
+  coll::Plan plan(views, topo, 0, opts(1 << 20));
+  EXPECT_EQ(plan.node_rank_range(0), (std::pair<int, int>{0, 4}));
+  EXPECT_EQ(plan.node_rank_range(1), (std::pair<int, int>{4, 8}));
+  EXPECT_EQ(plan.node_rank_range(2), (std::pair<int, int>{8, 10}));
+}
+
+TEST(Plan, NodeSegmentsCoalesceAcrossMembers) {
+  // Node 0 holds ranks 0 and 1 with interleaved-but-touching pieces; the
+  // merged node message must be one run with dense local offsets.
+  net::Topology topo{2, 2};
+  std::vector<coll::FileView> views(4);
+  views[0].extents = {{0, 100}, {200, 100}};
+  views[1].extents = {{100, 100}, {400, 50}};
+  views[2].extents = {{500, 100}};
+  views[3].extents = {{600, 100}};
+  coll::Plan plan(views, topo, 0, opts(1 << 20));
+
+  const auto segs = plan.node_segments_in(0, 0, 1000);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].file_offset, 0u);    // [0,100)+[100,200)+[200,300)
+  EXPECT_EQ(segs[0].length, 300u);
+  EXPECT_EQ(segs[0].local_offset, 0u);
+  EXPECT_EQ(segs[1].file_offset, 400u);
+  EXPECT_EQ(segs[1].length, 50u);
+  EXPECT_EQ(segs[1].local_offset, 300u);  // dense in the merged message
+  EXPECT_EQ(plan.node_bytes_in(0, 0, 1000), 350u);
+
+  // Window clipping applies before the merge.
+  const auto clipped = plan.node_segments_in(0, 150, 250);
+  ASSERT_EQ(clipped.size(), 1u);
+  EXPECT_EQ(clipped[0].file_offset, 150u);
+  EXPECT_EQ(clipped[0].length, 100u);
+  EXPECT_EQ(plan.node_bytes_in(0, 150, 250), 100u);
+}
+
+TEST(Plan, SingleMemberNodePassesSegmentsThrough) {
+  // ppn=1: node_segments_in must return segments_in(member) verbatim —
+  // including its local buffer offsets — so the hierarchical path
+  // degenerates to the direct one exactly.
+  net::Topology topo{2, 1};
+  std::vector<coll::FileView> views(2);
+  views[0].extents = {{100, 50}, {300, 100}};
+  views[1].extents = {{150, 100}};
+  coll::Plan plan(views, topo, 0, opts(1 << 20));
+  const auto direct = plan.segments_in(0, 120, 350);
+  const auto node = plan.node_segments_in(0, 120, 350);
+  ASSERT_EQ(node.size(), direct.size());
+  for (std::size_t i = 0; i < node.size(); ++i) {
+    EXPECT_EQ(node[i].file_offset, direct[i].file_offset);
+    EXPECT_EQ(node[i].local_offset, direct[i].local_offset);
+    EXPECT_EQ(node[i].length, direct[i].length);
+  }
+  EXPECT_EQ(plan.node_bytes_in(0, 120, 350), plan.bytes_in(0, 120, 350));
+}
+
 TEST(Plan, EmptyJob) {
   net::Topology topo{2, 2};
   std::vector<coll::FileView> views(4);

@@ -18,6 +18,7 @@ namespace tpio::test {
 struct ClusterSpec {
   int nodes = 4;
   int ppn = 2;
+  int ranks = 0;  // 0 = nodes * ppn; else a partially-filled last node
   net::FabricParams fabric;
   smpi::MpiParams mpi;
   pfs::PfsParams pfs;
@@ -39,7 +40,7 @@ struct ClusterSpec {
 class Cluster {
  public:
   explicit Cluster(const ClusterSpec& spec = ClusterSpec{})
-      : topo_{spec.nodes, spec.ppn},
+      : topo_{spec.nodes, spec.ppn, spec.ranks},
         fabric_(topo_, spec.fabric),
         conductor_(topo_.nprocs()),
         machine_(fabric_, spec.mpi),
@@ -47,6 +48,7 @@ class Cluster {
 
   int nprocs() const { return topo_.nprocs(); }
   net::Topology topology() const { return topo_; }
+  net::Fabric& fabric() { return fabric_; }
   pfs::StorageSystem& storage() { return storage_; }
   sim::Conductor& conductor() { return conductor_; }
 

@@ -16,8 +16,12 @@ using tpio::test::fill_view;
 
 namespace {
 
-std::vector<coll::Trace> traced_run(coll::OverlapMode mode) {
-  Cluster cluster;
+std::vector<coll::Trace> traced_run(coll::OverlapMode mode, bool hier = false,
+                                    int nodes = 4, int ppn = 2) {
+  tpio::test::ClusterSpec cs;
+  cs.nodes = nodes;
+  cs.ppn = ppn;
+  Cluster cluster(cs);
   std::vector<coll::Trace> traces(static_cast<std::size_t>(cluster.nprocs()));
   auto file = cluster.storage().create("tr", pfs::Integrity::None);
   cluster.run([&](tpio::smpi::Mpi& mpi) {
@@ -28,10 +32,19 @@ std::vector<coll::Trace> traced_run(coll::OverlapMode mode) {
     coll::Options o;
     o.cb_size = 16384;
     o.overlap = mode;
+    o.hierarchical = hier;
     o.trace = &traces[static_cast<std::size_t>(mpi.rank())];
     coll::collective_write(mpi, *file, v, data, o);
   });
   return traces;
+}
+
+std::vector<int> event_cycles(const coll::Trace& t, const std::string& name) {
+  std::vector<int> out;
+  for (const auto& e : t.events()) {
+    if (std::string(e.name) == name) out.push_back(e.cycle);
+  }
+  return out;
 }
 
 }  // namespace
@@ -139,6 +152,58 @@ TEST(Trace, WriteWaitCyclesMatchTheirWriteInits) {
       EXPECT_EQ(waits, inits)
           << "rank " << r << " mode " << coll::to_string(mode);
     }
+  }
+}
+
+TEST(Trace, LeaderGatherEventsOnlyOnLeaderRanks) {
+  // Hierarchical shuffle on the default geometry (4 nodes x 2 ppn): the
+  // Lowest policy elects ranks 0, 2, 4, 6. Only leaders merge co-located
+  // data, so only their traces may carry leader_gather phases — and with
+  // every rank contributing each cycle, they all must.
+  for (coll::OverlapMode mode :
+       {coll::OverlapMode::None, coll::OverlapMode::Comm,
+        coll::OverlapMode::Write, coll::OverlapMode::WriteComm,
+        coll::OverlapMode::WriteComm2}) {
+    const auto traces = traced_run(mode, /*hier=*/true);
+    for (std::size_t r = 0; r < traces.size(); ++r) {
+      const auto gathers = event_cycles(traces[r], "leader_gather");
+      if (r % 2 == 0) {
+        EXPECT_FALSE(gathers.empty())
+            << "rank " << r << " mode " << coll::to_string(mode);
+      } else {
+        EXPECT_TRUE(gathers.empty())
+            << "rank " << r << " mode " << coll::to_string(mode);
+      }
+    }
+  }
+}
+
+TEST(Trace, LeaderGatherCyclesMatchShuffleInits) {
+  // Every cycle a leader shuffles, it first gathered that same cycle: the
+  // leader_gather events must carry exactly the shuffle_init cycle labels,
+  // in the same order, under every scheduler.
+  for (coll::OverlapMode mode :
+       {coll::OverlapMode::None, coll::OverlapMode::Comm,
+        coll::OverlapMode::Write, coll::OverlapMode::WriteComm,
+        coll::OverlapMode::WriteComm2}) {
+    const auto traces = traced_run(mode, /*hier=*/true);
+    for (std::size_t r = 0; r < traces.size(); r += 2) {
+      const auto gathers = event_cycles(traces[r], "leader_gather");
+      const auto shuffles = event_cycles(traces[r], "shuffle_init");
+      EXPECT_EQ(gathers, shuffles)
+          << "rank " << r << " mode " << coll::to_string(mode);
+    }
+  }
+}
+
+TEST(Trace, NoLeaderGatherEventsAtPpnOne) {
+  // One process per node: nothing to merge, the hierarchical path must
+  // degenerate to the direct one — no gather phases anywhere.
+  const auto traces = traced_run(coll::OverlapMode::WriteComm2, /*hier=*/true,
+                                 /*nodes=*/8, /*ppn=*/1);
+  for (std::size_t r = 0; r < traces.size(); ++r) {
+    EXPECT_TRUE(event_cycles(traces[r], "leader_gather").empty())
+        << "rank " << r;
   }
 }
 

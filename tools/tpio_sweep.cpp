@@ -2,7 +2,8 @@
 // machine-readable CSV (one row per series x algorithm) for external
 // analysis/plotting.
 //
-//   tpio_sweep --platform crill [--primitives] [--quick] [--reps N]
+//   tpio_sweep --platform crill [--primitives] [--hierarchical]
+//              [--leader lowest|spread] [--quick] [--reps N]
 //              [--jobs N] [--resume FILE] [--progress] > out.csv
 //
 // Series are independent simulations, so the sweep fans out over a worker
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   bool primitives = false;
   bool quick = false;
   int reps = 3;
+  coll::Options base;
   xp::ExecOptions exec;
   exec.jobs = 0;  // hardware concurrency
   for (int i = 1; i < argc; ++i) {
@@ -36,6 +38,16 @@ int main(int argc, char** argv) {
       platform = argv[++i];
     } else if (a == "--primitives") {
       primitives = true;
+    } else if (a == "--hierarchical") {
+      base.hierarchical = true;
+    } else if (a == "--leader" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (v == "lowest") base.leader_policy = coll::LeaderPolicy::Lowest;
+      else if (v == "spread") base.leader_policy = coll::LeaderPolicy::Spread;
+      else {
+        std::fprintf(stderr, "unknown leader policy '%s'\n", v.c_str());
+        return 2;
+      }
     } else if (a == "--quick") {
       quick = true;
     } else if (a == "--reps" && i + 1 < argc) {
@@ -53,7 +65,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: tpio_sweep [--platform crill|ibex|lustre] "
-                   "[--primitives] [--quick] [--reps N] [--jobs N] "
+                   "[--primitives] [--hierarchical] [--leader lowest|spread] "
+                   "[--quick] [--reps N] [--jobs N] "
                    "[--resume FILE] [--progress]\n");
       return 2;
     }
@@ -71,7 +84,7 @@ int main(int argc, char** argv) {
   if (primitives) {
     std::puts("platform,benchmark,size,procs,transfer,min_ms");
     for (const auto& s :
-         xp::run_primitive_sweep(plat, reps, 0xC57, quick, exec)) {
+         xp::run_primitive_sweep(plat, base, reps, 0xC57, quick, exec)) {
       for (const auto& [t, ms] : s.min_ms) {
         std::printf("%s,%s,%s,%d,%s,%.6f\n", s.platform.c_str(),
                     wl::to_string(s.kind), s.size_label.c_str(), s.procs,
@@ -81,7 +94,7 @@ int main(int argc, char** argv) {
   } else {
     std::puts("platform,benchmark,size,procs,overlap,min_ms");
     for (const auto& s :
-         xp::run_overlap_sweep(plat, reps, 0xC57, quick, exec)) {
+         xp::run_overlap_sweep(plat, base, reps, 0xC57, quick, exec)) {
       for (const auto& [m, ms] : s.min_ms) {
         std::printf("%s,%s,%s,%d,%s,%.6f\n", s.platform.c_str(),
                     wl::to_string(s.kind), s.size_label.c_str(), s.procs,
