@@ -36,7 +36,7 @@ int main() {
               spec.describe().c_str());
 
   xp::Table table({"shuffle primitive", "time(ms)", "shuffle(ms)",
-                   "sync(ms)", "pack(ms)", "write(ms)"});
+                   "gather(ms)", "sync(ms)", "pack(ms)", "write(ms)"});
   for (coll::Transfer transfer :
        {coll::Transfer::TwoSided, coll::Transfer::OneSidedFence,
         coll::Transfer::OneSidedLock}) {
@@ -73,13 +73,14 @@ int main() {
     for (const auto& r : results) {
       if (r.timings.write > 0) agg += r.timings;
     }
-    char t[32], sh[32], sy[32], pk[32], wr[32];
+    char t[32], sh[32], ga[32], sy[32], pk[32], wr[32];
     std::snprintf(t, sizeof(t), "%.2f", sim::to_millis(conductor.makespan()));
     std::snprintf(sh, sizeof(sh), "%.2f", sim::to_millis(agg.shuffle));
+    std::snprintf(ga, sizeof(ga), "%.2f", sim::to_millis(agg.gather));
     std::snprintf(sy, sizeof(sy), "%.2f", sim::to_millis(agg.sync));
     std::snprintf(pk, sizeof(pk), "%.2f", sim::to_millis(agg.pack));
     std::snprintf(wr, sizeof(wr), "%.2f", sim::to_millis(agg.write));
-    table.add_row({coll::to_string(transfer), t, sh, sy, pk, wr});
+    table.add_row({coll::to_string(transfer), t, sh, ga, sy, pk, wr});
   }
   table.print();
   std::puts("\n(aggregator-side sums; every checkpoint verified)");

@@ -1,0 +1,273 @@
+#include "core/autotune.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "core/plan.hpp"
+#include "mpi/mpi.hpp"
+#include "net/fabric.hpp"
+#include "simbase/error.hpp"
+
+namespace tpio::coll {
+
+double probe_comm_share(const ProbeStats& s) {
+  const double denom = s.shuffle_ns + s.write_block_ns;
+  return denom > 0.0 ? s.shuffle_ns / denom : 0.0;
+}
+
+double probe_aio_ratio(const ProbeStats& s) {
+  if (!s.has_async || s.write_block_ns <= 0.0) return 1.0;
+  return s.write_async_ns / s.write_block_ns;
+}
+
+OverlapMode decide(const ProbeStats& s, const AutoPolicy& p) {
+  const double share = probe_comm_share(s);
+  const double ratio = probe_aio_ratio(s);
+  // aio guard: an async-write scheduler's steady-state cycle can never beat
+  // max(shuffle, async write) — the penalised write is on its critical
+  // path every cycle — while the blocking-write pipeline (Comm) floors at
+  // max(shuffle, blocking write). When the async floor exceeds the
+  // blocking floor by more than the margin (jitter allowance), async
+  // writes are a net loss — the Lustre regime — and only the
+  // blocking-write schedulers compete.
+  const double blocking_floor = std::max(s.shuffle_ns, s.write_block_ns);
+  const double async_floor = ratio * s.write_block_ns;
+  if (async_floor > (1.0 + p.aio_margin) * blocking_floor) {
+    return share >= p.comm_floor ? OverlapMode::Comm : OverlapMode::None;
+  }
+  if (share < p.write_only_ceiling) return OverlapMode::Write;
+  if (share >= p.joint_wait_floor) return OverlapMode::WriteComm;
+  return OverlapMode::WriteComm2;
+}
+
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string platform_signature(const net::Topology& topo,
+                               const net::FabricParams& fabric,
+                               const smpi::MpiParams& mpi,
+                               const pfs::PfsParams& pfs) {
+  // Only knobs that shape the comm/IO balance; per-run noise seeds and the
+  // (jittered) aio penalty stay out so reps of one machine share a key.
+  std::string s = "n" + std::to_string(topo.nodes) + "x" +
+                  std::to_string(topo.procs_per_node);
+  s += "|net" + num(fabric.inter_bw) + "/" + num(fabric.intra_bw);
+  s += "|eager" + std::to_string(mpi.eager_limit);
+  s += "|tgt" + std::to_string(pfs.num_targets) + "x" + num(pfs.target_bw);
+  s += "|stripe" + std::to_string(pfs.stripe_size);
+  s += "|client" + num(pfs.client_bw);
+  s += pfs.share_compute_nic ? "|shared-nic" : "|dedicated-nic";
+  return s;
+}
+
+std::string workload_signature(int nprocs, std::uint64_t global_bytes,
+                               const Options& opt) {
+  std::string s = "P" + std::to_string(nprocs);
+  s += "|b" + std::to_string(global_bytes);
+  s += "|cb" + std::to_string(opt.cb_size);
+  s += "|agg" + std::to_string(opt.num_aggregators);
+  s += std::string("|ts=") + to_string(opt.transfer);
+  if (opt.hierarchical) s += "|hier";
+  return s;
+}
+
+std::string workload_signature(const Plan& plan, const Options& opt) {
+  return workload_signature(plan.topology().nprocs(), plan.global_bytes(),
+                            opt);
+}
+
+// ---------------------------------------------------------------------------
+// Tuning cache
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Serializes every cache access in this process: parallel sweep workers
+/// run one engine per thread and may consult the same file concurrently.
+std::mutex& cache_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+constexpr const char* kMagic = "tpio-tuning-cache";
+
+/// Cursor over the cache JSON; each parse_* returns false on mismatch.
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  void ws() {
+    while (p != end && (*p == ' ' || *p == '\n' || *p == '\r' || *p == '\t')) {
+      ++p;
+    }
+  }
+  bool lit(char c) {
+    ws();
+    if (p == end || *p != c) return false;
+    ++p;
+    return true;
+  }
+  bool str(std::string& out) {
+    ws();
+    if (p == end || *p != '"') return false;
+    ++p;
+    out.clear();
+    while (p != end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p == end) return false;
+        switch (*p) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: return false;
+        }
+        ++p;
+      } else {
+        out += *p++;
+      }
+    }
+    if (p == end) return false;
+    ++p;
+    return true;
+  }
+};
+
+void json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+bool mode_by_name(const std::string& name, OverlapMode& out) {
+  for (OverlapMode m : {OverlapMode::None, OverlapMode::Comm,
+                        OverlapMode::Write, OverlapMode::WriteComm,
+                        OverlapMode::WriteComm2}) {
+    if (name == to_string(m)) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Load `path` into `out`; false when absent or not a cache file. Caller
+/// holds the cache mutex.
+bool load_entries(const std::string& path,
+                  std::map<std::string, OverlapMode>& out) {
+  out.clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  Cursor c{text.data(), text.data() + text.size()};
+  std::string key;
+  double version = 0.0;
+  if (!c.lit('{') || !c.str(key) || key != kMagic || !c.lit(':')) return false;
+  {
+    c.ws();
+    char* after = nullptr;
+    version = std::strtod(c.p, &after);
+    if (after == c.p || version != 1.0) return false;
+    c.p = after;
+  }
+  if (!c.lit(',') || !c.str(key) || key != "entries" || !c.lit(':') ||
+      !c.lit('{')) {
+    return false;
+  }
+  c.ws();
+  if (c.p != c.end && *c.p == '}') {
+    ++c.p;
+  } else {
+    for (;;) {
+      std::string value;
+      OverlapMode mode{};
+      if (!c.str(key) || !c.lit(':') || !c.str(value) ||
+          !mode_by_name(value, mode)) {
+        out.clear();
+        return false;
+      }
+      out[key] = mode;
+      if (c.lit(',')) continue;
+      if (c.lit('}')) break;
+      out.clear();
+      return false;
+    }
+  }
+  return c.lit('}');
+}
+
+void save_entries(const std::string& path,
+                  const std::map<std::string, OverlapMode>& entries) {
+  std::string text = "{\n  ";
+  json_string(text, kMagic);
+  text += ": 1,\n  ";
+  json_string(text, "entries");
+  text += ": {";
+  bool first = true;
+  for (const auto& [key, mode] : entries) {
+    text += first ? "\n    " : ",\n    ";
+    first = false;
+    json_string(text, key);
+    text += ": ";
+    json_string(text, to_string(mode));
+  }
+  text += first ? "}\n}\n" : "\n  }\n}\n";
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    TPIO_CHECK(static_cast<bool>(out), "cannot write tuning cache " + tmp);
+    out << text;
+  }
+  TPIO_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+             "cannot move tuning cache into place: " + path);
+}
+
+}  // namespace
+
+bool TuningCache::lookup(const std::string& path, const std::string& key,
+                         OverlapMode& out) {
+  std::lock_guard lk(cache_mutex());
+  std::map<std::string, OverlapMode> entries;
+  if (!load_entries(path, entries)) return false;
+  const auto it = entries.find(key);
+  if (it == entries.end()) return false;
+  out = it->second;
+  return true;
+}
+
+void TuningCache::store(const std::string& path, const std::string& key,
+                        OverlapMode mode) {
+  std::lock_guard lk(cache_mutex());
+  // Re-read + merge under the lock so concurrent store()s of different
+  // keys (parallel sweep workers) never lose each other's entries.
+  std::map<std::string, OverlapMode> entries;
+  load_entries(path, entries);
+  entries[key] = mode;
+  save_entries(path, entries);
+}
+
+}  // namespace tpio::coll

@@ -1,0 +1,116 @@
+#pragma once
+
+// Runtime overlap-scheduler selection (OverlapMode::Auto).
+//
+// The paper's central practical finding is that no fixed overlap algorithm
+// wins everywhere: async-write variants take most series, no-overlap still
+// wins where aio_write is pathological (Lustre, section V), and the winner
+// tracks the platform's communication/IO time share (section IV-A). This
+// module turns that analysis into a runtime policy: the engine executes the
+// first K cycles as blocking probes, reduces the measured per-cycle costs
+// job-wide, and decide() maps them onto one of the five fixed schedulers.
+// A persistent JSON tuning cache keyed by platform signature x workload
+// shape x procs lets later opens of the same configuration skip the probes.
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.hpp"
+#include "net/topology.hpp"
+#include "pfs/pfs.hpp"
+
+namespace tpio::smpi {
+struct MpiParams;
+}
+
+namespace tpio::net {
+struct FabricParams;
+}
+
+namespace tpio::coll {
+
+class Plan;
+
+/// Per-cycle probe costs in virtual nanoseconds, max-reduced over the job
+/// so every rank feeds decide() the same numbers. Shuffle cost is the
+/// job-wide bottleneck (any rank); write costs come from the bottleneck
+/// aggregator (non-aggregators report zero and drop out of the max).
+struct ProbeStats {
+  double shuffle_ns = 0.0;      // blocking shuffle + its metadata sync
+  double write_block_ns = 0.0;  // blocking write service
+  double write_async_ns = 0.0;  // async write, init + immediate wait
+  bool has_async = false;       // at least one async probe ran
+};
+
+/// Thresholds of the decision model; defaults live in coll::Options
+/// (auto_* knobs) and are calibrated on the quick Table I grid.
+struct AutoPolicy {
+  /// Async writes are rejected when their per-cycle floor (aio_ratio *
+  /// blocking write) exceeds the blocking pipeline's floor
+  /// max(shuffle, blocking write) by more than this fraction — the Lustre
+  /// guard of the paper's section V. The default absorbs the platforms'
+  /// aio jitter (sigma <= 0.08) without tripping on healthy aio.
+  double aio_margin = 0.15;
+  /// Bad-aio regime: minimum comm share for Comm to beat NoOverlap.
+  double comm_floor = 0.10;
+  /// Good-aio regime: below this comm share the plain Write scheduler is
+  /// chosen (a non-blocking shuffle has nothing to hide behind).
+  double write_only_ceiling = 0.04;
+  /// Good-aio regime: at/above this comm share the joint-wait scheduler
+  /// (WriteComm) is preferred. Defaults out of range — WriteComm2's
+  /// data-flow ordering dominates it on every measured grid — but kept as
+  /// a knob so every switch target stays reachable.
+  double joint_wait_floor = 2.0;
+
+  static AutoPolicy from(const Options& o) {
+    return AutoPolicy{o.auto_aio_margin, o.auto_comm_floor,
+                      o.auto_write_only_ceiling, o.auto_joint_wait_floor};
+  }
+};
+
+/// Shuffle share of a probed cycle: shuffle / (shuffle + blocking write).
+double probe_comm_share(const ProbeStats& s);
+/// Async-write quality: async / blocking per-cycle cost (1 = free aio).
+/// Falls back to 1 when no async probe ran.
+double probe_aio_ratio(const ProbeStats& s);
+
+/// Map probe statistics onto a fixed scheduler. Pure and deterministic:
+/// identical inputs give identical outputs on every rank.
+OverlapMode decide(const ProbeStats& s, const AutoPolicy& p);
+
+/// Hardware fingerprint of the simulated platform, built from the knobs
+/// that shape the comm/IO balance. Deliberately excludes per-run noise
+/// seeds and the jittered aio penalty so repeated measurements of one
+/// machine share a cache entry.
+std::string platform_signature(const net::Topology& topo,
+                               const net::FabricParams& fabric,
+                               const smpi::MpiParams& mpi,
+                               const pfs::PfsParams& pfs);
+
+/// Shape fingerprint of one collective write (ranks, volume, buffer
+/// budget, primitive) — together with the platform signature the
+/// tuning-cache key. Deliberately geometry-independent (no cycle counts
+/// or sub-buffer sizes): a warm start replans with the chosen scheduler's
+/// native geometry, so the key must agree between the Auto plan that
+/// stored the decision and the fixed-mode plan that consumes it.
+std::string workload_signature(int nprocs, std::uint64_t global_bytes,
+                               const Options& opt);
+std::string workload_signature(const Plan& plan, const Options& opt);
+
+/// Persistent JSON map of signature -> chosen scheduler. All accessors are
+/// safe against concurrent use from parallel sweep workers in this process
+/// (a global mutex serializes them) and store() re-reads and merges before
+/// the atomic tmp+rename write, so concurrent writers of *different* keys
+/// never lose entries.
+class TuningCache {
+ public:
+  /// True + `out` when `key` is present in the cache file at `path`.
+  /// A missing or malformed file is simply a miss.
+  static bool lookup(const std::string& path, const std::string& key,
+                     OverlapMode& out);
+  /// Insert/overwrite `key` and persist atomically (tmp + rename).
+  static void store(const std::string& path, const std::string& key,
+                    OverlapMode mode);
+};
+
+}  // namespace tpio::coll

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/autotune.hpp"
 #include "core/trace.hpp"
 #include "simbase/error.hpp"
 
@@ -524,29 +525,41 @@ void Engine::write_blocking(int cycle, int slot) {
 
 void Engine::run() {
   if (plan_.num_cycles() == 0) return;
-  switch (opt_.overlap) {
-    case OverlapMode::None: run_none(); break;
-    case OverlapMode::Comm: run_comm(); break;
-    case OverlapMode::Write: run_write(); break;
-    case OverlapMode::WriteComm: run_write_comm(); break;
-    case OverlapMode::WriteComm2: run_write_comm2(); break;
+  if (opt_.overlap == OverlapMode::Auto) {
+    run_auto();
+    return;
+  }
+  run_scheduler(opt_.overlap, 0);
+}
+
+void Engine::run_scheduler(OverlapMode m, int first) {
+  switch (m) {
+    case OverlapMode::None: run_none(first); return;
+    case OverlapMode::Comm: run_comm(first); return;
+    case OverlapMode::Write: run_write(first); return;
+    case OverlapMode::WriteComm: run_write_comm(first); return;
+    case OverlapMode::WriteComm2: run_write_comm2(first); return;
+    case OverlapMode::Auto: break;  // not a fixed scheduler
+  }
+  tpio::fail("run_scheduler needs a fixed overlap mode");
+}
+
+void Engine::run_none(int first) {
+  // Classic two-phase: fully serial. As the Auto continuation (first > 0)
+  // the plan keeps the split-buffer geometry, so slots alternate; every
+  // operation is blocking either way.
+  for (int c = first; c < plan_.num_cycles(); ++c) {
+    shuffle_blocking(c, slot_of(c));
+    write_blocking(c, slot_of(c));
   }
 }
 
-void Engine::run_none() {
-  // Classic two-phase: one full-size collective buffer, fully serial.
-  for (int c = 0; c < plan_.num_cycles(); ++c) {
-    shuffle_blocking(c, 0);
-    write_blocking(c, 0);
-  }
-}
-
-void Engine::run_comm() {
+void Engine::run_comm(int first) {
   // Algorithm 1 (Communication Overlap): non-blocking shuffle, blocking
   // write. The next cycle's shuffle runs behind the current write.
   const int N = plan_.num_cycles();
-  shuffle_init(0, slot_of(0));
-  for (int c = 0; c + 1 < N; ++c) {
+  shuffle_init(first, slot_of(first));
+  for (int c = first; c + 1 < N; ++c) {
     shuffle_init(c + 1, slot_of(c + 1));
     shuffle_wait(slot_of(c));
     write_blocking(c, slot_of(c));
@@ -555,13 +568,13 @@ void Engine::run_comm() {
   write_blocking(N - 1, slot_of(N - 1));
 }
 
-void Engine::run_write() {
+void Engine::run_write(int first) {
   // Algorithm 2 (Write Overlap): blocking shuffle, asynchronous write. The
   // previous cycle's write drains while the next shuffle runs.
   const int N = plan_.num_cycles();
-  shuffle_blocking(0, slot_of(0));
-  write_init(0, slot_of(0));
-  for (int c = 1; c < N; ++c) {
+  shuffle_blocking(first, slot_of(first));
+  write_init(first, slot_of(first));
+  for (int c = first + 1; c < N; ++c) {
     shuffle_blocking(c, slot_of(c));
     write_init(c, slot_of(c));
     write_wait(slot_of(c - 1));
@@ -569,12 +582,12 @@ void Engine::run_write() {
   write_wait(slot_of(N - 1));
 }
 
-void Engine::run_write_comm() {
+void Engine::run_write_comm(int first) {
   // Algorithm 3 (Write-Communication Overlap): asynchronous write and
   // non-blocking shuffle posted together, then a joint wait.
   const int N = plan_.num_cycles();
-  shuffle_blocking(0, slot_of(0));
-  for (int c = 0; c < N; ++c) {
+  shuffle_blocking(first, slot_of(first));
+  for (int c = first; c < N; ++c) {
     write_init(c, slot_of(c));
     if (c + 1 < N) shuffle_init(c + 1, slot_of(c + 1));
     // wait_all(p1, p2): both the write and the shuffle must finish before
@@ -585,7 +598,7 @@ void Engine::run_write_comm() {
   }
 }
 
-void Engine::run_write_comm2() {
+void Engine::run_write_comm2(int first) {
   // Algorithm 4 (Write-Communication-2 Overlap), data-flow interpretation:
   // the completion of any non-blocking operation immediately posts its
   // follow-up (write after its shuffle, shuffle after the write that frees
@@ -595,10 +608,10 @@ void Engine::run_write_comm2() {
   // write_init(p1) right before waiting on it); we implement the stated
   // intent — see DESIGN.md, "Notes on fidelity".
   const int N = plan_.num_cycles();
-  shuffle_blocking(0, slot_of(0));
-  write_init(0, slot_of(0));
-  if (N > 1) shuffle_init(1, slot_of(1));
-  for (int c = 1; c < N; ++c) {
+  shuffle_blocking(first, slot_of(first));
+  write_init(first, slot_of(first));
+  if (first + 1 < N) shuffle_init(first + 1, slot_of(first + 1));
+  for (int c = first + 1; c < N; ++c) {
     shuffle_wait(slot_of(c));          // shuffle c finished ...
     write_init(c, slot_of(c));         // ... so its write posts immediately
     write_wait(slot_of(c - 1));        // write c-1 frees sub-buffer ...
@@ -607,6 +620,77 @@ void Engine::run_write_comm2() {
     }
   }
   write_wait(slot_of(N - 1));
+}
+
+void Engine::run_auto() {
+  const int N = plan_.num_cycles();
+  AutoDecision& d = auto_decision_;
+  d.engaged = true;
+
+  // The warm-start path lives in collective_write(): a cache hit is
+  // resolved *before* planning so the chosen scheduler runs with its
+  // native buffer geometry rather than Auto's split sub-buffers. When this
+  // engine runs, the cache (if any) missed — probe, decide, and store the
+  // fresh decision under the same geometry-independent key.
+  std::string key;
+  if (!opt_.tuning_cache.empty()) {
+    key = platform_signature(plan_.topology(),
+                             mpi_.machine().fabric().params(),
+                             mpi_.machine().params(), file_.params()) +
+          "|" + workload_signature(plan_, opt_);
+  }
+
+  // Probe phase: K fully blocking cycles. Even cycles write through the
+  // blocking path, odd ones through aio (init + immediate wait), so the
+  // stats expose the platform's async-write quality. Blocking probes leave
+  // both sub-buffers quiescent — the precondition for any scheduler to
+  // take over at the switch boundary.
+  const int K = std::min(std::max(opt_.probe_cycles, 1), N);
+  d.probe_cycles = K;
+  sim::Duration shuffle_ns = 0, write_block_ns = 0, write_async_ns = 0;
+  int nblock = 0, nasync = 0;
+  for (int c = 0; c < K; ++c) {
+    const int slot = slot_of(c);
+    const sim::Time s0 = mpi_.ctx().now();
+    shuffle_blocking(c, slot);
+    shuffle_ns += mpi_.ctx().now() - s0;
+    const sim::Time w0 = mpi_.ctx().now();
+    if (c % 2 == 0) {
+      write_blocking(c, slot);
+      write_block_ns += mpi_.ctx().now() - w0;
+      ++nblock;
+    } else {
+      write_init(c, slot);
+      write_wait(slot);
+      write_async_ns += mpi_.ctx().now() - w0;
+      ++nasync;
+    }
+  }
+
+  // Job-wide consensus: max-reduce the per-cycle averages. Every rank sees
+  // the bottleneck aggregator's write costs (non-aggregators report zero)
+  // and the slowest rank's shuffle cost, so decide() is identical
+  // everywhere. Attributed to meta like the other planning collectives.
+  ProbeStats st;
+  timed(mpi_.ctx(), t_.meta, [&] {
+    st.shuffle_ns = static_cast<double>(mpi_.allreduce_max(
+        static_cast<std::uint64_t>(shuffle_ns / K)));
+    st.write_block_ns = static_cast<double>(mpi_.allreduce_max(
+        static_cast<std::uint64_t>(nblock > 0 ? write_block_ns / nblock : 0)));
+    st.write_async_ns = static_cast<double>(mpi_.allreduce_max(
+        static_cast<std::uint64_t>(nasync > 0 ? write_async_ns / nasync : 0)));
+  });
+  st.has_async = nasync > 0 && st.write_async_ns > 0.0;
+
+  d.comm_share = probe_comm_share(st);
+  d.aio_ratio = probe_aio_ratio(st);
+  d.chosen = decide(st, AutoPolicy::from(opt_));
+  // Persist only decisions backed by both write paths; a one-cycle
+  // operation never sampled aio and teaches the cache nothing.
+  if (!key.empty() && st.has_async && mpi_.rank() == 0) {
+    TuningCache::store(opt_.tuning_cache, key, d.chosen);
+  }
+  if (K < N) run_scheduler(d.chosen, K);
 }
 
 // ---------------------------------------------------------------------------
@@ -632,14 +716,48 @@ Result collective_write(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
   for (const auto& b : blobs) views.push_back(FileView::deserialize(b));
   const net::Topology& topo = mpi.machine().fabric().topology();
   const std::uint64_t stripe = file.stripe_size();
-  Plan plan(std::move(views), topo, stripe, opt);
+
+  // Warm start (OverlapMode::Auto + tuning cache): resolve the cached
+  // decision before planning, so a hit runs the chosen scheduler with its
+  // native buffer geometry — a fixed-mode plan, not Auto's split
+  // sub-buffers. Rank 0 consults the host file and broadcasts, so every
+  // rank replans identically even if cache files diverge across (real)
+  // nodes; the broadcast costs virtual time (meta) like any collective.
+  Options eff = opt;
+  AutoDecision warm;
+  if (opt.overlap == OverlapMode::Auto && !opt.tuning_cache.empty()) {
+    std::uint64_t global_bytes = 0;
+    for (const FileView& v : views) global_bytes += v.total_bytes();
+    const std::string key =
+        platform_signature(topo, mpi.machine().fabric().params(),
+                           mpi.machine().params(), file.params()) +
+        "|" + workload_signature(topo.nprocs(), global_bytes, opt);
+    std::byte msg[2] = {std::byte{0}, std::byte{0}};
+    if (mpi.rank() == 0) {
+      OverlapMode cached{};
+      if (TuningCache::lookup(opt.tuning_cache, key, cached)) {
+        msg[0] = std::byte{1};
+        msg[1] = static_cast<std::byte>(cached);
+      }
+    }
+    mpi.bcast(msg, 0);
+    if (msg[0] == std::byte{1}) {
+      warm.engaged = true;
+      warm.chosen = static_cast<OverlapMode>(msg[1]);
+      warm.from_cache = true;
+      eff.overlap = warm.chosen;
+    }
+  }
+
+  Plan plan(std::move(views), topo, stripe, eff);
   t.meta += mpi.ctx().now() - meta_start;
 
-  Engine engine(mpi, file, plan, data, opt, t);
+  Engine engine(mpi, file, plan, data, eff, t);
   engine.run();
 
   t.total = mpi.ctx().now() - start;
   res.timings = t;
+  res.autotune = warm.engaged ? warm : engine.auto_decision();
   res.aggregators = plan.num_aggregators();
   res.cycles = plan.num_cycles();
   res.bytes_local = view.total_bytes();

@@ -41,6 +41,10 @@ class Engine {
   void write_wait(int slot);
   void write_blocking(int cycle, int slot);
 
+  /// OverlapMode::Auto only: what the probe phase decided (valid after
+  /// run(); engaged == false for fixed overlap modes).
+  const AutoDecision& auto_decision() const { return auto_decision_; }
+
  private:
   struct ShuffleState {
     int cycle = -1;
@@ -73,11 +77,20 @@ class Engine {
   std::vector<Segment> incoming_segments(int src, std::uint64_t lo,
                                          std::uint64_t hi) const;
 
-  void run_none();
-  void run_comm();        // Algorithm 1
-  void run_write();       // Algorithm 2
-  void run_write_comm();  // Algorithm 3
-  void run_write_comm2(); // Algorithm 4 (data-flow interpretation)
+  // Each scheduler runs cycles [first, num_cycles). `first` > 0 is the
+  // Auto continuation: the probe cycles before it completed blocking, so
+  // both sub-buffers are quiescent at the handoff boundary and any
+  // scheduler can take over mid-operation.
+  void run_none(int first);
+  void run_comm(int first);        // Algorithm 1
+  void run_write(int first);       // Algorithm 2
+  void run_write_comm(int first);  // Algorithm 3
+  void run_write_comm2(int first); // Algorithm 4 (data-flow interpretation)
+  /// Dispatch to the fixed scheduler `m` starting at cycle `first`.
+  void run_scheduler(OverlapMode m, int first);
+  /// OverlapMode::Auto: consult the tuning cache, else probe, decide,
+  /// persist, and hand the remaining cycles to the chosen scheduler.
+  void run_auto();
 
   int slot_of(int cycle) const {
     return opt_.overlap == OverlapMode::None ? 0 : cycle % 2;
@@ -97,6 +110,7 @@ class Engine {
   // Hierarchical-mode geometry (valid when opt_.hierarchical).
   bool is_leader_ = false;
   int node_first_ = 0, node_last_ = 0;  // this node's rank range
+  AutoDecision auto_decision_;
   Slot slots_[2];
 };
 

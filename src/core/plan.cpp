@@ -106,6 +106,10 @@ Plan::Plan(std::vector<FileView> views, const net::Topology& topo,
 
   // Cycle count: the largest domain processed `sub_buffer_` bytes at a time.
   // Overlap modes split the collective buffer in two (paper, section III-A).
+  // Auto always takes the split geometry: the plan is fixed for the whole
+  // operation, and two sub-buffers let any scheduler — including the
+  // blocking baseline — take over at the probe/switch boundary without
+  // reallocation.
   sub_buffer_ = opt.overlap == OverlapMode::None ? opt.cb_size
                                                  : opt.cb_size / 2;
   TPIO_CHECK(sub_buffer_ > 0, "collective buffer too small to split");

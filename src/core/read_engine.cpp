@@ -212,6 +212,9 @@ void ReadEngine::run() {
     case OverlapMode::Write: run_read_ahead(); break;
     case OverlapMode::WriteComm: run_read_comm(); break;
     case OverlapMode::WriteComm2: run_read_comm2(); break;
+    // Probe-based selection is a write-side feature (the paper's analysis
+    // is of collective writes); reads fall back to the data-flow scheduler.
+    case OverlapMode::Auto: run_read_comm2(); break;
   }
 }
 

@@ -44,6 +44,7 @@ const char* to_string(OverlapMode m) {
     case OverlapMode::Write: return "write-overlap";
     case OverlapMode::WriteComm: return "write-comm-overlap";
     case OverlapMode::WriteComm2: return "write-comm-2-overlap";
+    case OverlapMode::Auto: return "auto";
   }
   return "?";
 }

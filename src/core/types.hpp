@@ -49,6 +49,8 @@ enum class OverlapMode {
   Write,       // Alg. 2: blocking shuffle, asynchronous write
   WriteComm,   // Alg. 3: both non-blocking, joint wait
   WriteComm2,  // Alg. 4: both non-blocking, data-flow ordering
+  Auto,        // probe the first cycles, then switch to the best of the
+               // above at a cycle boundary (core/autotune.hpp)
 };
 
 /// Data-transfer primitive of the shuffle phase (section III-B).
@@ -91,6 +93,24 @@ struct Options {
   /// single-member nodes.
   bool hierarchical = false;
   LeaderPolicy leader_policy = LeaderPolicy::Lowest;
+  /// OverlapMode::Auto: leading cycles executed as blocking probes before
+  /// the scheduler is chosen (clamped to the operation's cycle count).
+  /// Even probes write blocking, odd ones through the aio path, so the
+  /// decision sees the platform's real async-write quality.
+  int probe_cycles = 4;
+  /// OverlapMode::Auto: thresholds of the decision model (autotune.hpp).
+  /// The aggregate type is defined there; defaults are calibrated on the
+  /// quick Table I grid.
+  double auto_aio_margin = 0.15;
+  double auto_comm_floor = 0.10;
+  double auto_write_only_ceiling = 0.04;
+  double auto_joint_wait_floor = 2.0;
+  /// OverlapMode::Auto: path of a persistent JSON tuning cache keyed by
+  /// platform signature x workload shape x procs. A hit skips the probe
+  /// cycles entirely (warm start); a cold decision is stored back. Empty
+  /// disables the cache — required for bit-reproducible sweeps whose grid
+  /// points must not influence each other.
+  std::string tuning_cache;
   /// CPU bandwidth for pack/unpack memcpy at sender/aggregator.
   double pack_bw = 6e9;
   /// Per-segment CPU cost when packing/unpacking or issuing one put.
@@ -114,6 +134,18 @@ struct PhaseTimings {
   PhaseTimings& operator+=(const PhaseTimings& o);
 };
 
+/// What OverlapMode::Auto decided for one operation. Identical on every
+/// rank: the probe statistics are max-reduced job-wide before the decision
+/// and cache hits are broadcast from rank 0.
+struct AutoDecision {
+  bool engaged = false;            // the run used OverlapMode::Auto
+  OverlapMode chosen = OverlapMode::None;
+  bool from_cache = false;         // warm start: probes skipped entirely
+  int probe_cycles = 0;            // probes actually executed
+  double comm_share = 0.0;         // shuffle / (shuffle + blocking write)
+  double aio_ratio = 0.0;          // async / blocking per-cycle write cost
+};
+
 /// Outcome of one collective write on one rank.
 struct Result {
   PhaseTimings timings;
@@ -121,6 +153,7 @@ struct Result {
   int cycles = 0;
   std::uint64_t bytes_local = 0;   // this rank's contribution
   std::uint64_t bytes_global = 0;  // whole operation
+  AutoDecision autotune;           // OverlapMode::Auto only
 };
 
 }  // namespace tpio::coll

@@ -1,5 +1,6 @@
 #include "harness/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "harness/sweep.hpp"
@@ -9,17 +10,6 @@
 namespace tpio::xp {
 
 namespace {
-
-/// Lustre-like profile: ibex hardware, pathological aio (paper, section V:
-/// "significant performance problems of the aio_write operations on
-/// Lustre").
-Platform lustre() {
-  Platform p = ibex();
-  p.name = "lustre";
-  p.pfs.aio_penalty = 2.2;
-  p.pfs.aio_penalty_sigma = 0.25;
-  return p;
-}
 
 wl::Spec workload_by_name(const std::string& name, std::uint64_t bytes,
                           std::string& error) {
@@ -51,6 +41,7 @@ bool parse_overlap(const std::string& v, coll::OverlapMode& out) {
   else if (v == "write") out = coll::OverlapMode::Write;
   else if (v == "write-comm") out = coll::OverlapMode::WriteComm;
   else if (v == "write-comm-2") out = coll::OverlapMode::WriteComm2;
+  else if (v == "auto") out = coll::OverlapMode::Auto;
   else return false;
   return true;
 }
@@ -72,6 +63,30 @@ bool parse_leader(const std::string& v, coll::LeaderPolicy& out) {
 
 }  // namespace
 
+bool parse_int_arg(const std::string& s, long long lo, long long hi,
+                   long long& out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  // Whole-string consumption rejects trailing garbage ("12x"); ERANGE
+  // rejects values strtoll had to clamp ("99999999999999999999").
+  if (end != s.c_str() + s.size() || errno == ERANGE) return false;
+  if (v < lo || v > hi) return false;
+  out = v;
+  return true;
+}
+
+bool parse_u64_arg(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
 Platform platform_by_name(const std::string& name) {
   if (name == "crill") return scaled(crill());
   if (name == "ibex") return scaled(ibex());
@@ -88,9 +103,11 @@ std::string cli_usage() {
       "  --procs N                          MPI processes (default 64)\n"
       "  --bytes-per-proc SIZE              per-process volume (e.g. 4M)\n"
       "  --cb SIZE                          collective buffer (default 4M)\n"
-      "  --overlap none|comm|write|write-comm|write-comm-2\n"
+      "  --overlap none|comm|write|write-comm|write-comm-2|auto\n"
       "  --transfer two-sided|fence|lock    shuffle primitive\n"
       "  --aggregators N                    0 = automatic\n"
+      "  --probe-cycles N                   auto: probe cycles (default 4)\n"
+      "  --tuning-cache FILE                auto: persistent decision cache\n"
       "  --hierarchical                     two-level (intra-node) shuffle\n"
       "  --leader lowest|spread             node-leader policy (default lowest)\n"
       "  --reps N                           measurements (default 3)\n"
@@ -114,6 +131,23 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
     }
     return true;
   };
+  // Strict numeric parsing: rejects zero/negative counts, trailing
+  // garbage, and overflowing values with a message naming the flag.
+  auto int_flag = [&](const std::string& flag, const std::string& v,
+                      long long lo, long long hi) -> long long {
+    long long out = 0;
+    if (!parse_int_arg(v, lo, hi, out)) {
+      cfg.error = flag + " wants an integer in [" + std::to_string(lo) +
+                  ", " + std::to_string(hi) + "], got '" + v + "'";
+    }
+    return out;
+  };
+  auto bytes_flag = [&](const std::string& flag,
+                        const std::string& v) -> std::uint64_t {
+    const std::uint64_t b = sim::parse_bytes(v);  // throws on malformed
+    if (b == 0) cfg.error = flag + " wants a positive size, got '" + v + "'";
+    return b;
+  };
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -129,14 +163,14 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
         workload = args[++i];
       } else if (a == "--procs") {
         if (!need_value(i)) return cfg;
-        cfg.spec.nprocs = std::atoi(args[++i].c_str());
-        if (cfg.spec.nprocs <= 0) cfg.error = "--procs must be positive";
+        cfg.spec.nprocs =
+            static_cast<int>(int_flag(a, args[++i], 1, 1'000'000));
       } else if (a == "--bytes-per-proc") {
         if (!need_value(i)) return cfg;
-        bytes = sim::parse_bytes(args[++i]);
+        bytes = bytes_flag(a, args[++i]);
       } else if (a == "--cb") {
         if (!need_value(i)) return cfg;
-        cfg.spec.options.cb_size = sim::parse_bytes(args[++i]);
+        cfg.spec.options.cb_size = bytes_flag(a, args[++i]);
       } else if (a == "--overlap") {
         if (!need_value(i)) return cfg;
         if (!parse_overlap(args[++i], cfg.spec.options.overlap)) {
@@ -149,7 +183,15 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
         }
       } else if (a == "--aggregators") {
         if (!need_value(i)) return cfg;
-        cfg.spec.options.num_aggregators = std::atoi(args[++i].c_str());
+        cfg.spec.options.num_aggregators =
+            static_cast<int>(int_flag(a, args[++i], 0, 1'000'000));
+      } else if (a == "--probe-cycles") {
+        if (!need_value(i)) return cfg;
+        cfg.spec.options.probe_cycles =
+            static_cast<int>(int_flag(a, args[++i], 1, 1'000'000));
+      } else if (a == "--tuning-cache") {
+        if (!need_value(i)) return cfg;
+        cfg.spec.options.tuning_cache = args[++i];
       } else if (a == "--hierarchical") {
         cfg.spec.options.hierarchical = true;
       } else if (a == "--leader") {
@@ -159,11 +201,12 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
         }
       } else if (a == "--reps") {
         if (!need_value(i)) return cfg;
-        cfg.reps = std::atoi(args[++i].c_str());
-        if (cfg.reps <= 0) cfg.error = "--reps must be positive";
+        cfg.reps = static_cast<int>(int_flag(a, args[++i], 1, 1'000'000));
       } else if (a == "--seed") {
         if (!need_value(i)) return cfg;
-        cfg.seed_base = std::strtoull(args[++i].c_str(), nullptr, 10);
+        if (!parse_u64_arg(args[++i], cfg.seed_base)) {
+          cfg.error = "--seed wants an unsigned integer, got '" + args[i] + "'";
+        }
       } else if (a == "--verify") {
         cfg.spec.verify = true;
       } else {

@@ -23,17 +23,29 @@ struct CliConfig {
 ///   --procs N                        (default 64)
 ///   --bytes-per-proc SIZE            (workload-dependent default)
 ///   --cb SIZE                        (default 4M)
-///   --overlap none|comm|write|write-comm|write-comm-2  (default write-comm-2)
+///   --overlap none|comm|write|write-comm|write-comm-2|auto
+///                                    (default write-comm-2)
 ///   --transfer two-sided|fence|lock  (default two-sided)
 ///   --aggregators N                  (default auto)
+///   --probe-cycles N                 (OverlapMode::Auto probes, default 4)
+///   --tuning-cache FILE              (OverlapMode::Auto decision cache)
 ///   --hierarchical                   (two-level shuffle, off by default)
 ///   --leader lowest|spread           (default lowest)
 ///   --reps N                         (default 3)
 ///   --seed N                         (default 1)
 ///   --verify                         (off by default)
 ///   --help
-/// Sizes accept K/M/G suffixes. Unknown flags produce an error.
+/// Sizes accept K/M/G suffixes. Unknown flags, non-numeric / overflowing /
+/// non-positive counts and zero byte-sizes all produce an error.
 CliConfig parse_cli(const std::vector<std::string>& args);
+
+/// Strict decimal integer parse shared by the CLI front ends: the whole
+/// string must be consumed, the value must fit a long long and lie in
+/// [lo, hi]. Returns false (leaving `out` untouched) otherwise.
+bool parse_int_arg(const std::string& s, long long lo, long long hi,
+                   long long& out);
+/// Same strictness for unsigned 64-bit values (e.g. seeds).
+bool parse_u64_arg(const std::string& s, std::uint64_t& out);
 
 /// The usage text printed for --help / errors.
 std::string cli_usage();

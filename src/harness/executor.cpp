@@ -108,6 +108,24 @@ struct JsonCursor {
 
 }  // namespace
 
+std::string grid_signature(const std::vector<SweepJob>& jobs) {
+  // FNV-1a over the ordered keys with a separator byte, so the signature
+  // distinguishes re-orderings and key-boundary shifts, not just content.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  for (const SweepJob& j : jobs) {
+    for (char ch : j.key) mix(static_cast<unsigned char>(ch));
+    mix(0x1f);
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%zu:%016llx", jobs.size(),
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
 bool checkpoint_load(const std::string& path, Checkpoint& out) {
   out = Checkpoint{};
   std::ifstream in(path, std::ios::binary);
@@ -120,6 +138,8 @@ bool checkpoint_load(const std::string& path, Checkpoint& out) {
   std::string key;
   if (!c.literal('{') || !c.parse_string(key) || key != "manifest" ||
       !c.literal(':') || !c.parse_string(out.manifest) || !c.literal(',') ||
+      !c.parse_string(key) || key != "grid" || !c.literal(':') ||
+      !c.parse_string(out.grid) || !c.literal(',') ||
       !c.parse_string(key) || key != "done" || !c.literal(':') ||
       !c.literal('{')) {
     out = Checkpoint{};
@@ -154,6 +174,10 @@ void checkpoint_save(const std::string& path, const Checkpoint& cp) {
   append_json_string(text, "manifest");
   text += ": ";
   append_json_string(text, cp.manifest);
+  text += ",\n  ";
+  append_json_string(text, "grid");
+  text += ": ";
+  append_json_string(text, cp.grid);
   text += ",\n  ";
   append_json_string(text, "done");
   text += ": {";
@@ -293,12 +317,31 @@ std::vector<double> run_jobs(const std::vector<SweepJob>& jobs,
   }
   SweepState st(jobs.size());
   st.checkpoint.manifest = opt.manifest;
+  st.checkpoint.grid = grid_signature(jobs);
 
   // Resume: splice in results of a matching checkpoint, skip those jobs.
+  // A checkpoint that parses but belongs to a different grid is a hard
+  // error: silently re-running (or worse, splicing) would hide the fact
+  // that half the table came from different options, a different case set,
+  // or a different mode set.
   if (!opt.checkpoint.empty()) {
     Checkpoint prior;
-    if (checkpoint_load(opt.checkpoint, prior) &&
-        prior.manifest == opt.manifest) {
+    if (checkpoint_load(opt.checkpoint, prior)) {
+      if (prior.manifest != opt.manifest) {
+        tpio::fail("checkpoint " + opt.checkpoint +
+                   " belongs to a different sweep\n  file manifest: " +
+                   prior.manifest + "\n  this run:      " + opt.manifest +
+                   "\ndelete the file (or point --checkpoint elsewhere) to "
+                   "start fresh");
+      }
+      if (prior.grid != st.checkpoint.grid) {
+        tpio::fail("checkpoint " + opt.checkpoint +
+                   " was written against a different job grid (same "
+                   "manifest, different cases/modes/order)\n  file grid: " +
+                   prior.grid + "\n  this run:  " + st.checkpoint.grid +
+                   "\ndelete the file (or point --checkpoint elsewhere) to "
+                   "start fresh");
+      }
       for (std::size_t i = 0; i < jobs.size(); ++i) {
         const auto it = prior.done.find(jobs[i].key);
         if (it == prior.done.end()) continue;

@@ -32,9 +32,13 @@ struct ExecOptions {
   /// results are merged from the file. The file is rewritten atomically as
   /// jobs complete, so an interrupted sweep resumes where it stopped.
   std::string checkpoint;
-  /// Identifies the sweep grid (kind, platform, seed, reps, quick). A
-  /// checkpoint whose manifest differs is ignored and overwritten — results
-  /// from a different grid must never be spliced in.
+  /// Identifies the sweep grid (kind, platform, seed, reps, quick).
+  /// run_jobs refuses to resume from a checkpoint whose manifest — or whose
+  /// recorded grid signature (job count + key fingerprint) — differs from
+  /// the current run: splicing results from a different grid would corrupt
+  /// the tables silently, so a stale file is an error the user must clear,
+  /// not something to paper over. Unparseable files (absent, truncated,
+  /// foreign format) are simply overwritten.
   std::string manifest;
 };
 
@@ -53,12 +57,19 @@ std::vector<double> run_jobs(const std::vector<SweepJob>& jobs,
 // Checkpoint file format (exposed for tests and external tooling)
 // ---------------------------------------------------------------------------
 
-/// In-memory image of a sweep checkpoint: the grid manifest and the
-/// completed jobs' results by key.
+/// In-memory image of a sweep checkpoint: the grid manifest, the grid
+/// signature it was written against, and the completed jobs' results by
+/// key.
 struct Checkpoint {
   std::string manifest;
+  std::string grid;  // grid_signature() of the jobs this file belongs to
   std::map<std::string, double> done;
 };
+
+/// Structural fingerprint of a job grid: the job count plus an FNV-1a hash
+/// over the ordered job keys. Two grids with the same manifest string but
+/// different cases, mode sets, or orderings get different signatures.
+std::string grid_signature(const std::vector<SweepJob>& jobs);
 
 /// Load `path`; returns false (and leaves `out` empty) when the file is
 /// absent or not a checkpoint this writer produced.

@@ -86,6 +86,14 @@ Platform ibex() {
   return p;
 }
 
+Platform lustre() {
+  Platform p = ibex();
+  p.name = "lustre";
+  p.pfs.aio_penalty = 2.2;
+  p.pfs.aio_penalty_sigma = 0.25;
+  return p;
+}
+
 void scale_geometry(Platform& p, std::uint64_t k, std::uint64_t proc_scale) {
   p.pfs.stripe_size = std::max<std::uint64_t>(p.pfs.stripe_size / k, 4096);
   // Shuffle messages are (sub-buffer / P): they shrink by k but P only

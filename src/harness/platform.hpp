@@ -37,6 +37,11 @@ Platform crill();
 /// much higher write bandwidth. Shared machine -> high variance.
 Platform ibex();
 
+/// Lustre-like profile: ibex hardware, pathological aio (paper, section V:
+/// "significant performance problems of the aio_write operations on
+/// Lustre"). The regime where the blocking-write schedulers win.
+Platform lustre();
+
 /// Scale a platform's I/O geometry down by `k` for affordable simulation:
 /// stripe size and eager limit shrink by k while bandwidths, latencies and
 /// target counts stay physical. Pair with a collective buffer of

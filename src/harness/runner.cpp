@@ -52,6 +52,7 @@ RunResult execute(const RunSpec& spec) {
   out.aggregators = results[0].aggregators;
   out.cycles = results[0].cycles;
   out.bytes = results[0].bytes_global;
+  out.autotune = results[0].autotune;
   out.inter_node_bytes = fabric.inter_node_bytes();
   out.inter_node_messages = fabric.inter_node_messages();
   out.intra_node_bytes = fabric.intra_node_bytes();

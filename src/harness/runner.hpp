@@ -41,6 +41,9 @@ struct RunResult {
   std::uint64_t inter_node_bytes = 0;
   std::uint64_t inter_node_messages = 0;
   std::uint64_t intra_node_bytes = 0;
+  /// OverlapMode::Auto only: what the probe phase decided (identical on
+  /// every rank; engaged == false for fixed overlap modes).
+  coll::AutoDecision autotune;
   std::string verify_error;          // empty = verified / not requested
   double bandwidth() const {         // effective write bandwidth, bytes/s
     return makespan > 0

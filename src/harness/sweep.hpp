@@ -54,6 +54,11 @@ struct OverlapSeries {
   std::string size_label;
   int procs = 0;
   std::map<coll::OverlapMode, double> min_ms;
+  /// Fastest *fixed* scheduler of the series. OverlapMode::Auto entries
+  /// (present on six-column grids) are skipped — Auto is a selector, not a
+  /// competitor — and exact ties resolve to the NoOverlap baseline so an
+  /// overlap algorithm only counts as a Table I win when it strictly beats
+  /// it.
   coll::OverlapMode winner() const;
   /// (min_none - min_mode) / min_none; positive = mode faster.
   double improvement(coll::OverlapMode mode) const;
@@ -76,11 +81,16 @@ std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
                                              bool quick);
 /// Same sweep with caller-supplied base options (e.g. hierarchical mode);
 /// the grid still overrides cb_size and the overlap algorithm per job.
+/// With include_auto the grid gains a sixth column, OverlapMode::Auto,
+/// measured exactly like the fixed schedulers (its job seed slot is
+/// distinct, so the five fixed columns are bit-identical either way);
+/// winner() ignores it.
 std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
                                              const coll::Options& base,
                                              int reps, std::uint64_t seed,
                                              bool quick,
-                                             const ExecOptions& exec);
+                                             const ExecOptions& exec,
+                                             bool include_auto = false);
 
 /// Same sweep shape for the data-transfer-primitive study (Fig. 4):
 /// Write-Comm-2 scheduler, three shuffle primitives.
@@ -90,6 +100,8 @@ struct PrimitiveSeries {
   std::string size_label;
   int procs = 0;
   std::map<coll::Transfer, double> min_ms;
+  /// Fastest primitive; exact ties resolve to the two-sided baseline
+  /// (Fig. 4 counts one-sided wins only when strictly faster).
   coll::Transfer winner() const;
   double improvement(coll::Transfer t) const;  // vs two-sided
 };

@@ -161,6 +161,9 @@ class File {
   Integrity integrity() const { return integrity_; }
   /// Stripe size of the underlying storage system.
   std::uint64_t stripe_size() const;
+  /// Parameters of the underlying storage system (e.g. for the autotune
+  /// platform signature).
+  const PfsParams& params() const { return sys_->params(); }
   /// Highest written offset + 1 (0 for an empty file).
   std::uint64_t size() const { return size_; }
   std::uint64_t bytes_written() const { return bytes_accepted_; }

@@ -15,6 +15,7 @@ std::uint64_t parse_bytes(std::string_view text) {
   char* end = nullptr;
   const double value = std::strtod(s.c_str(), &end);
   TPIO_CHECK(end != s.c_str(), "no number in byte-size string: " + s);
+  TPIO_CHECK(std::isfinite(value), "byte size out of range: " + s);
   TPIO_CHECK(value >= 0.0, "negative byte size: " + s);
 
   std::string suffix;
@@ -35,7 +36,12 @@ std::uint64_t parse_bytes(std::string_view text) {
   } else {
     fail("unknown byte-size suffix '" + suffix + "' in: " + s);
   }
-  return static_cast<std::uint64_t>(std::llround(value * mult));
+  // llround on a value beyond long long is undefined behaviour and used to
+  // wrap silently (e.g. "99999999999G"); reject anything that cannot be
+  // represented exactly enough in 63 bits.
+  const double scaled = value * mult;
+  TPIO_CHECK(scaled < 9.2e18, "byte size overflows 64 bits: " + s);
+  return static_cast<std::uint64_t>(std::llround(scaled));
 }
 
 std::string format_bytes(std::uint64_t bytes) {

@@ -80,6 +80,56 @@ TEST(Cli, Errors) {
   EXPECT_FALSE(parse({"--leader", "wat"}).error.empty());
 }
 
+TEST(Cli, RejectsZeroNegativeAndOverflowingNumbers) {
+  // Regression: atoi-style parsing accepted "--procs 0", "--procs -4",
+  // trailing garbage, and silently wrapped overflowing values.
+  EXPECT_FALSE(parse({"--procs", "0"}).error.empty());
+  EXPECT_FALSE(parse({"--procs", "-4"}).error.empty());
+  EXPECT_FALSE(parse({"--procs", "64x"}).error.empty());
+  EXPECT_FALSE(parse({"--procs", "99999999999999999999"}).error.empty());
+  EXPECT_FALSE(parse({"--procs", "wat"}).error.empty());
+  EXPECT_FALSE(parse({"--aggregators", "-1"}).error.empty());
+  EXPECT_TRUE(parse({"--aggregators", "0"}).error.empty());  // 0 = auto
+  EXPECT_FALSE(parse({"--reps", "-2"}).error.empty());
+  EXPECT_FALSE(parse({"--probe-cycles", "0"}).error.empty());
+  EXPECT_FALSE(parse({"--seed", "wat"}).error.empty());
+  EXPECT_FALSE(parse({"--seed", "-1"}).error.empty());
+  // Byte sizes: zero and 64-bit-overflowing values are malformed.
+  EXPECT_FALSE(parse({"--cb", "0"}).error.empty());
+  EXPECT_FALSE(parse({"--cb", "99999999999G"}).error.empty());
+  EXPECT_FALSE(parse({"--bytes-per-proc", "0"}).error.empty());
+  EXPECT_FALSE(parse({"--bytes-per-proc", "99999999999G"}).error.empty());
+}
+
+TEST(Cli, StrictIntParsers) {
+  long long v = -1;
+  EXPECT_TRUE(xp::parse_int_arg("42", 1, 100, v));
+  EXPECT_EQ(v, 42);
+  EXPECT_FALSE(xp::parse_int_arg("", 1, 100, v));
+  EXPECT_FALSE(xp::parse_int_arg("42x", 1, 100, v));
+  EXPECT_FALSE(xp::parse_int_arg("101", 1, 100, v));
+  EXPECT_FALSE(xp::parse_int_arg("0", 1, 100, v));
+  EXPECT_FALSE(xp::parse_int_arg("99999999999999999999", 1, 100, v));
+  EXPECT_EQ(v, 42);  // failures leave the output untouched
+
+  std::uint64_t u = 0;
+  EXPECT_TRUE(xp::parse_u64_arg("18446744073709551615", u));
+  EXPECT_EQ(u, 18446744073709551615ull);
+  EXPECT_FALSE(xp::parse_u64_arg("-1", u));
+  EXPECT_FALSE(xp::parse_u64_arg("18446744073709551616", u));  // 2^64
+  EXPECT_FALSE(xp::parse_u64_arg("1.5", u));
+}
+
+TEST(Cli, AutoOverlapFlags) {
+  const auto cfg = parse({"--overlap", "auto", "--probe-cycles", "6",
+                          "--tuning-cache", "/tmp/tpio-cache.json"});
+  ASSERT_TRUE(cfg.error.empty()) << cfg.error;
+  EXPECT_EQ(cfg.spec.options.overlap, coll::OverlapMode::Auto);
+  EXPECT_EQ(cfg.spec.options.probe_cycles, 6);
+  EXPECT_EQ(cfg.spec.options.tuning_cache, "/tmp/tpio-cache.json");
+  EXPECT_FALSE(parse({"--tuning-cache"}).error.empty());  // missing value
+}
+
 TEST(Cli, PlatformPresets) {
   EXPECT_EQ(xp::platform_by_name("crill").name, "crill");
   EXPECT_EQ(xp::platform_by_name("ibex").name, "ibex");

@@ -303,7 +303,10 @@ TEST(CollectiveWriteMisc, TimingsAccountedAndTotalCovers) {
   for (const auto& r : results) {
     const auto& t = r.timings;
     EXPECT_GT(t.total, 0);
-    EXPECT_LE(t.meta + t.pack + t.shuffle + t.sync + t.write, t.total);
+    // All six buckets: omitting gather hid hierarchical-shuffle time from
+    // the accounting identity.
+    EXPECT_LE(t.meta + t.pack + t.gather + t.shuffle + t.sync + t.write,
+              t.total);
     EXPECT_GT(t.shuffle + t.write + t.sync, 0);
   }
   // Aggregators spend time writing; pure senders do not.
@@ -314,6 +317,34 @@ TEST(CollectiveWriteMisc, TimingsAccountedAndTotalCovers) {
   }
   EXPECT_TRUE(some_writer);
   EXPECT_TRUE(some_nonwriter);
+}
+
+TEST(CollectiveWriteMisc, GatherBucketAccountedInHierarchicalRuns) {
+  // Regression: breakdown consumers summed {meta,pack,shuffle,sync,write}
+  // and silently dropped the gather bucket, understating hierarchical
+  // runs' communication time. The intra-node gather phase must show up in
+  // the per-rank breakdown and still obey the accounting identity.
+  Cluster cluster;
+  auto file = cluster.storage().create("out_hier", pfs::Integrity::None);
+  std::vector<coll::Result> results(static_cast<std::size_t>(cluster.nprocs()));
+  cluster.run([&](tpio::smpi::Mpi& mpi) {
+    const auto view = block_view(mpi.rank(), mpi.size(), 30'000);
+    const auto data = fill_view(view);
+    coll::Options o;
+    o.cb_size = 16384;
+    o.overlap = coll::OverlapMode::WriteComm2;
+    o.hierarchical = true;
+    results[static_cast<std::size_t>(mpi.rank())] =
+        coll::collective_write(mpi, *file, view, data, o);
+  });
+  bool some_gather = false;
+  for (const auto& r : results) {
+    const auto& t = r.timings;
+    if (t.gather > 0) some_gather = true;
+    EXPECT_LE(t.meta + t.pack + t.gather + t.shuffle + t.sync + t.write,
+              t.total);
+  }
+  EXPECT_TRUE(some_gather);
 }
 
 TEST(CollectiveWriteMisc, TwoConsecutiveCollectivesSameFileRegionsDisjoint) {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/executor.hpp"
@@ -88,6 +89,7 @@ TEST(Executor, CheckpointRoundTripPreservesAwkwardKeys) {
   TempFile f("executor_ckpt_roundtrip.json");
   xp::Checkpoint cp;
   cp.manifest = "grid|with \"quotes\" and \\slashes\\";
+  cp.grid = "3:deadbeefdeadbeef";
   cp.done["plain/key"] = 1.5;
   cp.done["tab\there"] = -2.25;
   cp.done["new\nline"] = 1e-9;
@@ -96,7 +98,23 @@ TEST(Executor, CheckpointRoundTripPreservesAwkwardKeys) {
   xp::Checkpoint back;
   ASSERT_TRUE(xp::checkpoint_load(f.path, back));
   EXPECT_EQ(back.manifest, cp.manifest);
+  EXPECT_EQ(back.grid, cp.grid);
   EXPECT_EQ(back.done, cp.done);
+}
+
+TEST(Executor, GridSignatureReflectsCountContentAndOrder) {
+  const auto jobs3 = square_jobs(3, nullptr);
+  const auto jobs4 = square_jobs(4, nullptr);
+  EXPECT_EQ(xp::grid_signature(jobs3), xp::grid_signature(jobs3));
+  EXPECT_NE(xp::grid_signature(jobs3), xp::grid_signature(jobs4));
+
+  auto reordered = jobs3;
+  std::swap(reordered[0], reordered[2]);
+  EXPECT_NE(xp::grid_signature(jobs3), xp::grid_signature(reordered));
+
+  auto renamed = jobs3;
+  renamed[1].key = "job/other";
+  EXPECT_NE(xp::grid_signature(jobs3), xp::grid_signature(renamed));
 }
 
 TEST(Executor, CheckpointLoadRejectsMissingAndGarbage) {
@@ -115,6 +133,7 @@ TEST(Executor, ResumeSkipsCompletedJobs) {
   TempFile f("executor_ckpt_resume.json");
   xp::Checkpoint cp;
   cp.manifest = "grid-A";
+  cp.grid = xp::grid_signature(square_jobs(5, nullptr));
   cp.done["job/0"] = 1000.0;  // deliberately NOT 0*0: proves it was merged
   cp.done["job/2"] = 2000.0;
   xp::checkpoint_save(f.path, cp);
@@ -133,10 +152,11 @@ TEST(Executor, ResumeSkipsCompletedJobs) {
   EXPECT_EQ(results[4], 16.0);
 }
 
-TEST(Executor, MismatchedManifestIsIgnored) {
+TEST(Executor, MismatchedManifestIsRefused) {
   TempFile f("executor_ckpt_mismatch.json");
   xp::Checkpoint cp;
   cp.manifest = "grid-B";  // a different sweep's leftovers
+  cp.grid = xp::grid_signature(square_jobs(3, nullptr));
   cp.done["job/0"] = 1000.0;
   xp::checkpoint_save(f.path, cp);
 
@@ -145,11 +165,54 @@ TEST(Executor, MismatchedManifestIsIgnored) {
   opt.jobs = 1;
   opt.checkpoint = f.path;
   opt.manifest = "grid-A";
-  const auto results = xp::run_jobs(square_jobs(3, &executed), opt);
-  EXPECT_EQ(executed.load(), 3);  // nothing spliced in
-  EXPECT_EQ(results[0], 0.0);
+  try {
+    xp::run_jobs(square_jobs(3, &executed), opt);
+    FAIL() << "stale checkpoint must be refused";
+  } catch (const tpio::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("grid-B"), std::string::npos) << what;
+    EXPECT_NE(what.find("grid-A"), std::string::npos) << what;
+  }
+  EXPECT_EQ(executed.load(), 0);  // refused before running anything
 
-  // The stale file was replaced by this sweep's checkpoint.
+  // The stale file is left for the user to inspect, not clobbered.
+  xp::Checkpoint back;
+  ASSERT_TRUE(xp::checkpoint_load(f.path, back));
+  EXPECT_EQ(back.manifest, "grid-B");
+  EXPECT_EQ(back.done.size(), 1u);
+}
+
+TEST(Executor, MismatchedGridIsRefused) {
+  TempFile f("executor_ckpt_gridmismatch.json");
+  // Same manifest string, but the file was written against a 4-job grid —
+  // e.g. the case list or mode set changed without the manifest noticing.
+  xp::ExecOptions opt;
+  opt.jobs = 1;
+  opt.checkpoint = f.path;
+  opt.manifest = "grid-A";
+  xp::run_jobs(square_jobs(4, nullptr), opt);
+
+  std::atomic<int> executed{0};
+  EXPECT_THROW(xp::run_jobs(square_jobs(3, &executed), opt), tpio::Error);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(Executor, UnparseableCheckpointIsOverwritten) {
+  TempFile f("executor_ckpt_unparseable.json");
+  std::FILE* out = std::fopen(f.path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  std::fputs("not a checkpoint at all", out);
+  std::fclose(out);
+
+  std::atomic<int> executed{0};
+  xp::ExecOptions opt;
+  opt.jobs = 1;
+  opt.checkpoint = f.path;
+  opt.manifest = "grid-A";
+  const auto results = xp::run_jobs(square_jobs(3, &executed), opt);
+  EXPECT_EQ(executed.load(), 3);
+  EXPECT_EQ(results[2], 4.0);
+
   xp::Checkpoint back;
   ASSERT_TRUE(xp::checkpoint_load(f.path, back));
   EXPECT_EQ(back.manifest, "grid-A");

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "harness/sweep.hpp"
+#include "simbase/error.hpp"
 #include "simbase/units.hpp"
 
 namespace xp = tpio::xp;
@@ -51,6 +52,43 @@ TEST(Sweep, SeriesWinnerAndImprovement) {
   EXPECT_EQ(s.winner(), coll::OverlapMode::Write);
   EXPECT_DOUBLE_EQ(s.improvement(coll::OverlapMode::Write), 0.2);
   EXPECT_DOUBLE_EQ(s.improvement(coll::OverlapMode::None), 0.0);
+}
+
+TEST(Sweep, SeriesWinnerTieGoesToBaseline) {
+  // Regression: std::map iteration order used to decide exact ties, which
+  // silently credited an overlap algorithm with a "win" it did not earn.
+  xp::OverlapSeries s;
+  s.min_ms[coll::OverlapMode::None] = 80.0;
+  s.min_ms[coll::OverlapMode::Comm] = 90.0;
+  s.min_ms[coll::OverlapMode::Write] = 80.0;  // exact tie with baseline
+  s.min_ms[coll::OverlapMode::WriteComm] = 95.0;
+  s.min_ms[coll::OverlapMode::WriteComm2] = 85.0;
+  EXPECT_EQ(s.winner(), coll::OverlapMode::None);
+}
+
+TEST(Sweep, SeriesWinnerIgnoresAutoColumn) {
+  // Auto is a selector over the fixed five; even when its measured time is
+  // the fastest (warm cache, no probes) it must not count as a Table I win.
+  xp::OverlapSeries s;
+  s.min_ms[coll::OverlapMode::None] = 100.0;
+  s.min_ms[coll::OverlapMode::Comm] = 90.0;
+  s.min_ms[coll::OverlapMode::Write] = 80.0;
+  s.min_ms[coll::OverlapMode::WriteComm] = 95.0;
+  s.min_ms[coll::OverlapMode::WriteComm2] = 85.0;
+  s.min_ms[coll::OverlapMode::Auto] = 70.0;
+  EXPECT_EQ(s.winner(), coll::OverlapMode::Write);
+
+  xp::OverlapSeries only_auto;
+  only_auto.min_ms[coll::OverlapMode::Auto] = 70.0;
+  EXPECT_THROW(only_auto.winner(), tpio::Error);
+}
+
+TEST(Sweep, PrimitiveWinnerTieGoesToTwoSided) {
+  xp::PrimitiveSeries s;
+  s.min_ms[coll::Transfer::TwoSided] = 50.0;
+  s.min_ms[coll::Transfer::OneSidedFence] = 50.0;  // exact tie
+  s.min_ms[coll::Transfer::OneSidedLock] = 60.0;
+  EXPECT_EQ(s.winner(), coll::Transfer::TwoSided);
 }
 
 TEST(Sweep, PrimitiveSeriesWinner) {

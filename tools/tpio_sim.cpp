@@ -49,6 +49,19 @@ int main(int argc, char** argv) {
   std::printf("geometry: %d aggregators, %d cycles, %s total\n",
               first.aggregators, first.cycles,
               sim::format_bytes(first.bytes).c_str());
+  if (first.autotune.engaged) {
+    const auto& d = first.autotune;
+    if (d.from_cache) {
+      std::printf("auto: chose %s (tuning cache hit, no probes)\n",
+                  coll::to_string(d.chosen));
+    } else {
+      std::printf(
+          "auto: chose %s after %d probe cycles "
+          "(comm share %.1f%%, aio ratio %.2f)\n",
+          coll::to_string(d.chosen), d.probe_cycles, d.comm_share * 100.0,
+          d.aio_ratio);
+    }
+  }
   std::printf("time: min=%.3f ms  median=%.3f ms  max=%.3f ms\n",
               times.min(), times.median(), times.max());
   std::printf("effective bandwidth (best): %s\n",

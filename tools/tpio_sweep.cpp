@@ -2,9 +2,12 @@
 // machine-readable CSV (one row per series x algorithm) for external
 // analysis/plotting.
 //
-//   tpio_sweep --platform crill [--primitives] [--hierarchical]
+//   tpio_sweep --platform crill [--primitives] [--auto] [--hierarchical]
 //              [--leader lowest|spread] [--quick] [--reps N]
 //              [--jobs N] [--resume FILE] [--progress] > out.csv
+//
+// --auto adds a sixth column to the overlap sweep: the adaptive
+// scheduler (OverlapMode::Auto), measured like the fixed five.
 //
 // Series are independent simulations, so the sweep fans out over a worker
 // pool (--jobs, default: hardware concurrency); any worker count produces a
@@ -19,6 +22,7 @@
 
 #include "harness/cli.hpp"
 #include "harness/sweep.hpp"
+#include "simbase/error.hpp"
 
 namespace xp = tpio::xp;
 namespace wl = tpio::wl;
@@ -27,8 +31,9 @@ namespace coll = tpio::coll;
 int main(int argc, char** argv) {
   std::string platform = "ibex";
   bool primitives = false;
+  bool include_auto = false;
   bool quick = false;
-  int reps = 3;
+  long long reps = 3;
   coll::Options base;
   xp::ExecOptions exec;
   exec.jobs = 0;  // hardware concurrency
@@ -38,6 +43,8 @@ int main(int argc, char** argv) {
       platform = argv[++i];
     } else if (a == "--primitives") {
       primitives = true;
+    } else if (a == "--auto") {
+      include_auto = true;
     } else if (a == "--hierarchical") {
       base.hierarchical = true;
     } else if (a == "--leader" && i + 1 < argc) {
@@ -51,13 +58,19 @@ int main(int argc, char** argv) {
     } else if (a == "--quick") {
       quick = true;
     } else if (a == "--reps" && i + 1 < argc) {
-      reps = std::atoi(argv[++i]);
-    } else if (a == "--jobs" && i + 1 < argc) {
-      exec.jobs = std::atoi(argv[++i]);
-      if (exec.jobs < 0) {
-        std::fprintf(stderr, "--jobs wants a count >= 0 (0 = hardware)\n");
+      if (!xp::parse_int_arg(argv[++i], 1, 1'000'000, reps)) {
+        std::fprintf(stderr, "--reps wants a count >= 1, got '%s'\n", argv[i]);
         return 2;
       }
+    } else if (a == "--jobs" && i + 1 < argc) {
+      long long jobs = 0;
+      if (!xp::parse_int_arg(argv[++i], 0, 10'000, jobs)) {
+        std::fprintf(stderr,
+                     "--jobs wants a count >= 0 (0 = hardware), got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      exec.jobs = static_cast<int>(jobs);
     } else if (a == "--resume" && i + 1 < argc) {
       exec.checkpoint = argv[++i];
     } else if (a == "--progress") {
@@ -65,7 +78,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: tpio_sweep [--platform crill|ibex|lustre] "
-                   "[--primitives] [--hierarchical] [--leader lowest|spread] "
+                   "[--primitives] [--auto] [--hierarchical] "
+                   "[--leader lowest|spread] "
                    "[--quick] [--reps N] [--jobs N] "
                    "[--resume FILE] [--progress]\n");
       return 2;
@@ -76,31 +90,42 @@ int main(int argc, char** argv) {
   xp::Platform plat;
   if (platform == "crill") plat = xp::crill();
   else if (platform == "ibex") plat = xp::ibex();
+  else if (platform == "lustre") plat = xp::lustre();
   else {
-    std::fprintf(stderr, "unknown platform '%s'\n", platform.c_str());
+    std::fprintf(stderr, "unknown platform '%s' (crill|ibex|lustre)\n",
+                 platform.c_str());
     return 2;
   }
 
-  if (primitives) {
-    std::puts("platform,benchmark,size,procs,transfer,min_ms");
-    for (const auto& s :
-         xp::run_primitive_sweep(plat, base, reps, 0xC57, quick, exec)) {
-      for (const auto& [t, ms] : s.min_ms) {
-        std::printf("%s,%s,%s,%d,%s,%.6f\n", s.platform.c_str(),
-                    wl::to_string(s.kind), s.size_label.c_str(), s.procs,
-                    coll::to_string(t), ms);
+  // The executor refuses stale --resume checkpoints (and other invariant
+  // violations) by throwing; report those as a clean CLI error, not an
+  // uncaught-exception abort.
+  try {
+    if (primitives) {
+      std::puts("platform,benchmark,size,procs,transfer,min_ms");
+      for (const auto& s : xp::run_primitive_sweep(
+               plat, base, static_cast<int>(reps), 0xC57, quick, exec)) {
+        for (const auto& [t, ms] : s.min_ms) {
+          std::printf("%s,%s,%s,%d,%s,%.6f\n", s.platform.c_str(),
+                      wl::to_string(s.kind), s.size_label.c_str(), s.procs,
+                      coll::to_string(t), ms);
+        }
+      }
+    } else {
+      std::puts("platform,benchmark,size,procs,overlap,min_ms");
+      for (const auto& s :
+           xp::run_overlap_sweep(plat, base, static_cast<int>(reps), 0xC57,
+                                 quick, exec, include_auto)) {
+        for (const auto& [m, ms] : s.min_ms) {
+          std::printf("%s,%s,%s,%d,%s,%.6f\n", s.platform.c_str(),
+                      wl::to_string(s.kind), s.size_label.c_str(), s.procs,
+                      coll::to_string(m), ms);
+        }
       }
     }
-  } else {
-    std::puts("platform,benchmark,size,procs,overlap,min_ms");
-    for (const auto& s :
-         xp::run_overlap_sweep(plat, base, reps, 0xC57, quick, exec)) {
-      for (const auto& [m, ms] : s.min_ms) {
-        std::printf("%s,%s,%s,%d,%s,%.6f\n", s.platform.c_str(),
-                    wl::to_string(s.kind), s.size_label.c_str(), s.procs,
-                    coll::to_string(m), ms);
-      }
-    }
+  } catch (const tpio::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
   return 0;
 }
