@@ -11,6 +11,11 @@
 // job-wide, and decide() maps them onto one of the five fixed schedulers.
 // A persistent JSON tuning cache keyed by platform signature x workload
 // shape x procs lets later opens of the same configuration skip the probes.
+//
+// Probes run through the same resilient write path as every scheduler
+// (retries, backoff, give-ups — see Options::max_retries), so Auto
+// composes with fault injection; probe costs include any retry time the
+// fault scenario charged, which is exactly what the decision should see.
 
 #include <cstdint>
 #include <string>

@@ -472,6 +472,59 @@ void Engine::shuffle_blocking(int cycle, int slot) {
 // I/O phase
 // ---------------------------------------------------------------------------
 
+sim::Duration Engine::backoff_delay(int cycle, int attempt) const {
+  const int exp = std::min(attempt - 1, 16);
+  const auto scaled = static_cast<sim::Duration>(
+      opt_.retry_backoff * (sim::Duration{1} << exp));
+  // Jitter is a pure function of (fault seed, rank, cycle, attempt) — no
+  // shared stream, so the schedule is identical at any worker count.
+  sim::Rng rng(sim::Rng::derive_seed(
+      sim::Rng::derive_seed(file_.faults().params().seed ^ 0xB0FFull,
+                            static_cast<std::uint64_t>(mpi_.rank())),
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cycle)) << 8) ^
+          static_cast<std::uint64_t>(attempt)));
+  return scaled +
+         static_cast<sim::Duration>(std::llround(
+             rng.next_double() * static_cast<double>(scaled)));
+}
+
+void Engine::retry_backoff(int cycle, int attempt) {
+  ++faults_.retries;
+  const sim::Duration d = backoff_delay(cycle, attempt);
+  ScopedTraceEvent ev_(opt_.trace, "write_retry", cycle, mpi_.ctx().now());
+  struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
+  timed(mpi_.ctx(), t_.backoff, [&] { mpi_.ctx().advance(d); });
+}
+
+void Engine::give_up(const char* what, int cycle) {
+  ++faults_.giveups;
+  if (io_error_.empty()) {
+    io_error_ = std::string(what) + " gave up after " +
+                std::to_string(opt_.max_retries + 1) + " attempts (cycle " +
+                std::to_string(cycle) + ", rank " +
+                std::to_string(mpi_.rank()) + ")";
+  }
+  ScopedTraceEvent ev_(opt_.trace, "write_giveup", cycle, mpi_.ctx().now());
+  ev_.finish(mpi_.ctx().now());
+}
+
+void Engine::observe_async_write(int cycle, sim::Duration d,
+                                 std::uint64_t bytes) {
+  if (opt_.degrade_slowdown <= 1.0 || degraded_ || bytes == 0) return;
+  const double per_byte = static_cast<double>(d) / static_cast<double>(bytes);
+  if (best_write_ns_per_byte_ <= 0.0 || per_byte < best_write_ns_per_byte_) {
+    best_write_ns_per_byte_ = per_byte;
+    return;
+  }
+  if (per_byte > opt_.degrade_slowdown * best_write_ns_per_byte_) {
+    // This aggregator's storage path has gone pathological (straggling
+    // server): abandon the aio pipeline, drain remaining cycles blocking.
+    degraded_ = true;
+    ScopedTraceEvent ev_(opt_.trace, "degrade", cycle, mpi_.ctx().now());
+    ev_.finish(mpi_.ctx().now());
+  }
+}
+
 void Engine::write_init(int cycle, int slot) {
   Slot& s = slots_[slot];
   TPIO_CHECK(!s.wr.valid(), "write_init with an outstanding write on slot");
@@ -479,9 +532,22 @@ void Engine::write_init(int cycle, int slot) {
   if (my_agg_ < 0) return;  // non-aggregator: no write, no trace event
   const Plan::Range r = plan_.cycle_range(my_agg_, cycle);
   if (r.size() == 0) return;
+  if (degraded_) {
+    // Degraded mode: the aio path on this aggregator is pathological —
+    // drain the cycle blocking instead of queueing behind the straggler.
+    // The scheduler's later write_wait finds no outstanding op.
+    ++faults_.degraded_cycles;
+    ScopedTraceEvent ev_(opt_.trace, "write_degraded", cycle,
+                         mpi_.ctx().now());
+    struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
+    write_attempts(cycle, slot, r);
+    return;
+  }
   ScopedTraceEvent ev_(opt_.trace, "write_init", cycle, mpi_.ctx().now());
   struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
   s.wr_cycle = cycle;
+  s.wr_submit = mpi_.ctx().now();
+  s.wr_bytes = r.size();
   timed(mpi_.ctx(), t_.write, [&] {
     s.wr = file_.start_write(mpi_.ctx(), node_, r.begin,
                              cb_span(slot).subspan(0, r.size()),
@@ -492,10 +558,69 @@ void Engine::write_init(int cycle, int slot) {
 void Engine::write_wait(int slot) {
   Slot& s = slots_[slot];
   if (!s.wr.valid()) return;  // non-aggregator or empty cycle: no trace event
-  ScopedTraceEvent ev_(opt_.trace, "write_wait", s.wr_cycle, mpi_.ctx().now());
-  struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
-  timed(mpi_.ctx(), t_.write, [&] { file_.wait(mpi_.ctx(), s.wr); });
+  const int cycle = s.wr_cycle;
+  pfs::IoStatus st = pfs::IoStatus::Ok;
+  {
+    ScopedTraceEvent ev_(opt_.trace, "write_wait", cycle, mpi_.ctx().now());
+    struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
+    const sim::Time done = s.wr.completion();
+    timed(mpi_.ctx(), t_.write, [&] { st = file_.wait(mpi_.ctx(), s.wr); });
+    if (st == pfs::IoStatus::Ok) {
+      observe_async_write(cycle, done - s.wr_submit, s.wr_bytes);
+    }
+  }
   s.wr_cycle = -1;
+  if (st == pfs::IoStatus::Ok) return;
+
+  // The asynchronous attempt bounced. The sub-buffer still holds the
+  // cycle's payload (the scheduler only reuses a slot after this wait), so
+  // re-issue from it — blocking, like a degraded rewrite: the pipeline is
+  // already stalled on this cycle, queueing another aio behind a flaky
+  // server helps nobody.
+  const Plan::Range r = plan_.cycle_range(my_agg_, cycle);
+  for (int attempt = 2;; ++attempt) {
+    if (attempt > opt_.max_retries + 1) {
+      give_up("async write", cycle);
+      return;
+    }
+    retry_backoff(cycle, attempt - 1);
+    ScopedTraceEvent ev_(opt_.trace, "write_blocking", cycle,
+                         mpi_.ctx().now());
+    struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
+    timed(mpi_.ctx(), t_.write, [&] {
+      pfs::WriteOp op = file_.start_write(mpi_.ctx(), node_, r.begin,
+                                          cb_span(slot).subspan(0, r.size()),
+                                          /*async=*/false, attempt);
+      mpi_.set_unavailable_until(op.completion());
+      st = file_.wait(mpi_.ctx(), op);
+    });
+    if (st == pfs::IoStatus::Ok) return;
+  }
+}
+
+void Engine::write_attempts(int cycle, int slot, const Plan::Range& r) {
+  // Bounded-retry blocking write of [r.begin, r.end) from the slot's
+  // sub-buffer: attempt, and on transient failure back off and re-issue
+  // until success or give-up.
+  for (int attempt = 1;; ++attempt) {
+    if (attempt > opt_.max_retries + 1) {
+      give_up("blocking write", cycle);
+      return;
+    }
+    if (attempt > 1) retry_backoff(cycle, attempt - 1);
+    pfs::IoStatus st = pfs::IoStatus::Ok;
+    timed(mpi_.ctx(), t_.write, [&] {
+      pfs::WriteOp op = file_.start_write(mpi_.ctx(), node_, r.begin,
+                                          cb_span(slot).subspan(0, r.size()),
+                                          /*async=*/false, attempt);
+      // A blocking pwrite keeps this rank out of the MPI progress engine
+      // for its whole duration — the effect the paper identifies as the
+      // weakness of communication-only overlap.
+      mpi_.set_unavailable_until(op.completion());
+      st = file_.wait(mpi_.ctx(), op);
+    });
+    if (st == pfs::IoStatus::Ok) return;
+  }
 }
 
 void Engine::write_blocking(int cycle, int slot) {
@@ -507,16 +632,7 @@ void Engine::write_blocking(int cycle, int slot) {
   if (r.size() == 0) return;
   ScopedTraceEvent ev_(opt_.trace, "write_blocking", cycle, mpi_.ctx().now());
   struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
-  timed(mpi_.ctx(), t_.write, [&] {
-    pfs::WriteOp op = file_.start_write(mpi_.ctx(), node_, r.begin,
-                                        cb_span(slot).subspan(0, r.size()),
-                                        /*async=*/false);
-    // A blocking pwrite keeps this rank out of the MPI progress engine for
-    // its whole duration — the effect the paper identifies as the weakness
-    // of communication-only overlap.
-    mpi_.set_unavailable_until(op.completion());
-    file_.wait(mpi_.ctx(), op);
-  });
+  write_attempts(cycle, slot, r);
 }
 
 // ---------------------------------------------------------------------------
@@ -758,6 +874,8 @@ Result collective_write(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
   t.total = mpi.ctx().now() - start;
   res.timings = t;
   res.autotune = warm.engaged ? warm : engine.auto_decision();
+  res.faults = engine.fault_stats();
+  res.io_error = engine.io_error();
   res.aggregators = plan.num_aggregators();
   res.cycles = plan.num_cycles();
   res.bytes_local = view.total_bytes();

@@ -17,6 +17,16 @@ namespace tpio::coll {
 /// I/O phases, and sequences them according to the selected overlap
 /// algorithm. Constructed and run by coll::collective_write(); exposed for
 /// white-box tests of individual phases.
+///
+/// Resilience: every file write (blocking and asynchronous, all five
+/// schedulers) runs under a bounded retry policy — a transiently failed
+/// attempt (pfs::FaultParams injection) is re-issued after an exponential
+/// backoff on the virtual timeline, up to Options::max_retries times, then
+/// abandoned (give-up). With Options::degrade_slowdown set, an aggregator
+/// that observes a pathologically slow asynchronous write switches its
+/// remaining cycles to blocking writes (degraded mode). All of it is
+/// deterministic: decisions derive from seeds and virtual-time
+/// observations only, so runs are bit-identical at any worker count.
 class Engine {
  public:
   Engine(smpi::Mpi& mpi, pfs::File& file, const Plan& plan,
@@ -45,6 +55,13 @@ class Engine {
   /// run(); engaged == false for fixed overlap modes).
   const AutoDecision& auto_decision() const { return auto_decision_; }
 
+  /// Retry/give-up/degradation counters of this rank (valid after run();
+  /// all zero on a fault-free run).
+  const FaultStats& fault_stats() const { return faults_; }
+  /// First give-up description, empty when every write eventually
+  /// succeeded. Mirrored into Result::io_error by collective_write().
+  const std::string& io_error() const { return io_error_; }
+
  private:
   struct ShuffleState {
     int cycle = -1;
@@ -62,6 +79,8 @@ class Engine {
     ShuffleState sh;
     pfs::WriteOp wr;
     int wr_cycle = -1;  // cycle of the outstanding write, -1 if none
+    sim::Time wr_submit = 0;      // issue time of the outstanding write
+    std::uint64_t wr_bytes = 0;   // bytes of the outstanding write
     // Hierarchical mode, leaders of multi-member nodes only: the node's
     // merged cycle payload, laid out as the concatenation over aggregators
     // of the coalesced node segments. Forwards (sends/puts) reference this
@@ -99,6 +118,21 @@ class Engine {
   /// CPU cost of packing/unpacking `segs` segments totalling `bytes`.
   sim::Duration pack_cost(std::size_t segs, std::uint64_t bytes) const;
 
+  /// Backoff before re-issuing attempt `attempt + 1` of `cycle`'s write:
+  /// Options::retry_backoff * 2^(attempt-1) * (1 + jitter), jitter a pure
+  /// function of (fault seed, rank, cycle, attempt).
+  sim::Duration backoff_delay(int cycle, int attempt) const;
+  /// Advance the virtual clock by backoff_delay, account it, trace it,
+  /// count the retry.
+  void retry_backoff(int cycle, int attempt);
+  /// Record a give-up: count it, set io_error_ (first one wins), trace it.
+  void give_up(const char* what, int cycle);
+  /// Bounded-retry blocking write of `r` from `slot`'s sub-buffer.
+  void write_attempts(int cycle, int slot, const Plan::Range& r);
+  /// Feed the degraded-mode detector with one completed asynchronous
+  /// write's observed (duration, bytes); may latch degraded_.
+  void observe_async_write(int cycle, sim::Duration d, std::uint64_t bytes);
+
   smpi::Mpi& mpi_;
   pfs::File& file_;
   const Plan& plan_;
@@ -111,6 +145,12 @@ class Engine {
   bool is_leader_ = false;
   int node_first_ = 0, node_last_ = 0;  // this node's rank range
   AutoDecision auto_decision_;
+  FaultStats faults_;
+  std::string io_error_;
+  // Degraded mode (Options::degrade_slowdown): once latched, write_init
+  // drains cycles through the blocking path instead of the aio pipeline.
+  bool degraded_ = false;
+  double best_write_ns_per_byte_ = 0.0;  // 0 = no observation yet
   Slot slots_[2];
 };
 

@@ -1,6 +1,7 @@
 #include "core/read_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "simbase/error.hpp"
@@ -57,6 +58,61 @@ sim::Duration ReadEngine::pack_cost(std::size_t segs,
 // File access phase
 // ---------------------------------------------------------------------------
 
+sim::Duration ReadEngine::backoff_delay(int cycle, int attempt) const {
+  const int exp = std::min(attempt - 1, 16);
+  const auto scaled = static_cast<sim::Duration>(
+      opt_.retry_backoff * (sim::Duration{1} << exp));
+  // Pure function of (fault seed, rank, cycle, attempt); the salt differs
+  // from the write engine's so interleaved reads and writes never share a
+  // jitter draw.
+  sim::Rng rng(sim::Rng::derive_seed(
+      sim::Rng::derive_seed(file_.faults().params().seed ^ 0x5EB0FFull,
+                            static_cast<std::uint64_t>(mpi_.rank())),
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cycle)) << 8) ^
+          static_cast<std::uint64_t>(attempt)));
+  return scaled +
+         static_cast<sim::Duration>(std::llround(
+             rng.next_double() * static_cast<double>(scaled)));
+}
+
+void ReadEngine::retry_backoff(int cycle, int attempt) {
+  ++faults_.retries;
+  timed(mpi_.ctx(), t_.backoff,
+        [&] { mpi_.ctx().advance(backoff_delay(cycle, attempt)); });
+}
+
+void ReadEngine::give_up(int cycle) {
+  ++faults_.giveups;
+  if (io_error_.empty()) {
+    io_error_ = "collective read gave up after " +
+                std::to_string(opt_.max_retries + 1) + " attempts (cycle " +
+                std::to_string(cycle) + ", rank " +
+                std::to_string(mpi_.rank()) + ")";
+  }
+}
+
+void ReadEngine::read_attempts(int cycle, int slot, const Plan::Range& r,
+                               int first) {
+  Slot& s = slots_[slot];
+  for (int attempt = first;; ++attempt) {
+    if (attempt > opt_.max_retries + 1) {
+      give_up(cycle);
+      return;
+    }
+    if (attempt > first) retry_backoff(cycle, attempt - 1);
+    pfs::IoStatus st = pfs::IoStatus::Ok;
+    timed(mpi_.ctx(), t_.write, [&] {
+      pfs::WriteOp op = file_.start_read(
+          mpi_.ctx(), node_, r.begin,
+          std::span<std::byte>(s.cb).subspan(0, r.size()), /*async=*/false,
+          attempt);
+      mpi_.set_unavailable_until(op.completion());
+      st = file_.wait(mpi_.ctx(), op);
+    });
+    if (st == pfs::IoStatus::Ok) return;
+  }
+}
+
 void ReadEngine::read_init(int cycle, int slot) {
   Slot& s = slots_[slot];
   TPIO_CHECK(!s.rd.valid(), "read_init with an outstanding read on slot");
@@ -76,7 +132,15 @@ void ReadEngine::read_init(int cycle, int slot) {
 void ReadEngine::read_wait(int slot) {
   Slot& s = slots_[slot];
   if (!s.rd.valid()) return;
-  timed(mpi_.ctx(), t_.write, [&] { file_.wait(mpi_.ctx(), s.rd); });
+  pfs::IoStatus st = pfs::IoStatus::Ok;
+  timed(mpi_.ctx(), t_.write, [&] { st = file_.wait(mpi_.ctx(), s.rd); });
+  if (st == pfs::IoStatus::Ok) return;
+  // The asynchronous attempt bounced; re-read the cycle's range blocking
+  // (the sub-buffer is only consumed after this wait), continuing the
+  // attempt numbering so the fault oracle sees the retry as attempt 2.
+  const Plan::Range r = plan_.cycle_range(my_agg_, s.rd_cycle);
+  retry_backoff(s.rd_cycle, 1);
+  read_attempts(s.rd_cycle, slot, r, /*first=*/2);
 }
 
 void ReadEngine::read_blocking(int cycle, int slot) {
@@ -88,13 +152,7 @@ void ReadEngine::read_blocking(int cycle, int slot) {
   if (my_agg_ < 0) return;
   const Plan::Range r = plan_.cycle_range(my_agg_, cycle);
   if (r.size() == 0) return;
-  timed(mpi_.ctx(), t_.write, [&] {
-    pfs::WriteOp op = file_.start_read(
-        mpi_.ctx(), node_, r.begin,
-        std::span<std::byte>(s.cb).subspan(0, r.size()), /*async=*/false);
-    mpi_.set_unavailable_until(op.completion());
-    file_.wait(mpi_.ctx(), op);
-  });
+  read_attempts(cycle, slot, r);
 }
 
 // ---------------------------------------------------------------------------
@@ -302,6 +360,8 @@ Result collective_read(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
 
   t.total = mpi.ctx().now() - start;
   res.timings = t;
+  res.faults = engine.fault_stats();
+  res.io_error = engine.io_error();
   res.aggregators = plan.num_aggregators();
   res.cycles = plan.num_cycles();
   res.bytes_local = view.total_bytes();

@@ -29,6 +29,11 @@ namespace tpio::coll {
 /// The scatter uses two-sided messages (single-segment destinations
 /// receive in place; multi-segment destinations are packed/unpacked with
 /// per-segment CPU cost, as in the write engine).
+///
+/// Resilience mirrors the write engine: transiently failed reads
+/// (pfs::FaultParams::read_fail_rate) are re-issued after a deterministic
+/// exponential backoff up to Options::max_retries times, then abandoned
+/// with a give-up recorded in fault_stats()/io_error().
 class ReadEngine {
  public:
   ReadEngine(smpi::Mpi& mpi, pfs::File& file, const Plan& plan,
@@ -36,6 +41,13 @@ class ReadEngine {
              PhaseTimings& timings);
 
   void run();
+
+  /// Retry/give-up counters of this rank (valid after run(); all zero on a
+  /// fault-free run). degraded_cycles stays zero — degraded mode is a
+  /// write-pipeline feature.
+  const FaultStats& fault_stats() const { return faults_; }
+  /// First give-up description, empty when every read eventually succeeded.
+  const std::string& io_error() const { return io_error_; }
 
   // Individual phases (exposed for white-box tests).
   void read_init(int cycle, int slot);    // aggregator: async file read
@@ -66,6 +78,17 @@ class ReadEngine {
   }
   sim::Duration pack_cost(std::size_t segs, std::uint64_t bytes) const;
 
+  /// Backoff before re-issuing attempt `attempt + 1` (same pure-function
+  /// schedule as the write engine, salted differently).
+  sim::Duration backoff_delay(int cycle, int attempt) const;
+  void retry_backoff(int cycle, int attempt);
+  void give_up(int cycle);
+  /// Bounded-retry blocking read of `r` into `slot`'s sub-buffer, starting
+  /// the fault oracle's attempt numbering at `first` (continuation of a
+  /// failed asynchronous attempt passes 2).
+  void read_attempts(int cycle, int slot, const Plan::Range& r,
+                     int first = 1);
+
   void run_none();
   void run_comm();
   void run_read_ahead();
@@ -80,6 +103,8 @@ class ReadEngine {
   PhaseTimings& t_;
   int my_agg_ = -1;
   int node_ = 0;
+  FaultStats faults_;
+  std::string io_error_;
   Slot slots_[2];
 };
 

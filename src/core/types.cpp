@@ -73,7 +73,15 @@ PhaseTimings& PhaseTimings::operator+=(const PhaseTimings& o) {
   shuffle += o.shuffle;
   sync += o.sync;
   write += o.write;
+  backoff += o.backoff;
   total += o.total;
+  return *this;
+}
+
+FaultStats& FaultStats::operator+=(const FaultStats& o) {
+  retries += o.retries;
+  giveups += o.giveups;
+  degraded_cycles += o.degraded_cycles;
   return *this;
 }
 

@@ -118,6 +118,29 @@ struct Options {
   /// Optional per-rank phase recording (chrome://tracing export); not
   /// owned, may be null. Each rank passes its own Trace.
   Trace* trace = nullptr;
+
+  // ----- resilience (fault injection: pfs::FaultParams) ---------------------
+  /// Transiently failed writes/reads are retried up to this many times
+  /// beyond the first attempt before the engine gives up (records a give-up
+  /// in Result::faults and an error in Result::io_error, leaving a hole the
+  /// file's verify() reports). Inert without injected faults: a fault-free
+  /// run never retries and is bit-identical at any max_retries.
+  int max_retries = 4;
+  /// Base delay of the exponential retry backoff, virtual nanoseconds.
+  /// Attempt k (k >= 2) waits base * 2^min(k-2, 16) * (1 + j), jitter j in
+  /// [0, 1) drawn
+  /// as a pure function of (fault seed, rank, cycle, attempt) — never from
+  /// a shared stream — so backoff schedules are deterministic and
+  /// bit-identical at any worker count. Accounted in PhaseTimings::backoff.
+  sim::Duration retry_backoff = sim::microseconds(500);
+  /// Straggler-aware degraded mode: when > 1, an aggregator whose completed
+  /// asynchronous write cost more per byte than `degrade_slowdown` times the
+  /// best per-byte cost it has observed abandons the aio pipeline and drains
+  /// its remaining cycles with blocking writes (one bad server no longer
+  /// stalls the double-buffer swap). 0 disables (default). The trigger uses
+  /// only this rank's own deterministic observations, so degraded runs stay
+  /// bit-identical across hosts and worker counts.
+  double degrade_slowdown = 0.0;
 };
 
 /// Where a rank's blocked time went, in virtual nanoseconds. Mirrors the
@@ -129,9 +152,26 @@ struct PhaseTimings {
   sim::Duration shuffle = 0;  // blocked in sends/recvs/puts + their waits
   sim::Duration sync = 0;     // fences, barriers, lock traffic
   sim::Duration write = 0;    // blocked in file writes / write waits
+  sim::Duration backoff = 0;  // retry backoff waits (fault injection)
   sim::Duration total = 0;    // whole collective_write
 
   PhaseTimings& operator+=(const PhaseTimings& o);
+};
+
+/// Resilience counters of one collective operation on one rank. All zero on
+/// a fault-free run (and bit-identical to a build without the fault layer).
+struct FaultStats {
+  /// Write/read attempts that failed transiently and were re-issued.
+  int retries = 0;
+  /// Operations abandoned after Options::max_retries re-issues all failed;
+  /// each leaves a hole in the file that verify() reports, and the first
+  /// one sets Result::io_error.
+  int giveups = 0;
+  /// Cycles this rank drained through the blocking fallback after the
+  /// degraded-mode trigger fired (Options::degrade_slowdown).
+  int degraded_cycles = 0;
+
+  FaultStats& operator+=(const FaultStats& o);
 };
 
 /// What OverlapMode::Auto decided for one operation. Identical on every
@@ -154,6 +194,11 @@ struct Result {
   std::uint64_t bytes_local = 0;   // this rank's contribution
   std::uint64_t bytes_global = 0;  // whole operation
   AutoDecision autotune;           // OverlapMode::Auto only
+  /// Retry/give-up/degradation counters of this rank (fault injection).
+  FaultStats faults;
+  /// First give-up description on this rank; empty when every operation
+  /// eventually succeeded. A non-empty value means the file has a hole.
+  std::string io_error;
 };
 
 }  // namespace tpio::coll

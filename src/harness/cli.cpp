@@ -1,6 +1,7 @@
 #include "harness/cli.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "harness/sweep.hpp"
@@ -87,6 +88,18 @@ bool parse_u64_arg(const std::string& s, std::uint64_t& out) {
   return true;
 }
 
+bool parse_double_arg(const std::string& s, double lo, double hi,
+                      double& out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || errno == ERANGE) return false;
+  if (!std::isfinite(v) || v < lo || v > hi) return false;
+  out = v;
+  return true;
+}
+
 Platform platform_by_name(const std::string& name) {
   if (name == "crill") return scaled(crill());
   if (name == "ibex") return scaled(ibex());
@@ -113,6 +126,14 @@ std::string cli_usage() {
       "  --reps N                           measurements (default 3)\n"
       "  --seed N                           master seed (default 1)\n"
       "  --verify                           check file contents\n"
+      "  --fault-rate R                     per-attempt write-failure prob.\n"
+      "  --fault-seed N                     fault-scenario seed (default 1)\n"
+      "  --fail-until N                     attempts 1..N-1 of every op fail\n"
+      "  --straggler F                      straggler service multiplier\n"
+      "  --straggler-targets N              targets that straggle (default 0)\n"
+      "  --straggler-after MS               virtual onset of the slowdown\n"
+      "  --max-retries N                    retry budget per op (default 4)\n"
+      "  --degrade F                        degraded-mode trigger ratio\n"
       "  --help\n";
 }
 
@@ -121,6 +142,9 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
   std::string platform = "ibex";
   std::string workload = "tile1m";
   std::uint64_t bytes = 0;
+  // Fault knobs land on the platform's storage system, which is built only
+  // after the whole line parses — collect them here, apply at the end.
+  pfs::FaultParams faults;
   cfg.spec.nprocs = 64;
   cfg.spec.options.cb_size = kCbSize;
 
@@ -147,6 +171,15 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
     const std::uint64_t b = sim::parse_bytes(v);  // throws on malformed
     if (b == 0) cfg.error = flag + " wants a positive size, got '" + v + "'";
     return b;
+  };
+  auto double_flag = [&](const std::string& flag, const std::string& v,
+                         double lo, double hi) -> double {
+    double out = lo;
+    if (!parse_double_arg(v, lo, hi, out)) {
+      cfg.error = flag + " wants a number in [" + std::to_string(lo) + ", " +
+                  std::to_string(hi) + "], got '" + v + "'";
+    }
+    return out;
   };
 
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -209,6 +242,39 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
         }
       } else if (a == "--verify") {
         cfg.spec.verify = true;
+      } else if (a == "--fault-rate") {
+        if (!need_value(i)) return cfg;
+        faults.write_fail_rate = double_flag(a, args[++i], 0.0, 1.0);
+      } else if (a == "--fault-seed") {
+        if (!need_value(i)) return cfg;
+        if (!parse_u64_arg(args[++i], faults.seed)) {
+          cfg.error =
+              "--fault-seed wants an unsigned integer, got '" + args[i] + "'";
+        }
+      } else if (a == "--fail-until") {
+        if (!need_value(i)) return cfg;
+        faults.fail_until_attempt =
+            static_cast<int>(int_flag(a, args[++i], 1, 1'000));
+      } else if (a == "--straggler") {
+        if (!need_value(i)) return cfg;
+        faults.straggler_factor = double_flag(a, args[++i], 1.0, 1e6);
+      } else if (a == "--straggler-targets") {
+        if (!need_value(i)) return cfg;
+        faults.straggler_targets =
+            static_cast<int>(int_flag(a, args[++i], 0, 1'000'000));
+      } else if (a == "--straggler-after") {
+        if (!need_value(i)) return cfg;
+        const double ms = double_flag(a, args[++i], 0.0, 1e12);
+        faults.straggler_after =
+            static_cast<sim::Time>(std::llround(ms * 1e6));
+      } else if (a == "--max-retries") {
+        if (!need_value(i)) return cfg;
+        cfg.spec.options.max_retries =
+            static_cast<int>(int_flag(a, args[++i], 0, 1'000));
+      } else if (a == "--degrade") {
+        if (!need_value(i)) return cfg;
+        cfg.spec.options.degrade_slowdown =
+            double_flag(a, args[++i], 0.0, 1e6);
       } else {
         cfg.error = "unknown flag '" + a + "'";
       }
@@ -220,9 +286,16 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
 
   try {
     cfg.spec.platform = platform_by_name(platform);
+    cfg.spec.platform.pfs.faults = faults;
     cfg.spec.workload = workload_by_name(workload, bytes, cfg.error);
   } catch (const tpio::Error& e) {
     cfg.error = e.what();
+  }
+  if (cfg.error.empty() && faults.straggler_targets >
+                               cfg.spec.platform.pfs.num_targets) {
+    cfg.error = "--straggler-targets exceeds the platform's " +
+                std::to_string(cfg.spec.platform.pfs.num_targets) +
+                " storage targets";
   }
   return cfg;
 }

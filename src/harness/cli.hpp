@@ -34,6 +34,14 @@ struct CliConfig {
 ///   --reps N                         (default 3)
 ///   --seed N                         (default 1)
 ///   --verify                         (off by default)
+///   --fault-rate R                   (per-attempt write-failure prob., 0)
+///   --fault-seed N                   (fault-scenario seed, default 1)
+///   --fail-until N                   (attempts 1..N-1 of every op fail)
+///   --straggler F                    (service multiplier of slow targets)
+///   --straggler-targets N            (how many targets straggle, 0)
+///   --straggler-after MS             (virtual onset of the slowdown, 0)
+///   --max-retries N                  (retry budget per op, default 4)
+///   --degrade F                      (degraded-mode trigger ratio, off)
 ///   --help
 /// Sizes accept K/M/G suffixes. Unknown flags, non-numeric / overflowing /
 /// non-positive counts and zero byte-sizes all produce an error.
@@ -46,6 +54,10 @@ bool parse_int_arg(const std::string& s, long long lo, long long hi,
                    long long& out);
 /// Same strictness for unsigned 64-bit values (e.g. seeds).
 bool parse_u64_arg(const std::string& s, std::uint64_t& out);
+/// Same strictness for doubles (e.g. fault rates, straggler factors): the
+/// whole string must parse, the value must be finite and in [lo, hi].
+bool parse_double_arg(const std::string& s, double lo, double hi,
+                      double& out);
 
 /// The usage text printed for --help / errors.
 std::string cli_usage();

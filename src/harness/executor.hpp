@@ -14,7 +14,11 @@ namespace tpio::xp {
 /// its own seeds — so they can run concurrently in any order.
 struct SweepJob {
   std::string key;
-  std::function<double()> run;  // returns the series minimum, in ms
+  /// Produces the job's scalar measurement — conventionally the series
+  /// minimum in milliseconds, but any deterministic double works (the
+  /// fault-resilience driver returns retry counts). Checkpoints store the
+  /// value verbatim, so it must be reproducible from the job's own seeds.
+  std::function<double()> run;
 };
 
 /// Execution policy of a sweep.
@@ -32,7 +36,10 @@ struct ExecOptions {
   /// results are merged from the file. The file is rewritten atomically as
   /// jobs complete, so an interrupted sweep resumes where it stopped.
   std::string checkpoint;
-  /// Identifies the sweep grid (kind, platform, seed, reps, quick).
+  /// Identifies the sweep grid (kind, platform, seed, reps, quick, plus
+  /// any hierarchical/auto variants and the fault scenario — see
+  /// pfs::fault_tag — so results measured under different physics can
+  /// never be spliced together).
   /// run_jobs refuses to resume from a checkpoint whose manifest — or whose
   /// recorded grid signature (job count + key fingerprint) — differs from
   /// the current run: splicing results from a different grid would corrupt

@@ -58,6 +58,10 @@ RunResult execute(const RunSpec& spec) {
   out.intra_node_bytes = fabric.intra_node_bytes();
   for (int r = 0; r < spec.nprocs; ++r) {
     out.rank_sum += results[static_cast<std::size_t>(r)].timings;
+    out.faults += results[static_cast<std::size_t>(r)].faults;
+    if (out.io_error.empty()) {
+      out.io_error = results[static_cast<std::size_t>(r)].io_error;
+    }
   }
   // Aggregator attribution: aggregators are the ranks that reported write
   // time (non-aggregators never touch the file system).
@@ -70,6 +74,15 @@ RunResult execute(const RunSpec& spec) {
   }
   if (spec.verify) {
     out.verify_error = file->verify(wl::expected_byte);
+    // verify() checks consistency of what arrived; after give-ups the file
+    // can be *consistently short* (trailing regions never written shrink
+    // it), so also demand the full planned volume landed.
+    if (out.verify_error.empty() && file->bytes_written() != out.bytes) {
+      out.verify_error = "file holds " +
+                         std::to_string(file->bytes_written()) + " of " +
+                         std::to_string(out.bytes) +
+                         " expected bytes (I/O give-ups?)";
+    }
   }
   return out;
 }

@@ -44,6 +44,14 @@ struct RunResult {
   /// OverlapMode::Auto only: what the probe phase decided (identical on
   /// every rank; engaged == false for fixed overlap modes).
   coll::AutoDecision autotune;
+  /// Retry/give-up/degradation counters summed over all ranks (fault
+  /// injection; all zero on a fault-free run). Deterministic: identical at
+  /// any --jobs N for a given spec + seed.
+  coll::FaultStats faults;
+  /// First give-up description across ranks; empty when every operation
+  /// eventually succeeded. Non-empty means the file has a hole (verify
+  /// will also report it when requested).
+  std::string io_error;
   std::string verify_error;          // empty = verified / not requested
   double bandwidth() const {         // effective write bandwidth, bytes/s
     return makespan > 0

@@ -94,6 +94,16 @@ std::string sweep_manifest(const char* sweep, const Platform& plat, int reps,
   // fingerprints the job keys, so a five-column checkpoint can never be
   // spliced into a six-column table even with a hand-set manifest.
   if (include_auto) m += "|auto=1";
+  // Fault-injected grids must never share a checkpoint with healthy ones
+  // (identical job keys, different physics) — tag the scenario and the
+  // resilience knobs that shape the results.
+  m += pfs::fault_tag(plat.pfs.faults);
+  if (pfs::FaultModel(plat.pfs.faults).enabled()) {
+    m += "|retries=" + std::to_string(base.max_retries);
+    if (base.degrade_slowdown > 0.0) {
+      m += "|degrade=" + std::to_string(base.degrade_slowdown);
+    }
+  }
   return m;
 }
 

@@ -9,8 +9,53 @@
 
 namespace tpio::pfs {
 
+// ---------------------------------------------------------------------------
+// Fault model
+// ---------------------------------------------------------------------------
+
+std::uint64_t FaultModel::op_key(int node, std::uint64_t offset,
+                                 std::uint64_t length) {
+  // SplitMix64-style fold of the operation's stable identity. Must not
+  // depend on issue time or call order: two runs that issue the same
+  // logical ops in different interleavings get the same keys.
+  std::uint64_t z = static_cast<std::uint64_t>(node) * 0x9e3779b97f4a7c15ULL;
+  z ^= offset + 0xbf58476d1ce4e5b9ULL + (z << 6) + (z >> 2);
+  z ^= length + 0x94d049bb133111ebULL + (z << 6) + (z >> 2);
+  return z;
+}
+
+bool FaultModel::fails(double rate, std::uint64_t key, std::uint64_t salt,
+                       int attempt) const {
+  if (attempt < p_.fail_until_attempt) return true;
+  if (rate <= 0.0) return false;
+  // Pure function of (seed, key, salt, attempt): a private two-level
+  // derived stream per (op, attempt), independent of every other draw in
+  // the simulation.
+  sim::Rng rng(sim::Rng::derive_seed(
+      sim::Rng::derive_seed(p_.seed, key ^ (salt << 56)),
+      static_cast<std::uint64_t>(attempt)));
+  return rng.next_double() < rate;
+}
+
+std::string fault_tag(const FaultParams& p) {
+  FaultModel m(p);
+  if (!m.enabled()) return {};
+  std::string tag = "|faults=1|wrate=" + std::to_string(p.write_fail_rate) +
+                    "|rrate=" + std::to_string(p.read_fail_rate) +
+                    "|fseed=" + std::to_string(p.seed);
+  if (p.fail_until_attempt > 1) {
+    tag += "|until=" + std::to_string(p.fail_until_attempt);
+  }
+  if (p.straggler_targets > 0 && p.straggler_factor > 1.0) {
+    tag += "|strag=" + std::to_string(p.straggler_factor) + "x" +
+           std::to_string(p.straggler_targets) + "@" +
+           std::to_string(p.straggler_after);
+  }
+  return tag;
+}
+
 StorageSystem::StorageSystem(const PfsParams& params, net::Fabric* fabric)
-    : params_(params), fabric_(fabric) {
+    : params_(params), fabric_(fabric), faults_(params.faults) {
   TPIO_CHECK(params.num_targets > 0, "storage system needs targets");
   TPIO_CHECK(params.stripe_size > 0, "stripe size must be positive");
   TPIO_CHECK(params.target_bw > 0 && params.client_bw > 0,
@@ -18,6 +63,17 @@ StorageSystem::StorageSystem(const PfsParams& params, net::Fabric* fabric)
   TPIO_CHECK(params.aio_penalty >= 1.0, "aio penalty must be >= 1");
   TPIO_CHECK(!params.share_compute_nic || fabric != nullptr,
              "share_compute_nic requires a fabric");
+  const FaultParams& f = params.faults;
+  TPIO_CHECK(f.write_fail_rate >= 0.0 && f.write_fail_rate <= 1.0,
+             "write_fail_rate must be in [0, 1]");
+  TPIO_CHECK(f.read_fail_rate >= 0.0 && f.read_fail_rate <= 1.0,
+             "read_fail_rate must be in [0, 1]");
+  TPIO_CHECK(f.fail_until_attempt >= 0, "fail_until_attempt must be >= 0");
+  TPIO_CHECK(f.straggler_factor >= 1.0, "straggler factor must be >= 1");
+  TPIO_CHECK(f.straggler_targets >= 0 &&
+                 f.straggler_targets <= params.num_targets,
+             "straggler_targets must be in [0, num_targets]");
+  TPIO_CHECK(f.straggler_after >= 0, "straggler_after must be >= 0");
   targets_.reserve(static_cast<std::size_t>(params.num_targets));
   for (int t = 0; t < params.num_targets; ++t) {
     targets_.emplace_back("ost[" + std::to_string(t) + "]");
@@ -210,8 +266,21 @@ std::string File::verify(
 
 sim::Time File::schedule_write(sim::RankCtx& ctx, int node,
                                std::uint64_t offset,
-                               std::span<const std::byte> data, bool async) {
+                               std::span<const std::byte> data, bool async,
+                               int attempt, IoStatus& status) {
   const PfsParams& p = sys_->params_;
+  const FaultModel& faults = sys_->faults_;
+
+  // Fault verdict for this attempt, decided at submission (the storage
+  // system knows the request will bounce) but observable to the program
+  // only through wait()/the blocking return. When the fault layer is
+  // disabled this draws no RNG at all.
+  status = IoStatus::Ok;
+  if (faults.enabled() &&
+      faults.write_fails(FaultModel::op_key(node, offset, data.size()),
+                         attempt)) {
+    status = IoStatus::TransientError;
+  }
 
   // The client streams stripe chunks: each chunk is pushed through the
   // node's storage channel (and, on co-located storage, the compute NIC),
@@ -240,25 +309,34 @@ sim::Time File::schedule_write(sim::RankCtx& ctx, int node,
     const auto tid =
         static_cast<std::size_t>(stripe_idx % static_cast<std::uint64_t>(
                                                   p.num_targets));
+    // Straggler targets service slowly (asymmetrically so for aio; see
+    // FaultParams::straggler_factor). The onset check uses the earliest
+    // possible service time — a deterministic function of the request, not
+    // of the target's queue depth.
+    const sim::Time earliest = injected + p.storage_latency;
+    const double slow =
+        faults.service_factor(static_cast<int>(tid), async, earliest);
     const auto service = static_cast<sim::Duration>(
         std::llround(static_cast<double>(p.request_overhead +
                                          sim::transfer_time(n, p.target_bw)) *
-                     penalty));
-    const auto iv =
-        sys_->targets_[tid].reserve(injected + p.storage_latency, service);
+                     penalty * slow));
+    const auto iv = sys_->targets_[tid].reserve(earliest, service);
     done = std::max(done, iv.end);
     pos += n;
     left -= n;
   }
   // Content is snapshotted now (submission semantics) but becomes
-  // observable only at `done`, when the last chunk is durable.
-  record(offset, data, done);
+  // observable only at `done`, when the last chunk is durable. A faulted
+  // attempt consumed its service but nothing became durable — it must not
+  // be recorded, or verify() would double-count the retried region.
+  if (status == IoStatus::Ok) record(offset, data, done);
   return done;
 }
 
 WriteOp File::start_read(sim::RankCtx& ctx, int node, std::uint64_t offset,
-                         std::span<std::byte> out, bool async) {
+                         std::span<std::byte> out, bool async, int attempt) {
   auto ev = std::make_shared<sim::Event>();
+  IoStatus status = IoStatus::Ok;
   ctx.act([&] {
     // Reads observe exactly the writes that completed by issue time.
     // Baton actions execute in nondecreasing virtual time, so flushing up
@@ -267,6 +345,12 @@ WriteOp File::start_read(sim::RankCtx& ctx, int node, std::uint64_t offset,
     // Timing mirrors the write path: per-chunk target service, then the
     // client pulls the bytes through its storage channel.
     const PfsParams& p = sys_->params_;
+    const FaultModel& faults = sys_->faults_;
+    if (faults.enabled() &&
+        faults.read_fails(FaultModel::op_key(node, offset, out.size()),
+                          attempt)) {
+      status = IoStatus::TransientError;
+    }
     const double penalty = async ? p.aio_penalty : 1.0;
     sim::Timeline& client = sys_->client_channel(node);
     sim::Time done = ctx.now();
@@ -280,17 +364,21 @@ WriteOp File::start_read(sim::RankCtx& ctx, int node, std::uint64_t offset,
       const std::uint64_t n = std::min(p.stripe_size - in_chunk, left);
       const auto tid = static_cast<std::size_t>(
           stripe_idx % static_cast<std::uint64_t>(p.num_targets));
+      const sim::Time earliest = cursor + p.storage_latency;
+      const double slow =
+          faults.service_factor(static_cast<int>(tid), async, earliest);
       const auto service = static_cast<sim::Duration>(
           std::llround(static_cast<double>(
                            p.request_overhead + sim::transfer_time(n, p.target_bw)) *
-                       penalty));
-      const auto iv =
-          sys_->targets_[tid].reserve(cursor + p.storage_latency, service);
+                       penalty * slow));
+      const auto iv = sys_->targets_[tid].reserve(earliest, service);
       const auto pull =
           client.reserve(iv.end, sim::transfer_time(n, p.client_bw));
       done = std::max(done, pull.end);
 
-      // Content: stored bytes or zero.
+      // Content: stored bytes or zero. A faulted read still fills `out` —
+      // like a failed pread, the buffer contents are not to be trusted and
+      // the caller learns that through wait().
       std::fill_n(out.begin() + static_cast<std::ptrdiff_t>(into),
                   static_cast<std::ptrdiff_t>(n), std::byte{0});
       auto it = chunks_.find(stripe_idx);
@@ -304,41 +392,49 @@ WriteOp File::start_read(sim::RankCtx& ctx, int node, std::uint64_t offset,
     }
     ctx.complete(*ev, done);
   });
-  return WriteOp(std::move(ev));
+  return WriteOp(std::move(ev), status);
 }
 
-void File::read_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
-                   std::span<std::byte> out) {
-  WriteOp op = start_read(ctx, node, offset, out, false);
-  wait(ctx, op);
+IoStatus File::read_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
+                       std::span<std::byte> out, int attempt) {
+  WriteOp op = start_read(ctx, node, offset, out, false, attempt);
+  return wait(ctx, op);
 }
 
 WriteOp File::start_write(sim::RankCtx& ctx, int node, std::uint64_t offset,
-                          std::span<const std::byte> data, bool async) {
+                          std::span<const std::byte> data, bool async,
+                          int attempt) {
   auto ev = std::make_shared<sim::Event>();
+  IoStatus status = IoStatus::Ok;
   ctx.act([&] {
-    const sim::Time done = schedule_write(ctx, node, offset, data, async);
+    const sim::Time done =
+        schedule_write(ctx, node, offset, data, async, attempt, status);
     ctx.complete(*ev, done);
   });
-  return WriteOp(std::move(ev));
+  return WriteOp(std::move(ev), status);
 }
 
 WriteOp File::iwrite_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
-                        std::span<const std::byte> data) {
-  return start_write(ctx, node, offset, data, true);
+                        std::span<const std::byte> data, int attempt) {
+  return start_write(ctx, node, offset, data, true, attempt);
 }
 
-void File::write_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
-                    std::span<const std::byte> data) {
+IoStatus File::write_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
+                        std::span<const std::byte> data, int attempt) {
   sim::Time done = 0;
-  ctx.act([&] { done = schedule_write(ctx, node, offset, data, false); });
+  IoStatus status = IoStatus::Ok;
+  ctx.act([&] {
+    done = schedule_write(ctx, node, offset, data, false, attempt, status);
+  });
   ctx.advance_to(done);
+  return status;
 }
 
-void File::wait(sim::RankCtx& ctx, WriteOp& op) {
+IoStatus File::wait(sim::RankCtx& ctx, WriteOp& op) {
   TPIO_CHECK(op.valid(), "wait on an empty write operation");
   ctx.wait_event(*op.ev_);
   op.ev_.reset();
+  return op.status_;
 }
 
 }  // namespace tpio::pfs

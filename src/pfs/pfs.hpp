@@ -31,7 +31,117 @@ enum class Integrity {
   None,
 };
 
-/// BeeGFS-flavoured parallel file system model.
+/// Typed outcome of one file-system operation attempt. The storage model
+/// never fails silently: an injected fault surfaces here, on both the
+/// blocking and the asynchronous paths, and the caller decides whether to
+/// retry (see coll::Options::max_retries).
+enum class IoStatus {
+  Ok,
+  /// Injected transient failure (FaultParams): the attempt consumed its
+  /// full service time but no content became durable. Retryable — a later
+  /// attempt of the same operation draws its own fault decision.
+  TransientError,
+};
+
+/// Deterministic fault-injection configuration of a storage system.
+///
+/// All fields default to "healthy": a value-constructed FaultParams is
+/// exactly the fault-free model, and a simulation with these defaults is
+/// bit-identical to one built before the fault layer existed (no RNG is
+/// consumed, no timing changes). Every knob is deterministic: fault
+/// decisions are pure functions of (seed, operation key, attempt), never
+/// of wall-clock, thread schedule, or call order.
+struct FaultParams {
+  /// Per-attempt probability that a write op fails transiently, in [0, 1].
+  double write_fail_rate = 0.0;
+  /// Per-attempt probability that a read op fails transiently, in [0, 1].
+  double read_fail_rate = 0.0;
+  /// Seed of the fault stream. Deliberately separate from the run's noise
+  /// seed: the fault *scenario* stays fixed while measurement noise varies
+  /// across repetitions.
+  std::uint64_t seed = 1;
+  /// Deterministic failure schedule: attempts 1..N-1 of *every* operation
+  /// fail regardless of the rates above. 1 (or 0) disables. Used to force
+  /// exact retry counts and give-up paths in tests.
+  int fail_until_attempt = 1;
+  /// Service-time multiplier (>= 1) applied on straggler targets — the
+  /// slow-OST / slow-I/O-server model. Asynchronous requests on a straggler
+  /// pay the factor twice (factor^2): a congested server services its
+  /// synchronous RPCs with priority while background aio requests queue
+  /// behind everything else — the same asymmetry the paper measured as
+  /// pathological aio_write on Lustre (section V), here emerging from
+  /// injected per-server variance. See docs/FAULTS.md.
+  double straggler_factor = 1.0;
+  /// Number of straggler targets (the first N of the system). 0 disables.
+  int straggler_targets = 0;
+  /// Virtual time at which the stragglers begin to lag (fail-slow servers);
+  /// 0 = slow from the start. Service requested before this instant runs at
+  /// full speed, which is what the engine's degraded-mode detector needs to
+  /// establish a healthy baseline.
+  sim::Time straggler_after = 0;
+};
+
+/// Pure-function fault oracle shared by all files of a storage system.
+///
+/// Owns no mutable state: each decision hashes (seed, operation key,
+/// attempt) through the simulation's SplitMix64 stream, so the verdict for
+/// a given operation is independent of how many other operations ran, in
+/// which order, on how many worker threads — the property behind the
+/// "identical retry counts at any --jobs N" guarantee.
+class FaultModel {
+ public:
+  FaultModel() = default;
+  explicit FaultModel(const FaultParams& p) : p_(p) {}
+
+  const FaultParams& params() const { return p_; }
+
+  /// True when any knob deviates from the healthy default. When false, the
+  /// storage paths skip the fault layer entirely (bit-identity guarantee).
+  bool enabled() const {
+    return p_.write_fail_rate > 0.0 || p_.read_fail_rate > 0.0 ||
+           p_.fail_until_attempt > 1 ||
+           (p_.straggler_factor > 1.0 && p_.straggler_targets > 0);
+  }
+
+  /// Fault verdict for attempt `attempt` (1-based) of the write op `key`.
+  bool write_fails(std::uint64_t key, int attempt) const {
+    return fails(p_.write_fail_rate, key, 0x57u, attempt);
+  }
+  /// Fault verdict for attempt `attempt` (1-based) of the read op `key`.
+  bool read_fails(std::uint64_t key, int attempt) const {
+    return fails(p_.read_fail_rate, key, 0x5Eu, attempt);
+  }
+
+  /// Service-time multiplier of `target` for a request whose service is
+  /// scheduled no earlier than `at`: straggler_factor on straggler targets
+  /// (squared for asynchronous requests — see FaultParams), 1 otherwise.
+  double service_factor(int target, bool async, sim::Time at) const {
+    if (p_.straggler_targets <= 0 || p_.straggler_factor <= 1.0) return 1.0;
+    if (target >= p_.straggler_targets || at < p_.straggler_after) return 1.0;
+    return async ? p_.straggler_factor * p_.straggler_factor
+                 : p_.straggler_factor;
+  }
+
+  /// Stable identity of one operation: (issuing node, file region). Two
+  /// attempts of the same logical operation share the key and differ only
+  /// in `attempt`, so retry schedules are reproducible.
+  static std::uint64_t op_key(int node, std::uint64_t offset,
+                              std::uint64_t length);
+
+ private:
+  bool fails(double rate, std::uint64_t key, std::uint64_t salt,
+             int attempt) const;
+
+  FaultParams p_;
+};
+
+/// Compact textual fingerprint of a fault configuration, empty for the
+/// healthy default. Used to tag sweep-checkpoint manifests so results
+/// recorded under one fault scenario can never be spliced into another.
+std::string fault_tag(const FaultParams& p);
+
+/// BeeGFS-flavoured parallel file system model. All durations are virtual
+/// nanoseconds, all bandwidths bytes/second.
 struct PfsParams {
   int num_targets = 16;
   std::uint64_t stripe_size = sim::MiB;
@@ -64,12 +174,20 @@ struct PfsParams {
   /// Variability of target service times (shared storage).
   double noise_sigma = 0.0;
   std::uint64_t noise_seed = 1;
+  /// Fault injection (transient failures, straggler targets). Defaults to
+  /// the healthy, bit-identical-to-fault-free model.
+  FaultParams faults;
 };
 
 class File;
 
-/// Handle of an asynchronous write; completed by the storage model at the
-/// time the last stripe chunk is durably on its target.
+/// Handle of an asynchronous write or read; completed by the storage model
+/// at the time the last stripe chunk is durably on (or off) its target.
+///
+/// Value-constructed handles are fully zero-initialized and report
+/// valid() == false; every field carries a default member initializer so a
+/// `WriteOp op;` never holds indeterminate state (regression: fault_test
+/// WriteOpValueInitialized).
 class WriteOp {
  public:
   WriteOp() = default;
@@ -80,18 +198,29 @@ class WriteOp {
     TPIO_CHECK(ev_ != nullptr, "completion() on an empty/consumed WriteOp");
     return ev_->time();
   }
+  /// Outcome of the attempt. Decided deterministically at submission but —
+  /// like a real aio error — only *observable* by the program through
+  /// File::wait(), which returns it; exposed here for the bookkeeping of a
+  /// consumed handle and for tests. Ok for an empty handle.
+  IoStatus status() const { return status_; }
 
  private:
   friend class File;
-  explicit WriteOp(sim::EventPtr ev) : ev_(std::move(ev)) {}
-  sim::EventPtr ev_;
+  WriteOp(sim::EventPtr ev, IoStatus status)
+      : ev_(std::move(ev)), status_(status) {}
+  sim::EventPtr ev_ = nullptr;
+  IoStatus status_ = IoStatus::Ok;
 };
 
 /// A cluster-wide storage system: `num_targets` independent targets, files
-/// striped across them round-robin by stripe index.
+/// striped across them round-robin by stripe index. Owns the target and
+/// client-channel timelines and the fault oracle; Files hold a non-owning
+/// back-pointer and must not outlive it.
 class StorageSystem {
  public:
   /// `fabric` may be null; required only when share_compute_nic is set.
+  /// Validates PfsParams (positive geometry/bandwidths, rates in [0, 1],
+  /// straggler factor >= 1) and throws tpio::Error on violation.
   StorageSystem(const PfsParams& params, net::Fabric* fabric);
 
   StorageSystem(const StorageSystem&) = delete;
@@ -100,14 +229,17 @@ class StorageSystem {
   std::shared_ptr<File> create(std::string name, Integrity integrity);
 
   const PfsParams& params() const { return params_; }
+  const FaultModel& faults() const { return faults_; }
 
-  /// Aggregate bytes accepted across all files (diagnostic).
+  /// Aggregate bytes accepted across all files (diagnostic). Failed
+  /// attempts contribute nothing.
   std::uint64_t bytes_written() const { return bytes_written_; }
 
  private:
   friend class File;
   PfsParams params_;
   net::Fabric* fabric_;
+  FaultModel faults_;
   std::vector<std::unique_ptr<sim::NoiseModel>> noise_;
   std::vector<sim::Timeline> targets_;
   std::vector<sim::Timeline> client_tx_;  // lazily sized per node
@@ -118,14 +250,16 @@ class StorageSystem {
 
 /// One striped file. All I/O entry points must run on a rank thread; the
 /// caller passes its RankCtx and the compute node it runs on (for client-
-/// side channel contention).
+/// side channel contention). Offsets and lengths are bytes; `attempt`
+/// parameters are 1-based and thread through to the fault oracle so a
+/// retry of the same region draws a fresh verdict.
 class File {
  public:
   /// Asynchronous write: returns immediately with the scheduled completion.
   /// Models aio_write / MPI_File_iwrite_at — service proceeds on storage
   /// resources regardless of what the issuing rank does afterwards.
   WriteOp iwrite_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
-                    std::span<const std::byte> data);
+                    std::span<const std::byte> data, int attempt = 1);
 
   /// Schedule a write without advancing the caller's clock. `async` selects
   /// the aio service path (and its penalty). Callers that want blocking
@@ -133,28 +267,36 @@ class File {
   /// declaring an MPI-progress blackout for the write's duration — use this
   /// and then wait().
   WriteOp start_write(sim::RankCtx& ctx, int node, std::uint64_t offset,
-                      std::span<const std::byte> data, bool async);
+                      std::span<const std::byte> data, bool async,
+                      int attempt = 1);
 
   /// Blocking write: the rank's clock advances to durable completion.
-  /// (Callers that also run an MPI engine should declare the rank
-  /// unavailable for the same interval; see coll::CollectiveWriter.)
-  void write_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
-                std::span<const std::byte> data);
+  /// Returns the attempt's outcome; on TransientError the full service
+  /// time elapsed but nothing became durable. (Callers that also run an
+  /// MPI engine should declare the rank unavailable for the same interval;
+  /// see coll::CollectiveWriter.)
+  IoStatus write_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
+                    std::span<const std::byte> data, int attempt = 1);
 
-  void wait(sim::RankCtx& ctx, WriteOp& op);
+  /// Consume `op`, blocking until its completion time; returns the
+  /// operation's outcome — the point where an injected failure becomes
+  /// observable, like the error slot of a real aiocb.
+  IoStatus wait(sim::RankCtx& ctx, WriteOp& op);
 
   /// Schedule a read of [offset, offset+out.size()) into `out`. Contents
   /// come from stored chunks (Store mode); unwritten bytes — and all bytes
   /// in Digest/None modes — read as zero, with full timing either way.
   /// Content visibility follows the virtual timeline: a read issued before
   /// an asynchronous write's completion does not observe that write's data.
-  /// `async` selects the aio path, as for writes.
+  /// `async` selects the aio path, as for writes. A read that draws a
+  /// transient fault still fills `out` (the bytes are untrustworthy, as
+  /// after a failed pread) and reports the failure through wait().
   WriteOp start_read(sim::RankCtx& ctx, int node, std::uint64_t offset,
-                     std::span<std::byte> out, bool async);
+                     std::span<std::byte> out, bool async, int attempt = 1);
 
-  /// Blocking read: clock advances to completion.
-  void read_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
-               std::span<std::byte> out);
+  /// Blocking read: clock advances to completion. Returns the outcome.
+  IoStatus read_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
+                   std::span<std::byte> out, int attempt = 1);
 
   // ----- inspection / verification -----------------------------------------
   const std::string& name() const { return name_; }
@@ -164,8 +306,13 @@ class File {
   /// Parameters of the underlying storage system (e.g. for the autotune
   /// platform signature).
   const PfsParams& params() const { return sys_->params(); }
-  /// Highest written offset + 1 (0 for an empty file).
+  /// Fault oracle of the underlying storage system (for retry jitter
+  /// seeding and tests).
+  const FaultModel& faults() const { return sys_->faults(); }
+  /// Highest successfully written offset + 1 (0 for an empty file).
   std::uint64_t size() const { return size_; }
+  /// Bytes accepted by successful write attempts (failed attempts are not
+  /// counted — they never became durable).
   std::uint64_t bytes_written() const { return bytes_accepted_; }
 
   /// Store mode only: copy out a region; unwritten bytes read as zero.
@@ -174,6 +321,8 @@ class File {
   /// Store/Digest modes: check that the region [0, size) was written
   /// exactly once and that every byte equals `expected(offset)`.
   /// Returns an empty string on success, else a human-readable mismatch.
+  /// A write that gave up after exhausting its retries leaves a hole that
+  /// this reports.
   std::string verify(const std::function<std::byte(std::uint64_t)>& expected) const;
 
   /// Order-independent fingerprint of one (offset, value) pair — exposed so
@@ -205,9 +354,12 @@ class File {
     std::vector<std::uint64_t> deltas;
   };
 
-  /// Record content + compute service completion. Under the baton.
+  /// Record content + compute service completion. Under the baton. A
+  /// faulted attempt (status out-param) consumes service but records no
+  /// content.
   sim::Time schedule_write(sim::RankCtx& ctx, int node, std::uint64_t offset,
-                           std::span<const std::byte> data, bool async);
+                           std::span<const std::byte> data, bool async,
+                           int attempt, IoStatus& status);
   /// Account the write immediately (size, byte counters) and queue its
   /// content to become visible at `visible_at`.
   void record(std::uint64_t offset, std::span<const std::byte> data,

@@ -1,0 +1,138 @@
+// docs_check: keep the documentation honest.
+//
+// Scans README.md and docs/*.md for
+//   (a) intra-repo markdown links `[text](target)` — every non-external
+//       target must exist on disk, resolved relative to the linking file
+//       (anchors are stripped; http(s)/mailto/pure-anchor links are
+//       skipped), and
+//   (b) references to executable artifacts — every `bench/<name>`,
+//       `examples/<name>`, or `tools/<name>` mentioned in prose or code
+//       blocks must exist as a binary in the build tree, so the manual
+//       can never name a driver that was renamed or dropped.
+//
+// Usage: docs_check <repo-root> <build-dir>
+// Exit code 0 = clean; 1 = at least one broken reference (each printed).
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool is_external(const std::string& target) {
+  return target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+         target.rfind("mailto:", 0) == 0 || target.rfind("chrome://", 0) == 0 ||
+         (!target.empty() && target[0] == '#');
+}
+
+// Markdown links: [text](target). Images and reference-style links are not
+// used in this repository's docs; nested parentheses in targets are not
+// either, so a non-greedy scan to the first ')' is exact.
+std::vector<std::string> markdown_link_targets(const std::string& text) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] != ']' || text[i + 1] != '(') continue;
+    std::size_t close = text.find(')', i + 2);
+    if (close == std::string::npos) continue;
+    out.push_back(text.substr(i + 2, close - (i + 2)));
+  }
+  return out;
+}
+
+bool name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Occurrences of `<kind>/<name>` where <name> is a plain identifier —
+// matches both prose ("run `bench/table1_overlap_wins`") and shell lines
+// ("build/bench/fig_hier_shuffle"). Paths with a file extension (.cpp,
+// .md, ...) are source/doc references, not binaries, and are skipped.
+std::set<std::string> binary_refs(const std::string& text,
+                                  const std::string& kind) {
+  std::set<std::string> out;
+  const std::string needle = kind + "/";
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + 1)) {
+    // Require a non-name character before `kind` so e.g. "microbench/x"
+    // does not register as a bench reference ("build/bench/x" still does).
+    if (pos > 0 && (name_char(text[pos - 1]) || text[pos - 1] == '.'))
+      continue;
+    std::size_t start = pos + needle.size();
+    std::size_t end = start;
+    while (end < text.size() && name_char(text[end])) ++end;
+    if (end == start) continue;
+    if (end < text.size() && text[end] == '.') continue;  // source file
+    if (end < text.size() && text[end] == '/') continue;  // deeper path
+    out.insert(text.substr(start, end - start));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: docs_check <repo-root> <build-dir>\n";
+    return 2;
+  }
+  const fs::path repo = argv[1];
+  const fs::path build = argv[2];
+
+  std::vector<fs::path> docs;
+  if (fs::exists(repo / "README.md")) docs.push_back(repo / "README.md");
+  if (fs::is_directory(repo / "docs"))
+    for (const auto& e : fs::directory_iterator(repo / "docs"))
+      if (e.path().extension() == ".md") docs.push_back(e.path());
+  std::sort(docs.begin(), docs.end());
+
+  int broken = 0;
+  int links = 0, bins = 0;
+  for (const fs::path& doc : docs) {
+    const std::string text = slurp(doc);
+    const fs::path base = doc.parent_path();
+
+    for (const std::string& raw : markdown_link_targets(text)) {
+      if (is_external(raw)) continue;
+      std::string target = raw.substr(0, raw.find('#'));  // strip anchor
+      if (target.empty()) continue;
+      ++links;
+      if (!fs::exists(base / target)) {
+        std::cerr << doc.lexically_relative(repo).string()
+                  << ": broken link -> " << raw << "\n";
+        ++broken;
+      }
+    }
+
+    for (const char* kind : {"bench", "examples", "tools"}) {
+      for (const std::string& name : binary_refs(text, kind)) {
+        ++bins;
+        if (!fs::exists(build / kind / name)) {
+          std::cerr << doc.lexically_relative(repo).string() << ": " << kind
+                    << " binary not in build tree -> " << kind << "/" << name
+                    << "\n";
+          ++broken;
+        }
+      }
+    }
+  }
+
+  std::cout << "docs_check: " << docs.size() << " documents, " << links
+            << " intra-repo links, " << bins << " binary references, "
+            << broken << " broken\n";
+  return broken == 0 ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "harness/cli.hpp"
+#include "simbase/error.hpp"
 #include "simbase/stats.hpp"
 #include "simbase/units.hpp"
 
@@ -38,8 +39,15 @@ int main(int argc, char** argv) {
               coll::to_string(cfg.spec.options.overlap),
               coll::to_string(cfg.spec.options.transfer), cfg.reps);
 
-  const xp::Series series =
-      xp::execute_series(cfg.spec, cfg.reps, cfg.seed_base);
+  // execute_series asserts post-run verification; with injected faults a
+  // give-up legitimately leaves a hole — report that as a clean error.
+  xp::Series series;
+  try {
+    series = xp::execute_series(cfg.spec, cfg.reps, cfg.seed_base);
+  } catch (const tpio::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   sim::Summary times;
   for (const auto& r : series.runs) {
@@ -60,6 +68,24 @@ int main(int argc, char** argv) {
           "(comm share %.1f%%, aio ratio %.2f)\n",
           coll::to_string(d.chosen), d.probe_cycles, d.comm_share * 100.0,
           d.aio_ratio);
+    }
+  }
+  if (tpio::pfs::FaultModel(cfg.spec.platform.pfs.faults).enabled()) {
+    coll::FaultStats fs;
+    for (const auto& r : series.runs) fs += r.faults;
+    std::printf("faults: %d retries, %d giveups, %d degraded cycles "
+                "(all reps; backoff %.3f ms total)\n",
+                fs.retries, fs.giveups, fs.degraded_cycles,
+                [&] {
+                  sim::Duration b = 0;
+                  for (const auto& r : series.runs) b += r.rank_sum.backoff;
+                  return sim::to_millis(b);
+                }());
+    for (const auto& r : series.runs) {
+      if (!r.io_error.empty()) {
+        std::printf("io error: %s\n", r.io_error.c_str());
+        break;
+      }
     }
   }
   std::printf("time: min=%.3f ms  median=%.3f ms  max=%.3f ms\n",

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   long long reps = 3;
   coll::Options base;
+  tpio::pfs::FaultParams faults;
   xp::ExecOptions exec;
   exec.jobs = 0;  // hardware concurrency
   for (int i = 1; i < argc; ++i) {
@@ -75,13 +76,52 @@ int main(int argc, char** argv) {
       exec.checkpoint = argv[++i];
     } else if (a == "--progress") {
       exec.progress = true;
+    } else if (a == "--fault-rate" && i + 1 < argc) {
+      if (!xp::parse_double_arg(argv[++i], 0.0, 1.0, faults.write_fail_rate)) {
+        std::fprintf(stderr, "--fault-rate wants a probability, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (a == "--fault-seed" && i + 1 < argc) {
+      if (!xp::parse_u64_arg(argv[++i], faults.seed)) {
+        std::fprintf(stderr,
+                     "--fault-seed wants an unsigned integer, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (a == "--straggler" && i + 1 < argc) {
+      if (!xp::parse_double_arg(argv[++i], 1.0, 1e6,
+                                faults.straggler_factor)) {
+        std::fprintf(stderr, "--straggler wants a factor >= 1, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (a == "--straggler-targets" && i + 1 < argc) {
+      long long n = 0;
+      if (!xp::parse_int_arg(argv[++i], 0, 1'000'000, n)) {
+        std::fprintf(stderr,
+                     "--straggler-targets wants a count >= 0, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      faults.straggler_targets = static_cast<int>(n);
+    } else if (a == "--max-retries" && i + 1 < argc) {
+      long long n = 0;
+      if (!xp::parse_int_arg(argv[++i], 0, 1'000, n)) {
+        std::fprintf(stderr, "--max-retries wants a count >= 0, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      base.max_retries = static_cast<int>(n);
     } else {
       std::fprintf(stderr,
                    "usage: tpio_sweep [--platform crill|ibex|lustre] "
                    "[--primitives] [--auto] [--hierarchical] "
                    "[--leader lowest|spread] "
                    "[--quick] [--reps N] [--jobs N] "
-                   "[--resume FILE] [--progress]\n");
+                   "[--resume FILE] [--progress] "
+                   "[--fault-rate R] [--fault-seed N] [--straggler F] "
+                   "[--straggler-targets N] [--max-retries N]\n");
       return 2;
     }
   }
@@ -96,6 +136,10 @@ int main(int argc, char** argv) {
                  platform.c_str());
     return 2;
   }
+  // Fault scenario rides on the platform's storage system; the sweep's
+  // checkpoint manifest is tagged with it, so a faulty grid can never
+  // resume from a healthy checkpoint (or vice versa).
+  plat.pfs.faults = faults;
 
   // The executor refuses stale --resume checkpoints (and other invariant
   // violations) by throwing; report those as a clean CLI error, not an
