@@ -5,7 +5,10 @@
 #include <cstring>
 
 #include "core/autotune.hpp"
+#include "core/plan_cache.hpp"
+#include "core/segcopy.hpp"
 #include "core/trace.hpp"
+#include "simbase/bufpool.hpp"
 #include "simbase/error.hpp"
 
 namespace tpio::coll {
@@ -41,6 +44,10 @@ Engine::Engine(smpi::Mpi& mpi, pfs::File& file, const Plan& plan,
       t_(timings) {
   TPIO_CHECK(data_.size() == plan.view(mpi.rank()).total_bytes(),
              "local buffer size does not match the file view");
+  // Timing-only mode must never meet a content-recording file: the digest
+  // would be computed over unmaterialized bytes.
+  TPIO_CHECK(opt_.materialize || file_.integrity() == pfs::Integrity::None,
+             "Options::materialize == false requires Integrity::None");
   my_agg_ = plan_.agg_index(mpi_.rank());
   node_ = mpi_.machine().fabric().topology().node_of(mpi_.rank());
   if (opt_.hierarchical) {
@@ -54,8 +61,13 @@ Engine::Engine(smpi::Mpi& mpi, pfs::File& file, const Plan& plan,
   const std::uint64_t sb = plan_.sub_buffer_bytes();
   if (opt_.transfer == Transfer::TwoSided) {
     if (my_agg_ >= 0) {
+      // Pooled sub-buffers, recycled across cycles and runs. Zeroing is
+      // only needed when contents are recorded: file regions of a cycle
+      // range not covered by any incoming segment keep the sub-buffer's
+      // prior bytes, which a fresh std::vector guaranteed to be zero.
       for (int s = 0; s < nslots; ++s) {
-        slots_[s].cb.resize(sb);
+        slots_[s].cb =
+            sim::BufferPool::local().acquire(sb, /*zeroed=*/opt_.materialize);
       }
     }
   } else {
@@ -72,7 +84,7 @@ Engine::Engine(smpi::Mpi& mpi, pfs::File& file, const Plan& plan,
 
 std::span<std::byte> Engine::cb_span(int slot) {
   Slot& s = slots_[slot];
-  if (opt_.transfer == Transfer::TwoSided) return s.cb;
+  if (opt_.transfer == Transfer::TwoSided) return s.cb.span();
   return s.win->local(mpi_.rank());
 }
 
@@ -155,22 +167,36 @@ void Engine::leader_gather(int cycle, int slot) {
     const auto pieces = pieces_of(me);
     if (pieces.empty()) return;
     std::span<const std::byte> payload;
-    std::vector<std::byte> buf;
+    sim::BufferPool::Buffer buf;
     if (pieces.size() == 1) {
       payload = data_.subspan(pieces[0].local_offset, pieces[0].length);
     } else {
       std::uint64_t total = 0;
       for (const Segment& g : pieces) total += g.length;
-      buf.resize(total);
-      std::uint64_t pos = 0;
-      for (const Segment& g : pieces) {
-        std::memcpy(buf.data() + pos, data_.data() + g.local_offset,
-                    g.length);
-        pos += g.length;
+      const segcopy::LocalRun run = segcopy::coalescing()
+                                        ? segcopy::local_run(pieces)
+                                        : segcopy::LocalRun{};
+      if (run.ok) {
+        // Every piece lines up contiguously in the user buffer: the packed
+        // message is a slice of it, so send in place (zero-copy).
+        payload = data_.subspan(run.local_offset, run.total);
+      } else {
+        buf = sim::BufferPool::local().acquire(total, /*zeroed=*/false);
+        if (opt_.materialize) {
+          std::uint64_t pos = 0;
+          segcopy::for_local_runs(
+              pieces, [&](std::size_t, std::size_t, std::uint64_t off,
+                          std::uint64_t len) {
+                std::memcpy(buf.data() + pos, data_.data() + off, len);
+                pos += len;
+              });
+        }
+        payload = buf.span();
       }
+      // Pack CPU is charged from the piece count regardless of how many
+      // host copies actually moved the bytes.
       timed(mpi_.ctx(), t_.pack,
             [&] { mpi_.ctx().advance(pack_cost(pieces.size(), total)); });
-      payload = buf;
     }
     timed(mpi_.ctx(), t_.gather, [&] {
       smpi::Request rq =
@@ -184,9 +210,13 @@ void Engine::leader_gather(int cycle, int slot) {
   // own) into the merged staging buffer.
   ScopedTraceEvent ev_(opt_.trace, "leader_gather", cycle, mpi_.ctx().now());
   struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
-  s.stage.resize(stage_bytes);
-  std::vector<std::pair<int, std::vector<std::byte>>> bufs;
+  // The staging buffer is fully covered by the members' pieces, so it
+  // needs no zeroing; pooled, recycled across cycles and runs.
+  s.stage = sim::BufferPool::local().acquire(stage_bytes, /*zeroed=*/false);
+  std::vector<std::pair<int, sim::BufferPool::Buffer>> bufs;
   std::vector<smpi::Request> reqs;
+  bufs.reserve(static_cast<std::size_t>(node_last_ - node_first_));
+  reqs.reserve(static_cast<std::size_t>(node_last_ - node_first_));
   for (int m = node_first_; m < node_last_; ++m) {
     if (m == me) continue;
     std::uint64_t n = 0;
@@ -195,17 +225,25 @@ void Engine::leader_gather(int cycle, int slot) {
       n += plan_.bytes_in(m, r.begin, r.end);
     }
     if (n == 0) continue;
-    bufs.emplace_back(m, std::vector<std::byte>(n));
+    bufs.emplace_back(m,
+                      sim::BufferPool::local().acquire(n, /*zeroed=*/false));
     timed(mpi_.ctx(), t_.gather, [&] {
-      reqs.push_back(mpi_.irecv(m, gather_tag(cycle), bufs.back().second));
+      reqs.push_back(
+          mpi_.irecv(m, gather_tag(cycle), bufs.back().second.span()));
     });
   }
   const auto own = pieces_of(me);
   std::uint64_t own_bytes = 0;
-  for (const Segment& g : own) {
-    std::memcpy(s.stage.data() + stage_pos(g),
-                data_.data() + g.local_offset, g.length);
-    own_bytes += g.length;
+  for (const Segment& g : own) own_bytes += g.length;
+  if (opt_.materialize) {
+    // File-contiguous pieces are also contiguous in the user buffer and in
+    // the stage layout, so each run collapses into one copy.
+    segcopy::for_file_runs(
+        own, [&](std::size_t first, std::size_t, std::uint64_t,
+                 std::uint64_t len) {
+          std::memcpy(s.stage.data() + stage_pos(own[first]),
+                      data_.data() + own[first].local_offset, len);
+        });
   }
   if (own_bytes > 0) {
     timed(mpi_.ctx(), t_.pack,
@@ -215,13 +253,19 @@ void Engine::leader_gather(int cycle, int slot) {
   std::size_t nsegs = 0;
   std::uint64_t bytes = 0;
   for (const auto& [m, buf] : bufs) {
+    const auto pieces = pieces_of(m);
     std::uint64_t pos = 0;
-    for (const Segment& g : pieces_of(m)) {
-      std::memcpy(s.stage.data() + stage_pos(g), buf.data() + pos, g.length);
-      pos += g.length;
-      ++nsegs;
-    }
+    segcopy::for_file_runs(
+        pieces, [&](std::size_t first, std::size_t, std::uint64_t,
+                    std::uint64_t len) {
+          if (opt_.materialize) {
+            std::memcpy(s.stage.data() + stage_pos(pieces[first]),
+                        buf.data() + pos, len);
+          }
+          pos += len;
+        });
     TPIO_CHECK(pos == buf.size(), "gather unpack size mismatch");
+    nsegs += pieces.size();
     bytes += pos;
   }
   if (bytes > 0) {
@@ -238,7 +282,7 @@ void Engine::shuffle_init(int cycle, int slot) {
   TPIO_CHECK(!s.sh.pending, "shuffle_init while a shuffle is pending on slot");
   TPIO_CHECK(!s.wr.valid(),
              "shuffle_init into a sub-buffer with an outstanding write");
-  s.sh = ShuffleState{};
+  s.sh.clear();  // keeps vector capacity: steady-state cycles don't allocate
   s.sh.cycle = cycle;
   s.sh.pending = true;
 
@@ -278,9 +322,12 @@ void Engine::shuffle_init(int cycle, int slot) {
       std::span<std::byte> cb = cb_span(slot);
       const int nsrc =
           opt_.hierarchical ? plan_.topology().nodes : mpi_.size();
+      s.sh.reqs.reserve(static_cast<std::size_t>(nsrc) +
+                        static_cast<std::size_t>(plan_.num_aggregators()));
+      s.sh.recv_bufs.reserve(static_cast<std::size_t>(nsrc));
       for (int i = 0; i < nsrc; ++i) {
         const int src = opt_.hierarchical ? plan_.leader_rank(i) : i;
-        const auto segs = incoming_segments(src, r.begin, r.end);
+        auto segs = incoming_segments(src, r.begin, r.end);
         if (segs.empty()) continue;
         std::span<std::byte> dest;
         if (segs.size() == 1) {
@@ -288,8 +335,12 @@ void Engine::shuffle_init(int cycle, int slot) {
         } else {
           std::uint64_t n = 0;
           for (const Segment& g : segs) n += g.length;
-          s.sh.recv_bufs.emplace_back(src, std::vector<std::byte>(n));
-          dest = s.sh.recv_bufs.back().second;
+          RecvStage st;
+          st.src = src;
+          st.buf = sim::BufferPool::local().acquire(n, /*zeroed=*/false);
+          st.segs = std::move(segs);  // reused by shuffle_wait's scatter
+          s.sh.recv_bufs.push_back(std::move(st));
+          dest = s.sh.recv_bufs.back().buf.span();
         }
         timed(mpi_.ctx(), t_.shuffle,
               [&] { s.sh.reqs.push_back(mpi_.irecv(src, tag, dest)); });
@@ -317,8 +368,13 @@ void Engine::shuffle_init(int cycle, int slot) {
     }
     // Sender side (direct path; also hierarchical single-member nodes): a
     // single contiguous piece is sent zero-copy from the user buffer;
-    // scattered pieces are packed into one message first.
-    for (int a = 0; a < plan_.num_aggregators(); ++a) {
+    // scattered pieces still form one contiguous local run per cycle range
+    // (see segcopy.hpp), so they too are sent in place — the pack CPU is
+    // charged on the virtual timeline either way.
+    const int A = plan_.num_aggregators();
+    if (my_agg_ < 0) s.sh.reqs.reserve(static_cast<std::size_t>(A));
+    s.sh.send_bufs.reserve(static_cast<std::size_t>(A));
+    for (int a = 0; a < A; ++a) {
       const Plan::Range r = plan_.cycle_range(a, cycle);
       const auto segs = plan_.segments_in(me, r.begin, r.end);
       if (segs.empty()) continue;
@@ -328,17 +384,31 @@ void Engine::shuffle_init(int cycle, int slot) {
       } else {
         std::uint64_t total = 0;
         for (const Segment& g : segs) total += g.length;
-        std::vector<std::byte> buf(total);
-        std::uint64_t pos = 0;
-        for (const Segment& g : segs) {
-          std::memcpy(buf.data() + pos, data_.data() + g.local_offset,
-                      g.length);
-          pos += g.length;
+        const segcopy::LocalRun run = segcopy::coalescing()
+                                          ? segcopy::local_run(segs)
+                                          : segcopy::LocalRun{};
+        if (run.ok) {
+          // The packed message is byte-for-byte a slice of the user
+          // buffer; it stays untouched until this slot's shuffle_wait,
+          // the same lifetime the staging buffer had.
+          payload = data_.subspan(run.local_offset, run.total);
+        } else {
+          sim::BufferPool::Buffer buf =
+              sim::BufferPool::local().acquire(total, /*zeroed=*/false);
+          if (opt_.materialize) {
+            std::uint64_t pos = 0;
+            segcopy::for_local_runs(
+                segs, [&](std::size_t, std::size_t, std::uint64_t off,
+                          std::uint64_t len) {
+                  std::memcpy(buf.data() + pos, data_.data() + off, len);
+                  pos += len;
+                });
+          }
+          s.sh.send_bufs.push_back(std::move(buf));
+          payload = s.sh.send_bufs.back().span();
         }
         timed(mpi_.ctx(), t_.pack,
               [&] { mpi_.ctx().advance(pack_cost(segs.size(), total)); });
-        s.sh.send_bufs.push_back(std::move(buf));
-        payload = s.sh.send_bufs.back();
       }
       timed(mpi_.ctx(), t_.shuffle, [&] {
         s.sh.reqs.push_back(mpi_.isend(plan_.agg_rank(a), tag, payload));
@@ -377,8 +447,7 @@ void Engine::shuffle_init(int cycle, int slot) {
         for (const Segment& g : segs) {
           mpi_.ctx().advance(opt_.seg_cpu);
           mpi_.put(*s.win, target, g.file_offset - r.begin,
-                   std::span<const std::byte>(s.stage)
-                       .subspan(base + g.local_offset, g.length));
+                   s.stage.span().subspan(base + g.local_offset, g.length));
         }
       });
       if (opt_.transfer == Transfer::OneSidedLock) {
@@ -426,21 +495,25 @@ void Engine::shuffle_wait(int slot) {
       if (my_agg_ >= 0 && !s.sh.recv_bufs.empty()) {
         // Scatter staged multi-segment messages into the collective buffer
         // at their final offsets (single-segment sources already landed in
-        // place).
+        // place), one copy per file-contiguous run. The segment layouts
+        // were computed (and stored) at shuffle_init.
         const Plan::Range r = plan_.cycle_range(my_agg_, s.sh.cycle);
         std::span<std::byte> cb = cb_span(slot);
         std::size_t nsegs = 0;
         std::uint64_t bytes = 0;
-        for (const auto& [src, buf] : s.sh.recv_bufs) {
-          const auto segs = incoming_segments(src, r.begin, r.end);
+        for (const RecvStage& st : s.sh.recv_bufs) {
           std::uint64_t pos = 0;
-          for (const Segment& g : segs) {
-            std::memcpy(cb.data() + (g.file_offset - r.begin),
-                        buf.data() + pos, g.length);
-            pos += g.length;
-          }
-          TPIO_CHECK(pos == buf.size(), "unpack size mismatch");
-          nsegs += segs.size();
+          segcopy::for_file_runs(
+              st.segs, [&](std::size_t, std::size_t, std::uint64_t off,
+                           std::uint64_t len) {
+                if (opt_.materialize) {
+                  std::memcpy(cb.data() + (off - r.begin), st.buf.data() + pos,
+                              len);
+                }
+                pos += len;
+              });
+          TPIO_CHECK(pos == st.buf.size(), "unpack size mismatch");
+          nsegs += st.segs.size();
           bytes += pos;
         }
         timed(mpi_.ctx(), t_.pack,
@@ -458,9 +531,7 @@ void Engine::shuffle_wait(int slot) {
       timed(mpi_.ctx(), t_.sync, [&] { mpi_.barrier(); });
       break;
   }
-  s.sh.send_bufs.clear();
-  s.sh.recv_bufs.clear();
-  s.sh.reqs.clear();
+  s.sh.clear();
 }
 
 void Engine::shuffle_blocking(int cycle, int slot) {
@@ -827,9 +898,6 @@ Result collective_write(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
   PhaseTimings t;
   const sim::Time meta_start = mpi.ctx().now();
   auto blobs = mpi.allgatherv(view.serialize());
-  std::vector<FileView> views;
-  views.reserve(blobs.size());
-  for (const auto& b : blobs) views.push_back(FileView::deserialize(b));
   const net::Topology& topo = mpi.machine().fabric().topology();
   const std::uint64_t stripe = file.stripe_size();
 
@@ -843,7 +911,7 @@ Result collective_write(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
   AutoDecision warm;
   if (opt.overlap == OverlapMode::Auto && !opt.tuning_cache.empty()) {
     std::uint64_t global_bytes = 0;
-    for (const FileView& v : views) global_bytes += v.total_bytes();
+    for (const auto& b : blobs) global_bytes += FileView::blob_total_bytes(b);
     const std::string key =
         platform_signature(topo, mpi.machine().fabric().params(),
                            mpi.machine().params(), file.params()) +
@@ -865,10 +933,15 @@ Result collective_write(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
     }
   }
 
-  Plan plan(std::move(views), topo, stripe, eff);
+  // Plan memoization: every rank of every repetition derives the same plan
+  // from the same exchanged blobs — build it once per geometry and share
+  // the immutable instance (bit-identical to a fresh construction; plan
+  // building never advances the virtual clock).
+  std::shared_ptr<const Plan> plan =
+      PlanCache::get_or_build(blobs, topo, stripe, eff);
   t.meta += mpi.ctx().now() - meta_start;
 
-  Engine engine(mpi, file, plan, data, eff, t);
+  Engine engine(mpi, file, *plan, data, eff, t);
   engine.run();
 
   t.total = mpi.ctx().now() - start;
@@ -876,10 +949,10 @@ Result collective_write(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
   res.autotune = warm.engaged ? warm : engine.auto_decision();
   res.faults = engine.fault_stats();
   res.io_error = engine.io_error();
-  res.aggregators = plan.num_aggregators();
-  res.cycles = plan.num_cycles();
+  res.aggregators = plan->num_aggregators();
+  res.cycles = plan->num_cycles();
   res.bytes_local = view.total_bytes();
-  res.bytes_global = plan.global_bytes();
+  res.bytes_global = plan->global_bytes();
   return res;
 }
 

@@ -7,6 +7,7 @@
 #include "core/types.hpp"
 #include "mpi/mpi.hpp"
 #include "pfs/pfs.hpp"
+#include "simbase/bufpool.hpp"
 
 namespace tpio::coll {
 
@@ -63,18 +64,34 @@ class Engine {
   const std::string& io_error() const { return io_error_; }
 
  private:
+  /// One staged multi-segment receive: the source, its pooled landing
+  /// buffer, and the segment layout it will be scattered with at
+  /// shuffle_wait (computed once at shuffle_init instead of twice).
+  struct RecvStage {
+    int src = -1;
+    sim::BufferPool::Buffer buf;
+    std::vector<Segment> segs;
+  };
   struct ShuffleState {
     int cycle = -1;
     bool pending = false;
     std::vector<smpi::Request> reqs;
     // Two-sided staging: send buffers (per destination aggregator) must
     // outlive the waitall; receive buffers (per source) are unpacked into
-    // the collective buffer at shuffle_wait.
-    std::vector<std::vector<std::byte>> send_bufs;
-    std::vector<std::pair<int, std::vector<std::byte>>> recv_bufs;
+    // the collective buffer at shuffle_wait. Pooled storage, recycled
+    // across cycles and runs; the vectors themselves keep their capacity
+    // (clear, never reconstruct) so steady-state cycles do not allocate.
+    std::vector<sim::BufferPool::Buffer> send_bufs;
+    std::vector<RecvStage> recv_bufs;
+
+    void clear() {
+      reqs.clear();
+      send_bufs.clear();
+      recv_bufs.clear();
+    }
   };
   struct Slot {
-    std::vector<std::byte> cb;           // two-sided sub-buffer (aggregators)
+    sim::BufferPool::Buffer cb;          // two-sided sub-buffer (aggregators)
     std::shared_ptr<smpi::Window> win;   // one-sided sub-buffer
     ShuffleState sh;
     pfs::WriteOp wr;
@@ -85,7 +102,7 @@ class Engine {
     // merged cycle payload, laid out as the concatenation over aggregators
     // of the coalesced node segments. Forwards (sends/puts) reference this
     // memory, so it stays untouched until the slot's shuffle_wait.
-    std::vector<std::byte> stage;
+    sim::BufferPool::Buffer stage;
     int gathered_cycle = -1;  // last cycle gathered into this slot
   };
 

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/plan_cache.hpp"
+#include "core/segcopy.hpp"
+#include "simbase/bufpool.hpp"
 #include "simbase/error.hpp"
 
 namespace tpio::coll {
@@ -43,7 +46,11 @@ ReadEngine::ReadEngine(smpi::Mpi& mpi, pfs::File& file, const Plan& plan,
   if (my_agg_ >= 0) {
     const int nslots = opt_.overlap == OverlapMode::None ? 1 : 2;
     for (int s = 0; s < nslots; ++s) {
-      slots_[s].cb.resize(plan_.sub_buffer_bytes());
+      // start_read always defines every byte of the span it is handed
+      // (zero-fill plus stored-content overlay), so the pooled sub-buffer
+      // needs no zeroing even with materialized contents.
+      slots_[s].cb = sim::BufferPool::local().acquire(
+          plan_.sub_buffer_bytes(), /*zeroed=*/false);
     }
   }
 }
@@ -103,9 +110,8 @@ void ReadEngine::read_attempts(int cycle, int slot, const Plan::Range& r,
     pfs::IoStatus st = pfs::IoStatus::Ok;
     timed(mpi_.ctx(), t_.write, [&] {
       pfs::WriteOp op = file_.start_read(
-          mpi_.ctx(), node_, r.begin,
-          std::span<std::byte>(s.cb).subspan(0, r.size()), /*async=*/false,
-          attempt);
+          mpi_.ctx(), node_, r.begin, s.cb.span().subspan(0, r.size()),
+          /*async=*/false, attempt);
       mpi_.set_unavailable_until(op.completion());
       st = file_.wait(mpi_.ctx(), op);
     });
@@ -124,7 +130,7 @@ void ReadEngine::read_init(int cycle, int slot) {
   if (r.size() == 0) return;
   timed(mpi_.ctx(), t_.write, [&] {
     s.rd = file_.start_read(mpi_.ctx(), node_, r.begin,
-                            std::span<std::byte>(s.cb).subspan(0, r.size()),
+                            s.cb.span().subspan(0, r.size()),
                             /*async=*/true);
   });
 }
@@ -166,17 +172,24 @@ void ReadEngine::scatter_init(int cycle, int slot) {
              "scatter_init from a sub-buffer with an outstanding read");
   TPIO_CHECK(my_agg_ < 0 || s.rd_cycle == cycle,
              "scatter_init without the cycle's data in the sub-buffer");
-  s.sc = ScatterState{};
+  s.sc.clear();  // keeps vector capacity: steady-state cycles don't allocate
   s.sc.cycle = cycle;
   s.sc.pending = true;
   const int me = mpi_.rank();
   const smpi::Tag tag = scatter_tag(cycle);
+  const int A = plan_.num_aggregators();
+  s.sc.reqs.reserve(static_cast<std::size_t>(A) +
+                    (my_agg_ >= 0 ? static_cast<std::size_t>(mpi_.size()) : 0));
+  s.sc.recv_bufs.reserve(static_cast<std::size_t>(A));
 
   // Receive side first (pre-post): one message per aggregator that holds
-  // pieces of this rank's view in this cycle.
-  for (int a = 0; a < plan_.num_aggregators(); ++a) {
+  // pieces of this rank's view in this cycle. A destination whose pieces
+  // form one contiguous local run — always the case for a cycle range, see
+  // segcopy.hpp — receives straight into the output buffer; the unpack CPU
+  // is still charged at scatter_wait from the retained segment list.
+  for (int a = 0; a < A; ++a) {
     const Plan::Range r = plan_.cycle_range(a, cycle);
-    const auto segs = plan_.segments_in(me, r.begin, r.end);
+    auto segs = plan_.segments_in(me, r.begin, r.end);
     if (segs.empty()) continue;
     std::span<std::byte> dest;
     if (segs.size() == 1) {
@@ -184,8 +197,17 @@ void ReadEngine::scatter_init(int cycle, int slot) {
     } else {
       std::uint64_t n = 0;
       for (const Segment& g : segs) n += g.length;
-      s.sc.recv_bufs.emplace_back(a, std::vector<std::byte>(n));
-      dest = s.sc.recv_bufs.back().second;
+      const segcopy::LocalRun run = segcopy::coalescing()
+                                        ? segcopy::local_run(segs)
+                                        : segcopy::LocalRun{};
+      RecvStage st;
+      st.agg = a;
+      if (!run.ok) st.buf = sim::BufferPool::local().acquire(n, false);
+      st.segs = std::move(segs);
+      s.sc.recv_bufs.push_back(std::move(st));
+      RecvStage& back = s.sc.recv_bufs.back();
+      dest = run.ok ? out_.subspan(run.local_offset, run.total)
+                    : back.buf.span();
     }
     timed(mpi_.ctx(), t_.shuffle, [&] {
       s.sc.reqs.push_back(mpi_.irecv(plan_.agg_rank(a), tag, dest));
@@ -193,10 +215,13 @@ void ReadEngine::scatter_init(int cycle, int slot) {
   }
 
   // Send side (aggregators): each destination's pieces, gathered from the
-  // collective buffer; contiguous destinations go zero-copy.
+  // collective buffer; destinations whose pieces are contiguous in the
+  // file go zero-copy (a slice of the sub-buffer), scattered ones are
+  // packed with one copy per file-contiguous run.
   if (my_agg_ >= 0) {
     const Plan::Range r = plan_.cycle_range(my_agg_, cycle);
-    std::span<std::byte> cb = s.cb;
+    std::span<std::byte> cb = s.cb.span();
+    s.sc.send_bufs.reserve(static_cast<std::size_t>(mpi_.size()));
     for (int dst = 0; dst < mpi_.size(); ++dst) {
       const auto segs = plan_.segments_in(dst, r.begin, r.end);
       if (segs.empty()) continue;
@@ -206,17 +231,33 @@ void ReadEngine::scatter_init(int cycle, int slot) {
       } else {
         std::uint64_t total = 0;
         for (const Segment& g : segs) total += g.length;
-        std::vector<std::byte> buf(total);
-        std::uint64_t pos = 0;
-        for (const Segment& g : segs) {
-          std::memcpy(buf.data() + pos, cb.data() + (g.file_offset - r.begin),
-                      g.length);
-          pos += g.length;
+        bool file_run = segcopy::coalescing();
+        for (std::size_t i = 1; file_run && i < segs.size(); ++i) {
+          file_run = segs[i].file_offset ==
+                     segs[i - 1].file_offset + segs[i - 1].length;
+        }
+        if (file_run) {
+          // The packed message is a contiguous slice of the sub-buffer;
+          // the slice is stable until this slot's scatter_wait.
+          payload = cb.subspan(segs[0].file_offset - r.begin, total);
+        } else {
+          sim::BufferPool::Buffer buf =
+              sim::BufferPool::local().acquire(total, /*zeroed=*/false);
+          if (opt_.materialize) {
+            std::uint64_t pos = 0;
+            segcopy::for_file_runs(
+                segs, [&](std::size_t, std::size_t, std::uint64_t off,
+                          std::uint64_t len) {
+                  std::memcpy(buf.data() + pos,
+                              cb.data() + (off - r.begin), len);
+                  pos += len;
+                });
+          }
+          s.sc.send_bufs.push_back(std::move(buf));
+          payload = s.sc.send_bufs.back().span();
         }
         timed(mpi_.ctx(), t_.pack,
               [&] { mpi_.ctx().advance(pack_cost(segs.size(), total)); });
-        s.sc.send_bufs.push_back(std::move(buf));
-        payload = s.sc.send_bufs.back();
       }
       timed(mpi_.ctx(), t_.shuffle,
             [&] { s.sc.reqs.push_back(mpi_.isend(dst, tag, payload)); });
@@ -229,28 +270,34 @@ void ReadEngine::scatter_wait(int slot) {
   TPIO_CHECK(s.sc.pending, "scatter_wait without a pending scatter");
   s.sc.pending = false;
   timed(mpi_.ctx(), t_.shuffle, [&] { mpi_.waitall(s.sc.reqs); });
-  // Unpack staged multi-segment messages into the local view buffer.
+  // Unpack staged multi-segment messages into the local view buffer
+  // (direct-landed ones only charge the unpack CPU — the bytes are already
+  // in place, in the same order the staged unpack would produce).
   if (!s.sc.recv_bufs.empty()) {
     std::size_t nsegs = 0;
     std::uint64_t bytes = 0;
-    for (const auto& [a, buf] : s.sc.recv_bufs) {
-      const Plan::Range r = plan_.cycle_range(a, s.sc.cycle);
-      const auto segs = plan_.segments_in(mpi_.rank(), r.begin, r.end);
+    for (const RecvStage& st : s.sc.recv_bufs) {
       std::uint64_t pos = 0;
-      for (const Segment& g : segs) {
-        std::memcpy(out_.data() + g.local_offset, buf.data() + pos, g.length);
-        pos += g.length;
+      if (st.buf.empty()) {
+        for (const Segment& g : st.segs) pos += g.length;
+      } else {
+        segcopy::for_local_runs(
+            st.segs, [&](std::size_t, std::size_t, std::uint64_t off,
+                         std::uint64_t len) {
+              if (opt_.materialize) {
+                std::memcpy(out_.data() + off, st.buf.data() + pos, len);
+              }
+              pos += len;
+            });
+        TPIO_CHECK(pos == st.buf.size(), "scatter unpack size mismatch");
       }
-      TPIO_CHECK(pos == buf.size(), "scatter unpack size mismatch");
-      nsegs += segs.size();
+      nsegs += st.segs.size();
       bytes += pos;
     }
     timed(mpi_.ctx(), t_.pack,
           [&] { mpi_.ctx().advance(pack_cost(nsegs, bytes)); });
   }
-  s.sc.send_bufs.clear();
-  s.sc.recv_bufs.clear();
-  s.sc.reqs.clear();
+  s.sc.clear();
 }
 
 void ReadEngine::scatter_blocking(int cycle, int slot) {
@@ -348,24 +395,21 @@ Result collective_read(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
   PhaseTimings t;
   const sim::Time meta_start = mpi.ctx().now();
   auto blobs = mpi.allgatherv(view.serialize());
-  std::vector<FileView> views;
-  views.reserve(blobs.size());
-  for (const auto& b : blobs) views.push_back(FileView::deserialize(b));
-  Plan plan(std::move(views), mpi.machine().fabric().topology(),
-            file.stripe_size(), opt);
+  std::shared_ptr<const Plan> plan = PlanCache::get_or_build(
+      blobs, mpi.machine().fabric().topology(), file.stripe_size(), opt);
   t.meta += mpi.ctx().now() - meta_start;
 
-  ReadEngine engine(mpi, file, plan, out, opt, t);
+  ReadEngine engine(mpi, file, *plan, out, opt, t);
   engine.run();
 
   t.total = mpi.ctx().now() - start;
   res.timings = t;
   res.faults = engine.fault_stats();
   res.io_error = engine.io_error();
-  res.aggregators = plan.num_aggregators();
-  res.cycles = plan.num_cycles();
+  res.aggregators = plan->num_aggregators();
+  res.cycles = plan->num_cycles();
   res.bytes_local = view.total_bytes();
-  res.bytes_global = plan.global_bytes();
+  res.bytes_global = plan->global_bytes();
   return res;
 }
 

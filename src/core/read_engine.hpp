@@ -6,6 +6,7 @@
 #include "core/types.hpp"
 #include "mpi/mpi.hpp"
 #include "pfs/pfs.hpp"
+#include "simbase/bufpool.hpp"
 
 namespace tpio::coll {
 
@@ -58,16 +59,31 @@ class ReadEngine {
   void scatter_blocking(int cycle, int slot);
 
  private:
+  /// One multi-segment receive from aggregator `agg`: either a pooled
+  /// staging buffer that scatter_wait unpacks, or — when the destination
+  /// segments form one contiguous local run — no buffer at all (the
+  /// message landed directly in out_) with `segs` kept for the unpack-CPU
+  /// accounting that must be charged either way.
+  struct RecvStage {
+    int agg = -1;
+    sim::BufferPool::Buffer buf;  // empty: landed directly in out_
+    std::vector<Segment> segs;
+  };
   struct ScatterState {
     int cycle = -1;
     bool pending = false;
     std::vector<smpi::Request> reqs;
-    std::vector<std::vector<std::byte>> send_bufs;
-    // (source aggregator index, staging) for multi-segment receives.
-    std::vector<std::pair<int, std::vector<std::byte>>> recv_bufs;
+    std::vector<sim::BufferPool::Buffer> send_bufs;
+    std::vector<RecvStage> recv_bufs;
+
+    void clear() {
+      reqs.clear();
+      send_bufs.clear();
+      recv_bufs.clear();
+    }
   };
   struct Slot {
-    std::vector<std::byte> cb;
+    sim::BufferPool::Buffer cb;
     pfs::WriteOp rd;
     int rd_cycle = -1;
     ScatterState sc;

@@ -39,6 +39,9 @@ struct FileView {
   /// Serialize to/from bytes for the metadata exchange.
   std::vector<std::byte> serialize() const;
   static FileView deserialize(const std::vector<std::byte>& blob);
+
+  /// Sum of extent lengths of a serialized view, without deserializing.
+  static std::uint64_t blob_total_bytes(const std::vector<std::byte>& blob);
 };
 
 /// Which internal operations of the two-phase cycle pipeline overlap
@@ -141,6 +144,16 @@ struct Options {
   /// only this rank's own deterministic observations, so degraded runs stay
   /// bit-identical across hosts and worker counts.
   double degrade_slowdown = 0.0;
+
+  // ----- host-side performance (no effect on the virtual timeline) ----------
+  /// false elides every payload memcpy on the host (pack, unpack, gather,
+  /// PFS content snapshots) while still advancing the virtual clock by the
+  /// same pack costs and byte counts. Every RunResult field is bit-identical
+  /// either way; only the simulated file's *contents* become meaningless, so
+  /// this must stay true whenever the file records content (digest/store
+  /// integrity, i.e. spec.verify). The runner sets this from RunSpec::verify;
+  /// it is excluded from autotune workload signatures and plan-cache keys.
+  bool materialize = true;
 };
 
 /// Where a rank's blocked time went, in virtual nanoseconds. Mirrors the

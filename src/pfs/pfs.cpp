@@ -358,6 +358,11 @@ WriteOp File::start_read(sim::RankCtx& ctx, int node, std::uint64_t offset,
     std::uint64_t pos = offset;
     std::uint64_t left = out.size();
     std::size_t into = 0;
+    // Content: stored bytes or zero. A faulted read still fills `out` —
+    // like a failed pread, the buffer contents are not to be trusted and
+    // the caller learns that through wait(). One fill for the whole span
+    // instead of one per stripe chunk; stored chunks are overlaid below.
+    std::fill(out.begin(), out.end(), std::byte{0});
     while (left > 0) {
       const std::uint64_t stripe_idx = pos / p.stripe_size;
       const std::uint64_t in_chunk = pos % p.stripe_size;
@@ -376,11 +381,6 @@ WriteOp File::start_read(sim::RankCtx& ctx, int node, std::uint64_t offset,
           client.reserve(iv.end, sim::transfer_time(n, p.client_bw));
       done = std::max(done, pull.end);
 
-      // Content: stored bytes or zero. A faulted read still fills `out` —
-      // like a failed pread, the buffer contents are not to be trusted and
-      // the caller learns that through wait().
-      std::fill_n(out.begin() + static_cast<std::ptrdiff_t>(into),
-                  static_cast<std::ptrdiff_t>(n), std::byte{0});
       auto it = chunks_.find(stripe_idx);
       if (integrity_ == Integrity::Store && it != chunks_.end() &&
           !it->second.bytes.empty()) {

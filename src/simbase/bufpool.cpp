@@ -1,0 +1,165 @@
+#include "simbase/bufpool.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstring>
+#include <mutex>
+
+namespace tpio::sim {
+
+namespace {
+
+std::atomic<bool> g_recycling{true};
+std::atomic<std::uint64_t> g_acquires{0};
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_reservoir_hits{0};
+std::atomic<std::uint64_t> g_fresh{0};
+
+int class_of(std::size_t n) {
+  if (n <= 1) return 0;
+  return static_cast<int>(std::bit_width(n - 1));
+}
+
+/// Process-wide parking lot for buffers whose owning thread exited (the
+/// conductor spawns fresh rank threads per run). Leaked on purpose: the
+/// reservoir must outlive every thread_local pool destructor, and a static
+/// pointer keeps it reachable so leak checkers stay quiet.
+struct Reservoir {
+  std::mutex mu;
+  struct Node {
+    std::unique_ptr<std::byte[]> mem;
+    std::size_t cap = 0;
+  };
+  std::vector<Node> free_[48];
+  std::size_t bytes = 0;
+  // Cap the parked memory; beyond it donated buffers are simply freed.
+  static constexpr std::size_t kCapBytes = std::size_t{1} << 30;  // 1 GiB
+};
+
+Reservoir& reservoir() {
+  static Reservoir* r = new Reservoir;
+  return *r;
+}
+
+}  // namespace
+
+void BufferPool::Buffer::reset() {
+  if (!mem_) return;
+  if (g_recycling.load(std::memory_order_relaxed)) {
+    BufferPool::local().release(std::move(mem_), cap_);
+  } else {
+    mem_.reset();
+  }
+  cap_ = size_ = 0;
+}
+
+BufferPool& BufferPool::local() {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+BufferPool::~BufferPool() {
+  // Thread exit: park the free lists in the reservoir so the next run's
+  // rank threads inherit the memory instead of re-allocating it.
+  Reservoir& r = reservoir();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (int k = 0; k < kClasses; ++k) {
+    for (Node& n : free_[k]) {
+      if (r.bytes + n.cap > Reservoir::kCapBytes) continue;  // overflow: free
+      r.bytes += n.cap;
+      r.free_[k].push_back(Reservoir::Node{std::move(n.mem), n.cap});
+    }
+    free_[k].clear();
+  }
+}
+
+BufferPool::Buffer BufferPool::acquire(std::size_t n, bool zeroed) {
+  Buffer b;
+  if (n == 0) return b;
+  g_acquires.fetch_add(1, std::memory_order_relaxed);
+  const int k = class_of(n);
+  const std::size_t cap = std::size_t{1} << k;
+
+  if (g_recycling.load(std::memory_order_relaxed)) {
+    auto& list = free_[k];
+    if (!list.empty()) {
+      b.mem_ = std::move(list.back().mem);
+      b.cap_ = list.back().cap;
+      list.pop_back();
+      g_hits.fetch_add(1, std::memory_order_relaxed);
+      if (zeroed) std::memset(b.mem_.get(), 0, n);
+      b.size_ = n;
+      return b;
+    }
+    Reservoir& r = reservoir();
+    std::lock_guard<std::mutex> lk(r.mu);
+    if (!r.free_[k].empty()) {
+      b.mem_ = std::move(r.free_[k].back().mem);
+      b.cap_ = r.free_[k].back().cap;
+      r.free_[k].pop_back();
+      r.bytes -= b.cap_;
+      g_reservoir_hits.fetch_add(1, std::memory_order_relaxed);
+      if (zeroed) std::memset(b.mem_.get(), 0, n);
+      b.size_ = n;
+      return b;
+    }
+  }
+
+  // Fresh allocation. new std::byte[cap] default-initializes — no memset
+  // unless the caller asked for zeroed contents.
+  g_fresh.fetch_add(1, std::memory_order_relaxed);
+  b.mem_ = std::unique_ptr<std::byte[]>(new std::byte[cap]);
+  b.cap_ = cap;
+  if (zeroed) std::memset(b.mem_.get(), 0, n);
+  b.size_ = n;
+  return b;
+}
+
+void BufferPool::release(std::unique_ptr<std::byte[]> mem, std::size_t cap) {
+  const int k = class_of(cap);
+  auto& list = free_[k];
+  if (list.size() >= kMaxPerClass) {
+    // Local list full: try to park in the reservoir instead of freeing.
+    Reservoir& r = reservoir();
+    std::lock_guard<std::mutex> lk(r.mu);
+    if (r.bytes + cap <= Reservoir::kCapBytes) {
+      r.bytes += cap;
+      r.free_[k].push_back(Reservoir::Node{std::move(mem), cap});
+    }
+    return;  // over cap: unique_ptr frees on scope exit
+  }
+  list.push_back(Node{std::move(mem), cap});
+}
+
+BufferPool::Stats BufferPool::stats() {
+  Stats s;
+  s.acquires = g_acquires.load(std::memory_order_relaxed);
+  s.hits = g_hits.load(std::memory_order_relaxed);
+  s.reservoir_hits = g_reservoir_hits.load(std::memory_order_relaxed);
+  s.fresh = g_fresh.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::reset_stats() {
+  g_acquires.store(0, std::memory_order_relaxed);
+  g_hits.store(0, std::memory_order_relaxed);
+  g_reservoir_hits.store(0, std::memory_order_relaxed);
+  g_fresh.store(0, std::memory_order_relaxed);
+}
+
+void BufferPool::set_recycling(bool on) {
+  g_recycling.store(on, std::memory_order_relaxed);
+}
+
+bool BufferPool::recycling() {
+  return g_recycling.load(std::memory_order_relaxed);
+}
+
+void BufferPool::drain_reservoir() {
+  Reservoir& r = reservoir();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (auto& list : r.free_) list.clear();
+  r.bytes = 0;
+}
+
+}  // namespace tpio::sim

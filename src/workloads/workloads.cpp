@@ -29,8 +29,9 @@ std::byte expected_byte(std::uint64_t offset) {
   return static_cast<std::byte>((offset * 131 + offset / 977 + 5) & 0xFF);
 }
 
-std::vector<std::byte> fill_local(const coll::FileView& view) {
-  std::vector<std::byte> data(view.total_bytes());
+void fill_into(const coll::FileView& view, std::span<std::byte> data) {
+  TPIO_CHECK(data.size() == view.total_bytes(),
+             "fill_into buffer size does not match the view");
   std::size_t pos = 0;
   for (const coll::Extent& e : view.extents) {
     // Incremental form of expected_byte(): one division per extent instead
@@ -47,6 +48,11 @@ std::vector<std::byte> fill_local(const coll::FileView& view) {
       }
     }
   }
+}
+
+std::vector<std::byte> fill_local(const coll::FileView& view) {
+  std::vector<std::byte> data(view.total_bytes());
+  fill_into(view, data);
   return data;
 }
 

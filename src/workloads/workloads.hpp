@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,5 +70,10 @@ std::byte expected_byte(std::uint64_t offset);
 
 /// Materialize the local send buffer for `view` (extent bytes in order).
 std::vector<std::byte> fill_local(const coll::FileView& view);
+
+/// Same pattern written into caller-provided storage of exactly
+/// view.total_bytes() — lets the harness reuse pooled buffers instead of
+/// allocating a fresh vector per (rank, run).
+void fill_into(const coll::FileView& view, std::span<std::byte> data);
 
 }  // namespace tpio::wl

@@ -1,0 +1,384 @@
+// Differential suite for the substrate performance layer: buffer pooling,
+// copy coalescing, plan memoization and the timing-only fast path are
+// host-side optimizations that must leave every RunResult field —
+// makespan, phase timings, fabric and fault counters, autotune decision —
+// bit-identical to the legacy code paths, for fault-free and fault-injected
+// runs alike, at any worker count. Each optimization keeps a test hook
+// that restores the legacy behaviour; these tests run both arms over a
+// grid of specs chosen to hit every engine path (tiny-segment tile, flash,
+// hierarchical, one-sided, Auto, fault injection) and compare fingerprints.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/plan_cache.hpp"
+#include "core/segcopy.hpp"
+#include "harness/sweep.hpp"
+#include "simbase/bufpool.hpp"
+
+namespace coll = tpio::coll;
+namespace net = tpio::net;
+namespace sim = tpio::sim;
+namespace wl = tpio::wl;
+namespace xp = tpio::xp;
+
+namespace {
+
+/// Every RunResult field except verify_error (compared separately: the
+/// timing-only arm never verifies).
+std::string fp(const xp::RunResult& r) {
+  std::string s;
+  auto add = [&](auto v) {
+    s += std::to_string(v);
+    s += '|';
+  };
+  auto add_timings = [&](const coll::PhaseTimings& t) {
+    add(t.meta);
+    add(t.pack);
+    add(t.gather);
+    add(t.shuffle);
+    add(t.sync);
+    add(t.write);
+    add(t.backoff);
+    add(t.total);
+  };
+  add(r.makespan);
+  add_timings(r.rank_sum);
+  add_timings(r.agg_sum);
+  add_timings(r.agg_max);
+  add(r.aggregators);
+  add(r.cycles);
+  add(r.bytes);
+  add(r.inter_node_bytes);
+  add(r.inter_node_messages);
+  add(r.intra_node_bytes);
+  add(r.autotune.engaged);
+  add(static_cast<int>(r.autotune.chosen));
+  add(r.autotune.from_cache);
+  add(r.autotune.probe_cycles);
+  add(r.autotune.comm_share);
+  add(r.autotune.aio_ratio);
+  add(r.faults.retries);
+  add(r.faults.giveups);
+  add(r.faults.degraded_cycles);
+  s += r.io_error;
+  s += '|';
+  return s;
+}
+
+/// Scoped legacy-arm switch; restores the optimized defaults on exit.
+struct Arms {
+  Arms(bool pool, bool coalesce, bool plans) {
+    sim::BufferPool::set_recycling(pool);
+    coll::segcopy::set_coalescing(coalesce);
+    coll::PlanCache::set_enabled(plans);
+    if (!plans) coll::PlanCache::clear();
+  }
+  ~Arms() {
+    sim::BufferPool::set_recycling(true);
+    coll::segcopy::set_coalescing(true);
+    coll::PlanCache::set_enabled(true);
+  }
+};
+
+/// Specs chosen to cover the distinct engine paths the optimizations
+/// touch: single-extent IOR, many-tiny-segments tile, multi-extent flash,
+/// hierarchical gather, one-sided puts, the Auto probe phase, and a
+/// fault-injected run (retries + backoff).
+std::vector<std::pair<std::string, xp::RunSpec>> diff_specs() {
+  auto base = [](wl::Spec w, int P) {
+    xp::RunSpec s;
+    s.platform = xp::scaled(xp::ibex());
+    s.workload = std::move(w);
+    s.nprocs = P;
+    s.options.cb_size = xp::kCbSize;
+    s.seed = 11;
+    return s;
+  };
+  std::vector<std::pair<std::string, xp::RunSpec>> out;
+  {
+    xp::RunSpec s = base(wl::make_ior(1u << 20), 16);
+    s.options.overlap = coll::OverlapMode::WriteComm2;
+    out.emplace_back("ior-wc2", s);
+  }
+  {
+    xp::RunSpec s = base(wl::make_tile256(16, 64), 16);
+    s.options.overlap = coll::OverlapMode::Comm;
+    out.emplace_back("tile256-comm", s);
+  }
+  {
+    xp::RunSpec s = base(wl::make_tile1m(1, 2), 16);
+    s.options.overlap = coll::OverlapMode::Write;
+    s.options.transfer = coll::Transfer::OneSidedFence;
+    out.emplace_back("tile1m-write-1sided", s);
+  }
+  {
+    xp::RunSpec s = base(wl::make_flash(4, 4, 1u << 15), 32);
+    s.options.overlap = coll::OverlapMode::WriteComm;
+    s.options.hierarchical = true;
+    s.options.leader_policy = coll::LeaderPolicy::Spread;
+    out.emplace_back("flash-hier", s);
+  }
+  {
+    xp::RunSpec s = base(wl::make_ior(1u << 19), 16);
+    s.options.overlap = coll::OverlapMode::Auto;
+    out.emplace_back("ior-auto", s);
+  }
+  {
+    xp::RunSpec s = base(wl::make_ior(1u << 18), 16);
+    s.options.overlap = coll::OverlapMode::WriteComm2;
+    s.options.max_retries = 8;
+    s.platform.pfs.faults.write_fail_rate = 0.2;
+    s.platform.pfs.faults.seed = 7;
+    out.emplace_back("ior-faults", s);
+  }
+  return out;
+}
+
+/// Run every diff spec with the optimized arm and with `legacy`, in both
+/// verify modes, and demand bit-identical fingerprints.
+void expect_arms_identical(bool pool, bool coalesce, bool plans) {
+  for (const auto& [name, spec] : diff_specs()) {
+    for (bool verify : {false, true}) {
+      xp::RunSpec s = spec;
+      s.verify = verify;
+      const xp::RunResult opt = xp::execute(s);
+      Arms legacy(pool, coalesce, plans);
+      const xp::RunResult leg = xp::execute(s);
+      EXPECT_EQ(fp(opt), fp(leg)) << name << " verify=" << verify;
+      EXPECT_EQ(opt.verify_error, leg.verify_error) << name;
+      if (verify) EXPECT_EQ(opt.verify_error, "") << name;
+    }
+  }
+}
+
+TEST(PerfDiff, PooledVsLegacyAllocationsBitIdentical) {
+  expect_arms_identical(/*pool=*/false, /*coalesce=*/true, /*plans=*/true);
+}
+
+TEST(PerfDiff, CoalescedVsPerSegmentCopiesBitIdentical) {
+  expect_arms_identical(/*pool=*/true, /*coalesce=*/false, /*plans=*/true);
+}
+
+TEST(PerfDiff, MemoizedVsFreshPlansBitIdentical) {
+  expect_arms_identical(/*pool=*/true, /*coalesce=*/true, /*plans=*/false);
+}
+
+TEST(PerfDiff, AllOptimizationsVsAllLegacyBitIdentical) {
+  expect_arms_identical(/*pool=*/false, /*coalesce=*/false, /*plans=*/false);
+}
+
+// The timing-only fast path (verify=false => Options::materialize=false)
+// must match a fully materialized run on every field except verification
+// itself: fault verdicts are pure functions of offsets and the virtual
+// clock never reads payload bytes. The materialized arm's digest doubles
+// as the content check.
+TEST(PerfDiff, TimingOnlyMatchesMaterializedRun) {
+  for (const auto& [name, spec] : diff_specs()) {
+    xp::RunSpec fast = spec;
+    fast.verify = false;
+    xp::RunSpec full = spec;
+    full.verify = true;
+    const xp::RunResult a = xp::execute(fast);
+    const xp::RunResult b = xp::execute(full);
+    EXPECT_EQ(fp(a), fp(b)) << name;
+    EXPECT_EQ(b.verify_error, "") << name;
+  }
+}
+
+// The executor's thread pool must not perturb results through the pooling
+// layer: rank threads of concurrent runs release buffers into different
+// thread-local pools and repopulate from the shared reservoir, and plan
+// memoization is shared across workers. jobs=1 vs jobs=8 must agree on
+// every fingerprint.
+TEST(PerfDiff, ExecutorJobsInvariantWithPoolingAndPlanCache) {
+  const auto specs = diff_specs();
+  auto grid = [&](int jobs) {
+    std::vector<std::string> fps(specs.size() * 2);
+    std::vector<xp::SweepJob> work;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      for (int v = 0; v < 2; ++v) {
+        xp::RunSpec s = specs[i].second;
+        s.verify = v != 0;
+        const std::size_t slot = i * 2 + static_cast<std::size_t>(v);
+        work.push_back(xp::SweepJob{
+            specs[i].first + (v ? "+verify" : ""), [&fps, slot, s]() {
+              fps[slot] = fp(xp::execute(s));
+              return 0.0;
+            }});
+      }
+    }
+    xp::ExecOptions exec;
+    exec.jobs = jobs;
+    xp::run_jobs(work, exec);
+    return fps;
+  };
+  const std::vector<std::string> serial = grid(1);
+  const std::vector<std::string> parallel = grid(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "job " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool unit tests
+// ---------------------------------------------------------------------------
+
+TEST(BufferPool, RecyclesByClassAndTracksStats) {
+  sim::BufferPool::drain_reservoir();
+  sim::BufferPool::reset_stats();
+  auto& pool = sim::BufferPool::local();
+  std::byte* first = nullptr;
+  {
+    sim::BufferPool::Buffer b = pool.acquire(1000, /*zeroed=*/false);
+    ASSERT_EQ(b.size(), 1000u);
+    first = b.data();
+  }  // released to this thread's free list
+  {
+    // Same size class (1024) => same storage back, no fresh allocation.
+    sim::BufferPool::Buffer b = pool.acquire(600, /*zeroed=*/false);
+    EXPECT_EQ(b.data(), first);
+    EXPECT_EQ(b.size(), 600u);
+  }
+  const sim::BufferPool::Stats st = sim::BufferPool::stats();
+  EXPECT_EQ(st.acquires, 2u);
+  // At least the second acquire is a free-list hit (the first may also hit
+  // leftovers from earlier tests in the same process).
+  EXPECT_GE(st.hits, 1u);
+}
+
+TEST(BufferPool, ZeroedAcquireScrubsRecycledStorage) {
+  auto& pool = sim::BufferPool::local();
+  {
+    sim::BufferPool::Buffer b = pool.acquire(4096, /*zeroed=*/false);
+    for (std::byte& x : b.span()) x = std::byte{0xAB};
+  }
+  sim::BufferPool::Buffer b = pool.acquire(4096, /*zeroed=*/true);
+  for (std::byte x : b.span()) ASSERT_EQ(x, std::byte{0});
+}
+
+TEST(BufferPool, EmptyAndMovedHandlesAreInert) {
+  sim::BufferPool::Buffer empty = sim::BufferPool::local().acquire(0, true);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.span().size(), 0u);
+  sim::BufferPool::Buffer a = sim::BufferPool::local().acquire(64, false);
+  std::byte* p = a.data();
+  sim::BufferPool::Buffer b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): documented state
+  b.reset();
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(BufferPool, DyingThreadDonatesToReservoir) {
+  sim::BufferPool::drain_reservoir();
+  std::thread([] {
+    // Populate the worker's local pool, then let the thread die: its free
+    // list must reach the reservoir, exactly as conductor rank threads do.
+    sim::BufferPool::local().acquire(1 << 16, false);
+  }).join();
+  sim::BufferPool::reset_stats();
+  std::thread([] {
+    sim::BufferPool::Buffer b = sim::BufferPool::local().acquire(1 << 16, false);
+    EXPECT_EQ(b.size(), std::size_t{1} << 16);
+  }).join();
+  const sim::BufferPool::Stats st = sim::BufferPool::stats();
+  EXPECT_EQ(st.reservoir_hits, 1u) << "fresh thread should refill from the "
+                                      "reservoir, not the heap";
+}
+
+TEST(BufferPool, RecyclingDisabledFallsBackToHeap) {
+  sim::BufferPool::set_recycling(false);
+  sim::BufferPool::reset_stats();
+  { sim::BufferPool::Buffer b = sim::BufferPool::local().acquire(512, false); }
+  { sim::BufferPool::Buffer b = sim::BufferPool::local().acquire(512, false); }
+  const sim::BufferPool::Stats st = sim::BufferPool::stats();
+  EXPECT_EQ(st.fresh, 2u);
+  EXPECT_EQ(st.hits, 0u);
+  sim::BufferPool::set_recycling(true);
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache unit tests
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<std::byte>> blobs_for(const wl::Spec& w, int P) {
+  std::vector<std::vector<std::byte>> blobs;
+  blobs.reserve(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) blobs.push_back(w.view(r, P).serialize());
+  return blobs;
+}
+
+TEST(PlanCache, HitsOnIdenticalKeyMissesOnDifferentKey) {
+  coll::PlanCache::clear();
+  const auto blobs = blobs_for(wl::make_ior(1u << 18), 8);
+  const net::Topology topo = net::Topology::fit(8, 4);
+  coll::Options opt;
+  opt.cb_size = 1u << 20;
+  const auto a = coll::PlanCache::get_or_build(blobs, topo, 1u << 17, opt);
+  const auto b = coll::PlanCache::get_or_build(blobs, topo, 1u << 17, opt);
+  EXPECT_EQ(a.get(), b.get());
+  const auto c = coll::PlanCache::get_or_build(blobs, topo, 1u << 16, opt);
+  EXPECT_NE(a.get(), c.get());
+  coll::Options hier = opt;
+  hier.hierarchical = true;
+  const auto d = coll::PlanCache::get_or_build(blobs, topo, 1u << 17, hier);
+  EXPECT_NE(a.get(), d.get());
+}
+
+TEST(PlanCache, MaterializeFlagDoesNotEnterTheKey) {
+  coll::PlanCache::clear();
+  const auto blobs = blobs_for(wl::make_ior(1u << 18), 8);
+  const net::Topology topo = net::Topology::fit(8, 4);
+  coll::Options opt;
+  opt.cb_size = 1u << 20;
+  opt.materialize = true;
+  const auto a = coll::PlanCache::get_or_build(blobs, topo, 1u << 17, opt);
+  opt.materialize = false;
+  const auto b = coll::PlanCache::get_or_build(blobs, topo, 1u << 17, opt);
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(PlanCache, DisabledBuildsFreshAndClearKeepsLivePlansValid) {
+  coll::PlanCache::clear();
+  const auto blobs = blobs_for(wl::make_ior(1u << 18), 8);
+  const net::Topology topo = net::Topology::fit(8, 4);
+  coll::Options opt;
+  opt.cb_size = 1u << 20;
+  const auto cached = coll::PlanCache::get_or_build(blobs, topo, 1u << 17, opt);
+  coll::PlanCache::set_enabled(false);
+  const auto fresh = coll::PlanCache::get_or_build(blobs, topo, 1u << 17, opt);
+  EXPECT_NE(cached.get(), fresh.get());
+  coll::PlanCache::set_enabled(true);
+  coll::PlanCache::clear();
+  // The shared_ptr keeps evicted plans alive.
+  EXPECT_GT(cached->num_aggregators(), 0);
+}
+
+TEST(PlanCache, ConcurrentLookupsShareOneConstruction) {
+  coll::PlanCache::clear();
+  const auto blobs = blobs_for(wl::make_tile256(8, 8), 16);
+  const net::Topology topo = net::Topology::fit(16, 4);
+  coll::Options opt;
+  opt.cb_size = 1u << 20;
+  std::vector<std::shared_ptr<const coll::Plan>> got(8);
+  std::vector<std::thread> threads;
+  threads.reserve(got.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    threads.emplace_back([&, i] {
+      got[i] = coll::PlanCache::get_or_build(blobs, topo, 1u << 17, opt);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const auto& p : got) EXPECT_EQ(p.get(), got[0].get());
+  const coll::PlanCache::Stats st = coll::PlanCache::stats();
+  EXPECT_GE(st.lookups, 8u);
+  EXPECT_GE(st.hits, 7u);
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Emits BENCH_PERF.json: the substrate wall-clock baseline tracked across
+// PRs (see EXPERIMENTS.md, "Substrate performance methodology"). Two
+// sections:
+//
+//   grid        — runs/sec and simulated-bytes/sec for whole collective
+//                 writes over (nprocs x per-proc volume x scheduler),
+//                 verify off, each cell timed over enough repetitions to
+//                 pass a minimum wall budget;
+//   quick_sweep — one serial quick Table I sweep (reps=1, jobs=1, verify
+//                 off) timed end to end.
+//
+// Deliberately restricted to the long-stable harness API (execute,
+// run_overlap_sweep, scaled presets) so the identical source compiles
+// against older revisions of the tree — that is how before/after numbers
+// for a substrate PR are produced: build this tool at both revisions, run
+// both on the same idle host, diff the JSON.
+//
+// Usage: bench_report [--out FILE] [--label TEXT] [--min-cell-ms N]
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+
+namespace coll = tpio::coll;
+namespace wl = tpio::wl;
+namespace xp = tpio::xp;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+constexpr coll::OverlapMode kModes[] = {
+    coll::OverlapMode::None, coll::OverlapMode::Comm, coll::OverlapMode::Write,
+    coll::OverlapMode::WriteComm, coll::OverlapMode::WriteComm2,
+};
+
+struct Cell {
+  int nprocs = 0;
+  std::uint64_t block_bytes = 0;
+  coll::OverlapMode mode = coll::OverlapMode::None;
+  int reps = 0;
+  double wall_s = 0.0;
+  double runs_per_s = 0.0;
+  double sim_bytes_per_s = 0.0;
+};
+
+Cell time_cell(int nprocs, std::uint64_t block_bytes, coll::OverlapMode mode,
+               double min_wall_s) {
+  xp::RunSpec spec;
+  spec.platform = xp::scaled(xp::ibex());
+  spec.workload = wl::make_ior(block_bytes);
+  spec.nprocs = nprocs;
+  spec.options.cb_size = xp::kCbSize;
+  spec.options.overlap = mode;
+  spec.verify = false;
+
+  Cell c;
+  c.nprocs = nprocs;
+  c.block_bytes = block_bytes;
+  c.mode = mode;
+
+  // Warm-up run: first-touch costs (plan construction on newer trees, page
+  // faults) are not part of the steady-state figure.
+  spec.seed = 1;
+  (void)xp::execute(spec);
+
+  const Clock::time_point t0 = Clock::now();
+  std::uint64_t total_sim_bytes = 0;
+  int reps = 0;
+  do {
+    spec.seed = static_cast<std::uint64_t>(2 + reps);
+    total_sim_bytes += xp::execute(spec).bytes;
+    ++reps;
+  } while (seconds_since(t0) < min_wall_s || reps < 3);
+  c.wall_s = seconds_since(t0);
+  c.reps = reps;
+  c.runs_per_s = reps / c.wall_s;
+  c.sim_bytes_per_s = static_cast<double>(total_sim_bytes) / c.wall_s;
+  return c;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string label;
+  double min_cell_ms = 300.0;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--label") && i + 1 < argc) {
+      label = argv[++i];
+    } else if (!std::strcmp(argv[i], "--min-cell-ms") && i + 1 < argc) {
+      min_cell_ms = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_report [--out FILE] [--label TEXT] "
+                   "[--min-cell-ms N]\n");
+      return 2;
+    }
+  }
+
+  const double min_wall_s = min_cell_ms / 1000.0;
+  std::vector<Cell> grid;
+  for (int nprocs : {16, 64}) {
+    for (std::uint64_t mib : {1ull, 4ull}) {
+      for (coll::OverlapMode mode : kModes) {
+        Cell c = time_cell(nprocs, mib << 20, mode, min_wall_s);
+        std::fprintf(stderr, "grid p=%-3d %lluMiB/proc %-13s %4d reps  %7.2f runs/s\n",
+                     c.nprocs, static_cast<unsigned long long>(mib),
+                     coll::to_string(c.mode), c.reps, c.runs_per_s);
+        grid.push_back(c);
+      }
+    }
+  }
+
+  // Quick Table I sweep, serial, verify off — the headline wall-clock.
+  xp::ExecOptions exec;
+  exec.jobs = 1;
+  const Clock::time_point t0 = Clock::now();
+  const auto series = xp::run_overlap_sweep(xp::scaled(xp::ibex()),
+                                            /*reps=*/1, /*seed=*/0xC0FFEE,
+                                            /*quick=*/true, exec);
+  const double sweep_s = seconds_since(t0);
+  std::fprintf(stderr, "quick sweep: %zu series, %.2f s wall\n", series.size(),
+               sweep_s);
+
+  std::string j;
+  j += "{\n";
+  j += "  \"schema\": \"tpio-bench-perf-1\",\n";
+  j += "  \"label\": \"" + json_escape(label) + "\",\n";
+  j += "  \"grid\": [\n";
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Cell& c = grid[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"workload\": \"ior\", \"nprocs\": %d, "
+                  "\"block_bytes\": %llu, \"overlap\": \"%s\", \"reps\": %d, "
+                  "\"wall_s\": %.4f, \"runs_per_s\": %.3f, "
+                  "\"sim_bytes_per_s\": %.0f}%s\n",
+                  c.nprocs, static_cast<unsigned long long>(c.block_bytes),
+                  coll::to_string(c.mode), c.reps, c.wall_s, c.runs_per_s,
+                  c.sim_bytes_per_s, i + 1 < grid.size() ? "," : "");
+    j += buf;
+  }
+  j += "  ],\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"quick_sweep\": {\"platform\": \"ibex\", \"reps\": 1, "
+                "\"jobs\": 1, \"verify\": false, \"series\": %zu, "
+                "\"wall_s\": %.3f}\n",
+                series.size(), sweep_s);
+  j += buf;
+  j += "}\n";
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(j.c_str(), f);
+    std::fclose(f);
+  }
+  std::fputs(j.c_str(), stdout);
+  return 0;
+}

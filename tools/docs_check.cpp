@@ -1,6 +1,6 @@
 // docs_check: keep the documentation honest.
 //
-// Scans README.md and docs/*.md for
+// Scans README.md, DESIGN.md, EXPERIMENTS.md and docs/*.md for
 //   (a) intra-repo markdown links `[text](target)` — every non-external
 //       target must exist on disk, resolved relative to the linking file
 //       (anchors are stripped; http(s)/mailto/pure-anchor links are
@@ -78,6 +78,7 @@ std::set<std::string> binary_refs(const std::string& text,
     if (end == start) continue;
     if (end < text.size() && text[end] == '.') continue;  // source file
     if (end < text.size() && text[end] == '/') continue;  // deeper path
+    if (end < text.size() && text[end] == '*') continue;  // glob ("bench/micro_*")
     out.insert(text.substr(start, end - start));
   }
   return out;
@@ -94,7 +95,8 @@ int main(int argc, char** argv) {
   const fs::path build = argv[2];
 
   std::vector<fs::path> docs;
-  if (fs::exists(repo / "README.md")) docs.push_back(repo / "README.md");
+  for (const char* root_doc : {"README.md", "DESIGN.md", "EXPERIMENTS.md"})
+    if (fs::exists(repo / root_doc)) docs.push_back(repo / root_doc);
   if (fs::is_directory(repo / "docs"))
     for (const auto& e : fs::directory_iterator(repo / "docs"))
       if (e.path().extension() == ".md") docs.push_back(e.path());
