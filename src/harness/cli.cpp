@@ -134,6 +134,7 @@ std::string cli_usage() {
       "  --straggler-after MS               virtual onset of the slowdown\n"
       "  --max-retries N                    retry budget per op (default 4)\n"
       "  --degrade F                        degraded-mode trigger ratio\n"
+      "  --conductor fibers|threads         rank substrate (default fibers)\n"
       "  --help\n";
 }
 
@@ -275,6 +276,16 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
         if (!need_value(i)) return cfg;
         cfg.spec.options.degrade_slowdown =
             double_flag(a, args[++i], 0.0, 1e6);
+      } else if (a == "--conductor") {
+        if (!need_value(i)) return cfg;
+        const std::string v = args[++i];
+        if (v == "fibers") {
+          cfg.conductor = sim::ConductorBackend::Fibers;
+        } else if (v == "threads") {
+          cfg.conductor = sim::ConductorBackend::Threads;
+        } else {
+          cfg.error = "--conductor wants fibers|threads, got '" + v + "'";
+        }
       } else {
         cfg.error = "unknown flag '" + a + "'";
       }

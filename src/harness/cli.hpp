@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "harness/runner.hpp"
+#include "sched/conductor.hpp"
 
 namespace tpio::xp {
 
@@ -13,6 +14,9 @@ struct CliConfig {
   RunSpec spec;
   int reps = 3;
   std::uint64_t seed_base = 1;
+  /// Rank execution substrate (--conductor); the binary installs it as the
+  /// process default before running.
+  sim::ConductorBackend conductor = sim::Conductor::default_backend();
   bool quick_help = false;
   std::string error;  // non-empty = parse failure (message for the user)
 };
@@ -42,6 +46,7 @@ struct CliConfig {
 ///   --straggler-after MS             (virtual onset of the slowdown, 0)
 ///   --max-retries N                  (retry budget per op, default 4)
 ///   --degrade F                      (degraded-mode trigger ratio, off)
+///   --conductor fibers|threads       (rank substrate, default fibers)
 ///   --help
 /// Sizes accept K/M/G suffixes. Unknown flags, non-numeric / overflowing /
 /// non-positive counts and zero byte-sizes all produce an error.

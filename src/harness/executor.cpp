@@ -1,5 +1,6 @@
 #include "harness/executor.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -204,8 +205,14 @@ void checkpoint_save(const std::string& path, const Checkpoint& cp) {
 
 int resolve_jobs(int jobs) {
   if (jobs > 0) return jobs;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  // hardware_concurrency() may legally return 0 ("not computable").
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<int>(hw);
+}
+
+int effective_workers(int jobs, std::size_t grid_jobs) {
+  return std::min<int>(resolve_jobs(jobs),
+                       static_cast<int>(std::max<std::size_t>(grid_jobs, 1)));
 }
 
 namespace {
@@ -357,9 +364,7 @@ std::vector<double> run_jobs(const std::vector<SweepJob>& jobs,
     }
   }
 
-  const int workers =
-      std::min<int>(resolve_jobs(opt.jobs),
-                    static_cast<int>(std::max<std::size_t>(jobs.size(), 1)));
+  const int workers = effective_workers(opt.jobs, jobs.size());
   if (workers <= 1) {
     // Serial path: inline, in input order, on the calling thread.
     drain(jobs, opt, st);

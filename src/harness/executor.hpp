@@ -50,7 +50,14 @@ struct ExecOptions {
 };
 
 /// Effective worker count for a requested `jobs` value (0 -> hardware).
+/// Always >= 1, even on platforms where hardware_concurrency() reports 0
+/// (the standard permits it when the count is not computable).
 int resolve_jobs(int jobs);
+
+/// Worker count run_jobs actually launches: resolve_jobs(jobs) clamped to
+/// the grid size (never more workers than jobs, never fewer than 1).
+/// Exposed for tests.
+int effective_workers(int jobs, std::size_t grid_jobs);
 
 /// Run every job and return the results in input order, regardless of
 /// completion order. With opt.jobs == 1 the jobs execute inline on the

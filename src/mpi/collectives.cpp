@@ -17,8 +17,8 @@ using detail::ceil_log2;
 // paper's analysis depends on.
 
 void Mpi::barrier() {
-  machine_->barrier_sync_.arrive(*ctx_,
-                                 machine_->sync_collective_cost(size()));
+  machine_->barrier_sync_.arrive(*ctx_, machine_->sync_collective_cost(size()),
+                                 /*floor=*/0, "mpi.barrier");
 }
 
 std::vector<int> Mpi::node_ranks() const {
@@ -39,13 +39,14 @@ void Mpi::node_barrier() {
   const sim::Duration cost =
       static_cast<sim::Duration>(ceil_log2(std::max(sp.parties(), 1))) *
       m.params_.node_collective_hop;
-  sp.arrive(*ctx_, cost);
+  sp.arrive(*ctx_, cost, /*floor=*/0, "mpi.node_barrier");
 }
 
 void Mpi::leader_barrier() {
   Machine& m = *machine_;
-  m.leader_sync_.arrive(
-      *ctx_, m.sync_collective_cost(m.fabric_->topology().nodes));
+  m.leader_sync_.arrive(*ctx_,
+                        m.sync_collective_cost(m.fabric_->topology().nodes),
+                        /*floor=*/0, "mpi.leader_barrier");
 }
 
 std::vector<std::vector<std::byte>> Mpi::allgatherv(
@@ -83,7 +84,7 @@ std::vector<std::vector<std::byte>> Mpi::allgatherv(
     }
     return c;
   });
-  ctx_->wait_event(*cap.release);
+  ctx_->wait_event(*cap.release, "mpi.exchange");
   return *cap.blobs;
 }
 

@@ -195,7 +195,7 @@ void Mpi::recv(int src, Tag tag, std::span<std::byte> buf) {
 
 void Mpi::wait(Request& req) {
   TPIO_CHECK(req.valid(), "wait on an empty request");
-  ctx_->wait_event(*req.ev_);
+  ctx_->wait_event(*req.ev_, "mpi.wait");
   req.ev_.reset();
 }
 

@@ -41,7 +41,8 @@ std::shared_ptr<Window> Mpi::win_allocate(std::size_t local_bytes) {
     return w;
   });
   // Allocation is collective and synchronizing.
-  m.barrier_sync_.arrive(*ctx_, m.sync_collective_cost(P));
+  m.barrier_sync_.arrive(*ctx_, m.sync_collective_cost(P), /*floor=*/0,
+                         "mpi.win_allocate");
   return win;
 }
 
@@ -84,7 +85,7 @@ void Mpi::win_fence(Window& win) {
   const auto cost = static_cast<sim::Duration>(
       static_cast<double>(m.sync_collective_cost(P)) *
       m.params().fence_cost_factor);
-  win.fence_sync_.arrive(*ctx_, cost, floor);
+  win.fence_sync_.arrive(*ctx_, cost, floor, "mpi.win_fence");
   // Open the next epoch. The guard keeps the reset from erasing a put that
   // an already-released rank issued for the new epoch (such a put's
   // arrival necessarily lies after this rank's post-release clock):
@@ -123,7 +124,7 @@ void Mpi::win_lock(Window& win, int target, LockType type) {
       t.queue.push_back(Window::LockWaiter{rank(), type, granted});
     }
   });
-  ctx_->wait_event(*granted);
+  ctx_->wait_event(*granted, "mpi.win_lock");
 }
 
 void Mpi::win_unlock(Window& win, int target) {

@@ -432,7 +432,7 @@ IoStatus File::write_at(sim::RankCtx& ctx, int node, std::uint64_t offset,
 
 IoStatus File::wait(sim::RankCtx& ctx, WriteOp& op) {
   TPIO_CHECK(op.valid(), "wait on an empty write operation");
-  ctx.wait_event(*op.ev_);
+  ctx.wait_event(*op.ev_, "pfs.write_wait");
   op.ev_.reset();
   return op.status_;
 }

@@ -1,13 +1,53 @@
 #include "sched/conductor.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <thread>
 
+#include "simbase/bufpool.hpp"
 #include "simbase/error.hpp"
 
 namespace tpio::sim {
 
-Conductor::Conductor(int nranks) {
+const char* to_string(ConductorBackend b) {
+  return b == ConductorBackend::Fibers ? "fibers" : "threads";
+}
+
+namespace {
+// Process-wide default backend; -1 = not yet resolved from the
+// environment. Resolved once, overridable via set_default_backend.
+std::atomic<int> g_default_backend{-1};
+}  // namespace
+
+ConductorBackend Conductor::default_backend() {
+  int b = g_default_backend.load(std::memory_order_relaxed);
+  if (b < 0) {
+    ConductorBackend resolved = ConductorBackend::Fibers;
+    if (const char* e = std::getenv("TPIO_CONDUCTOR")) {
+      const std::string v(e);
+      if (v == "threads" || v == "thread") {
+        resolved = ConductorBackend::Threads;
+      } else {
+        TPIO_CHECK(v == "fibers" || v == "fiber" || v.empty(),
+                   "TPIO_CONDUCTOR must be 'fibers' or 'threads' (got '" + v +
+                       "')");
+      }
+    }
+    b = static_cast<int>(resolved);
+    g_default_backend.store(b, std::memory_order_relaxed);
+  }
+  return static_cast<ConductorBackend>(b);
+}
+
+void Conductor::set_default_backend(ConductorBackend b) {
+  g_default_backend.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+Conductor::Conductor(int nranks) : Conductor(nranks, default_backend()) {}
+
+Conductor::Conductor(int nranks, ConductorBackend backend)
+    : backend_(backend) {
   TPIO_CHECK(nranks > 0, "conductor needs at least one rank");
   states_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
@@ -16,6 +56,8 @@ Conductor::Conductor(int nranks) {
   }
   alive_ = nranks;
 }
+
+Conductor::~Conductor() = default;
 
 int RankCtx::size() const { return conductor_->size(); }
 
@@ -41,6 +83,7 @@ void Conductor::update_entry(int rank, Time clock) {
 }
 
 void Conductor::notify_min() {
+  if (backend_ != ConductorBackend::Threads) return;
   if (runnable_.empty()) return;
   states_[static_cast<std::size_t>(runnable_.begin()->second)]->cv.notify_one();
 }
@@ -49,8 +92,39 @@ void Conductor::throw_aborted() {
   throw Error("simulation aborted (another rank raised an error)");
 }
 
+void Conductor::abort_with(std::exception_ptr e) {
+  if (!first_error_) first_error_ = std::move(e);
+  if (aborted_) return;
+  aborted_ = true;
+  if (backend_ == ConductorBackend::Fibers) {
+    // Release every blocked fiber exactly once; the scheduler resumes each
+    // in (clock, rank) order and it unwinds through throw_aborted().
+    for (std::size_t r = 0; r < states_.size(); ++r) {
+      RankState& st = *states_[r];
+      if (st.status != Status::Blocked) continue;
+      st.abort_wakes += 1;
+      TPIO_CHECK(st.abort_wakes == 1, "abort woke a blocked rank twice");
+      st.status = Status::Runnable;
+      st.wake_pending = true;
+      runnable_.insert({st.registered_clock, static_cast<int>(r)});
+    }
+  } else {
+    // Threads observe aborted_ through their own condition variables (the
+    // wake is counted where the blocked thread notices, block_current).
+    for (auto& st : states_) st->cv.notify_all();
+  }
+}
+
 void RankCtx::baton_acquire() {
   Conductor& c = *conductor_;
+  if (c.backend_ == ConductorBackend::Fibers) {
+    if (c.aborted_) c.throw_aborted();
+    c.update_entry(rank_, clock_);
+    while (!c.aborted_ && !c.is_min(rank_)) Fiber::suspend();
+    if (c.aborted_) c.throw_aborted();
+    ++c.actions_;
+    return;
+  }
   std::unique_lock lk(c.mutex_);
   if (c.aborted_) c.throw_aborted();
   Conductor::RankState& st = *c.states_[static_cast<std::size_t>(rank_)];
@@ -64,6 +138,10 @@ void RankCtx::baton_acquire() {
 
 void RankCtx::baton_release() {
   Conductor& c = *conductor_;
+  if (c.backend_ == ConductorBackend::Fibers) {
+    c.update_entry(rank_, clock_);
+    return;
+  }
   c.update_entry(rank_, clock_);
   c.notify_min();
   c.mutex_.unlock();
@@ -97,31 +175,65 @@ void Conductor::complete_locked(RankCtx&, Event& ev, Time t) {
 }
 
 void Conductor::block_current(std::unique_lock<std::mutex>& lk, RankCtx& ctx,
-                              const char* reason) {
+                              const char* site) {
   RankState& st = *states_[static_cast<std::size_t>(ctx.rank_)];
   TPIO_CHECK(st.status == Status::Runnable, "blocking a non-runnable rank");
   runnable_.erase({st.registered_clock, ctx.rank_});
   st.status = Status::Blocked;
   st.wake_pending = false;
-  st.block_reason = reason;
-  check_deadlock();
-  notify_min();
+  st.block_site = site;
+  if (!detect_deadlock()) notify_min();
   st.cv.wait(lk, [&] {
     return aborted_ || (st.wake_pending && is_min(ctx.rank_));
   });
-  if (aborted_) throw_aborted();
+  if (aborted_) {
+    if (st.status == Status::Blocked) {
+      st.abort_wakes += 1;
+      TPIO_CHECK(st.abort_wakes == 1, "abort woke a blocked rank twice");
+    }
+    throw_aborted();
+  }
   st.wake_pending = false;
-  st.block_reason = "";
+  st.block_site = "";
 }
 
-void RankCtx::wait_event(Event& ev) {
+void Conductor::fiber_block_current(RankCtx& ctx, const char* site) {
+  RankState& st = *states_[static_cast<std::size_t>(ctx.rank_)];
+  TPIO_CHECK(st.status == Status::Runnable, "blocking a non-runnable rank");
+  runnable_.erase({st.registered_clock, ctx.rank_});
+  st.status = Status::Blocked;
+  st.wake_pending = false;
+  st.block_site = site;
+  Fiber::suspend();
+  // Resumed: either our event completed (complete_locked re-queued us and
+  // the scheduler picked us as min) or the run aborted.
+  if (aborted_) throw_aborted();
+  TPIO_CHECK(st.status == Status::Runnable && st.wake_pending,
+             "fiber resumed while still blocked");
+  st.wake_pending = false;
+  st.block_site = "";
+}
+
+void RankCtx::wait_event(Event& ev, const char* site) {
   Conductor& c = *conductor_;
+  if (c.backend_ == ConductorBackend::Fibers) {
+    if (c.aborted_) c.throw_aborted();
+    if (!ev.done_) {
+      c.update_entry(rank_, clock_);
+      ev.waiters_.push_back(rank_);
+      c.fiber_block_current(*this, site);
+      TPIO_CHECK(ev.done_, "woken from wait_event but event not done");
+    }
+    clock_ = std::max(clock_, ev.time_);
+    c.update_entry(rank_, clock_);
+    return;
+  }
   std::unique_lock lk(c.mutex_);
   if (c.aborted_) c.throw_aborted();
   if (!ev.done_) {
     c.update_entry(rank_, clock_);
     ev.waiters_.push_back(rank_);
-    c.block_current(lk, *this, "wait_event");
+    c.block_current(lk, *this, site);
     TPIO_CHECK(ev.done_, "woken from wait_event but event not done");
   }
   clock_ = std::max(clock_, ev.time_);
@@ -129,10 +241,11 @@ void RankCtx::wait_event(Event& ev) {
   c.notify_min();
 }
 
-void RankCtx::wait_all_events(std::span<const EventPtr> evs) {
+void RankCtx::wait_all_events(std::span<const EventPtr> evs,
+                              const char* site) {
   for (const EventPtr& e : evs) {
     TPIO_CHECK(e != nullptr, "null event in wait_all_events");
-    wait_event(*e);
+    wait_event(*e, site);
   }
 }
 
@@ -143,25 +256,104 @@ bool RankCtx::test_event(Event& ev, Duration poll_cost) {
   return act([&] { return ev.done_ && ev.time_ <= clock_; });
 }
 
-void Conductor::check_deadlock() {
-  if (!runnable_.empty() || alive_ == 0) return;
+std::string Conductor::deadlock_message() const {
+  // Bounded report: at 8192 ranks an exhaustive listing would build a
+  // megabyte string (under the lock, on the Threads backend); the first
+  // few blockers with their wait sites and registered clocks are what a
+  // human needs to find the cycle.
+  constexpr std::size_t kMaxListed = 16;
+  std::size_t blocked = 0;
   std::string msg = "simulation deadlock: all live ranks blocked (";
-  bool first = true;
   for (std::size_t r = 0; r < states_.size(); ++r) {
-    if (states_[r]->status == Status::Blocked) {
-      if (!first) msg += ", ";
-      msg += "rank " + std::to_string(r) + ": " + states_[r]->block_reason;
-      first = false;
-    }
+    const RankState& st = *states_[r];
+    if (st.status != Status::Blocked) continue;
+    ++blocked;
+    if (blocked > kMaxListed) continue;
+    if (blocked > 1) msg += ", ";
+    msg += "rank " + std::to_string(r) + ": " + st.block_site + " @" +
+           std::to_string(st.registered_clock) + "ns";
+  }
+  if (blocked > kMaxListed) {
+    msg += ", +" + std::to_string(blocked - kMaxListed) + " more";
   }
   msg += ")";
-  aborted_ = true;
-  if (!first_error_) first_error_ = std::make_exception_ptr(Error(msg));
-  for (auto& st : states_) st->cv.notify_all();
-  throw Error(msg);
+  return msg;
+}
+
+bool Conductor::detect_deadlock() {
+  if (!runnable_.empty() || alive_ == 0 || aborted_) return false;
+  abort_with(std::make_exception_ptr(Error(deadlock_message())));
+  return true;
 }
 
 void Conductor::run(const std::function<void(RankCtx&)>& program) {
+  if (backend_ == ConductorBackend::Fibers) {
+    run_fibers(program);
+  } else {
+    run_threads(program);
+  }
+}
+
+void Conductor::fiber_body(int rank, const std::function<void(RankCtx&)>& program) {
+  RankCtx ctx(this, rank);
+  try {
+    program(ctx);
+  } catch (...) {
+    abort_with(std::current_exception());
+  }
+  RankState& st = *states_[static_cast<std::size_t>(rank)];
+  TPIO_CHECK(st.status != Status::Blocked, "rank finished while blocked");
+  if (st.status == Status::Runnable) {
+    runnable_.erase({st.registered_clock, rank});
+  }
+  st.status = Status::Done;
+  st.finish_time = ctx.clock_;
+  --alive_;
+  // A finish can starve blocked ranks of their only waker; the scheduler
+  // loop delivers the deadlock verdict once it sees the empty runnable set.
+}
+
+void Conductor::run_fibers(const std::function<void(RankCtx&)>& program) {
+  const std::size_t stack_bytes = Fiber::default_stack_bytes();
+  for (int r = 0; r < size(); ++r) {
+    RankState& st = *states_[static_cast<std::size_t>(r)];
+    st.job = FiberJob{this, r, &program};
+    st.fiber = std::make_unique<Fiber>(
+        stack_bytes,
+        [](void* p) {
+          auto* job = static_cast<FiberJob*>(p);
+          job->conductor->fiber_body(job->rank, *job->program);
+        },
+        &st.job);
+  }
+  // Cooperative scheduling loop: always resume the runnable rank with the
+  // smallest (registered clock, rank) pair. A resumed fiber runs — local
+  // advances, baton actions while it stays minimal — until it must wait
+  // (baton order or an event), then control returns here.
+  for (;;) {
+    if (runnable_.empty()) {
+      if (alive_ == 0) break;
+      TPIO_CHECK(detect_deadlock(),
+                 "scheduler stalled without a deadlock verdict");
+      continue;  // woken fibers unwind on the next iterations
+    }
+    const int r = runnable_.begin()->second;
+    states_[static_cast<std::size_t>(r)]->fiber->resume();
+  }
+  for (auto& st : states_) {
+    TPIO_CHECK(!st->fiber || st->fiber->finished(),
+               "conductor finished with a live fiber");
+    st->fiber.reset();
+  }
+  // Rank threads used to drain their BufferPool free lists into the
+  // process-wide reservoir when they died; with fibers the host thread
+  // lives on, so enforce its retention cap here instead (run teardown is
+  // the fiber-era analogue of rank-thread death).
+  BufferPool::trim_local();
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void Conductor::run_threads(const std::function<void(RankCtx&)>& program) {
   std::vector<std::thread> threads;
   threads.reserve(states_.size());
   for (int r = 0; r < size(); ++r) {
@@ -173,9 +365,7 @@ void Conductor::run(const std::function<void(RankCtx&)>& program) {
       } catch (...) {
         ok = false;
         std::lock_guard lk(mutex_);
-        if (!first_error_) first_error_ = std::current_exception();
-        aborted_ = true;
-        for (auto& st : states_) st->cv.notify_all();
+        abort_with(std::current_exception());
       }
       std::lock_guard lk(mutex_);
       RankState& st = *states_[static_cast<std::size_t>(r)];
@@ -186,12 +376,10 @@ void Conductor::run(const std::function<void(RankCtx&)>& program) {
       st.finish_time = ctx.clock_;
       --alive_;
       if (ok && !aborted_) {
-        // Finishing may starve blocked ranks of their only waker.
-        try {
-          check_deadlock();
-        } catch (...) {
-          // recorded in first_error_; this thread is exiting anyway
-        }
+        // Finishing may starve blocked ranks of their only waker. The
+        // verdict is recorded in first_error_ by detect_deadlock — no
+        // exception needs to pass through this (exiting) thread.
+        detect_deadlock();
       }
       notify_min();
     });

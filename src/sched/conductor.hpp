@@ -10,12 +10,30 @@
 #include <string>
 #include <vector>
 
+#include "sched/fiber.hpp"
 #include "simbase/time.hpp"
 
 namespace tpio::sim {
 
 class Conductor;
 class RankCtx;
+
+/// How the conductor executes its rank programs.
+///
+/// `Fibers` (the default) multiplexes every rank as a cooperatively
+/// scheduled stackful fiber on the single calling host thread: baton
+/// handoffs and event waits are plain user-space context switches, so rank
+/// counts are bounded by memory (a small stack per rank), not by OS
+/// threads — this is what makes 576-process paper-scale runs and
+/// 8192-rank sweeps feasible. `Threads` is the legacy thread-per-rank
+/// execution, kept behind this flag for one release so differential tests
+/// can assert the virtual schedules are bit-identical; it tops out around
+/// the host's thread limits. Both backends produce identical schedules —
+/// the baton protocol already serializes every action into one total
+/// (clock, rank) order, so the N threads never bought parallelism.
+enum class ConductorBackend { Fibers, Threads };
+
+const char* to_string(ConductorBackend b);
 
 /// One-shot completion notice carrying a virtual completion time.
 ///
@@ -41,11 +59,13 @@ using EventPtr = std::shared_ptr<Event>;
 
 /// Per-rank handle passed to the rank's program.
 ///
-/// All methods must be called from the owning rank's thread. `act()` runs a
-/// critical section under the global simulation baton: the section executes
-/// only when this rank holds the minimal (clock, rank) pair among runnable
-/// ranks, which serializes every mutation of shared simulation state in
-/// virtual-time order and makes whole-program schedules deterministic.
+/// All methods must be called from the owning rank's execution context
+/// (its fiber, or its thread under the legacy backend). `act()` runs a
+/// critical section under the global simulation baton: the section
+/// executes only when this rank holds the minimal (clock, rank) pair
+/// among runnable ranks, which serializes every mutation of shared
+/// simulation state in virtual-time order and makes whole-program
+/// schedules deterministic.
 class RankCtx {
  public:
   int rank() const { return rank_; }
@@ -74,11 +94,14 @@ class RankCtx {
   void complete(Event& ev, Time t);
 
   /// Block until `ev` completes; clock advances to max(now, ev.time()).
-  void wait_event(Event& ev);
+  /// `site` labels the wait in deadlock reports (static string only, e.g.
+  /// "mpi.recv") — pass the most specific tag the caller knows.
+  void wait_event(Event& ev, const char* site = "wait_event");
 
   /// Block until all events complete; clock ends at the max completion time
   /// (but never moves backwards).
-  void wait_all_events(std::span<const EventPtr> evs);
+  void wait_all_events(std::span<const EventPtr> evs,
+                       const char* site = "wait_event");
 
   /// True once `ev` has completed — without blocking. Advances the clock by
   /// `poll_cost` to model the test call itself. (MPI_Test analogue.)
@@ -100,18 +123,31 @@ class RankCtx {
 
 /// Deterministic discrete-event conductor.
 ///
-/// Runs N rank programs on N host threads, granting the right to mutate
-/// shared simulation state ("the baton") to the runnable rank with the
-/// smallest (virtual clock, rank id). Blocked ranks are excluded from the
-/// grant until another rank completes the event they wait on. Given the same
-/// programs and seeds this yields bit-identical virtual schedules on any
-/// host, regardless of OS thread scheduling.
+/// Runs N rank programs — as cooperatively scheduled fibers on the calling
+/// thread (default) or as N host threads (legacy backend) — granting the
+/// right to mutate shared simulation state ("the baton") to the runnable
+/// rank with the smallest (virtual clock, rank id). Blocked ranks are
+/// excluded from the grant until another rank completes the event they
+/// wait on. Given the same programs and seeds this yields bit-identical
+/// virtual schedules on any host and either backend, regardless of OS
+/// thread scheduling.
 class Conductor {
  public:
   explicit Conductor(int nranks);
+  Conductor(int nranks, ConductorBackend backend);
+  ~Conductor();
 
-  /// Execute `program(ctx)` for every rank; returns when all rank threads
-  /// have finished. Rethrows the first exception raised by any rank.
+  /// Process-wide default backend: ConductorBackend::Fibers, unless the
+  /// TPIO_CONDUCTOR environment variable ("fibers" | "threads") or
+  /// set_default_backend() says otherwise.
+  static ConductorBackend default_backend();
+  static void set_default_backend(ConductorBackend b);
+
+  ConductorBackend backend() const { return backend_; }
+
+  /// Execute `program(ctx)` for every rank; returns when all rank
+  /// programs have finished. Rethrows the first exception raised by any
+  /// rank. Under the fiber backend everything runs on the calling thread.
   void run(const std::function<void(RankCtx&)>& program);
 
   int size() const { return static_cast<int>(states_.size()); }
@@ -130,25 +166,52 @@ class Conductor {
 
   enum class Status { Runnable, Blocked, Done };
 
+  struct FiberJob {
+    Conductor* conductor = nullptr;
+    int rank = 0;
+    const std::function<void(RankCtx&)>* program = nullptr;
+  };
+
   struct RankState {
     Time registered_clock = 0;
     Status status = Status::Runnable;
     bool wake_pending = false;
-    const char* block_reason = "";
+    const char* block_site = "";
+    /// Times the abort protocol released this rank from a Blocked wait;
+    /// must end at exactly 1 for ranks blocked when the run aborts.
+    int abort_wakes = 0;
     Time finish_time = 0;
-    std::condition_variable cv;
+    std::condition_variable cv;    // Threads backend only
+    std::unique_ptr<Fiber> fiber;  // Fibers backend only
+    FiberJob job;
   };
 
-  // All of the below require mutex_.
+  // Shared-state helpers. Under the Threads backend they require mutex_;
+  // under the Fibers backend all of run() is single-threaded.
   bool is_min(int rank) const;
   void update_entry(int rank, Time clock);
-  void notify_min();
-  void block_current(std::unique_lock<std::mutex>& lk, RankCtx& ctx,
-                     const char* reason);
+  void notify_min();  // Threads only; no-op under Fibers
   void complete_locked(RankCtx& actor, Event& ev, Time t);
-  void check_deadlock();
+  void block_current(std::unique_lock<std::mutex>& lk, RankCtx& ctx,
+                     const char* site);  // Threads
+  void fiber_block_current(RankCtx& ctx, const char* site);
+
+  /// All live ranks blocked? Records the verdict in first_error_ and
+  /// aborts the run (waking every blocked rank exactly once). Never
+  /// throws — callers act on aborted_.
+  bool detect_deadlock();
+  std::string deadlock_message() const;
+
+  /// Record `e` as the run's error (first writer wins) and wake every
+  /// blocked rank exactly once so it can unwind. Idempotent.
+  void abort_with(std::exception_ptr e);
   [[noreturn]] void throw_aborted();
 
+  void run_threads(const std::function<void(RankCtx&)>& program);
+  void run_fibers(const std::function<void(RankCtx&)>& program);
+  void fiber_body(int rank, const std::function<void(RankCtx&)>& program);
+
+  ConductorBackend backend_;
   std::mutex mutex_;
   std::vector<std::unique_ptr<RankState>> states_;
   std::set<std::pair<Time, int>> runnable_;

@@ -10,7 +10,8 @@ SyncPoint::SyncPoint(int parties) : parties_(parties) {
   TPIO_CHECK(parties > 0, "SyncPoint needs at least one party");
 }
 
-Time SyncPoint::arrive(RankCtx& ctx, Duration extra_cost, Time floor) {
+Time SyncPoint::arrive(RankCtx& ctx, Duration extra_cost, Time floor,
+                       const char* site) {
   EventPtr release = ctx.act([&] {
     Generation& g = active_;
     g.arrived += 1;
@@ -23,7 +24,7 @@ Time SyncPoint::arrive(RankCtx& ctx, Duration extra_cost, Time floor) {
     }
     return ev;
   });
-  ctx.wait_event(*release);
+  ctx.wait_event(*release, site);
   return release->time();
 }
 

@@ -32,7 +32,9 @@ class SyncPoint {
   ///   max(arrival clocks, floors) + max(extra_cost).
   /// `floor` lets a party pin the release to an absolute time — e.g. a fence
   /// must not release before the last RMA put of the epoch has landed.
-  Time arrive(RankCtx& ctx, Duration extra_cost = 0, Time floor = 0);
+  /// `site` labels the wait in deadlock reports (static string only).
+  Time arrive(RankCtx& ctx, Duration extra_cost = 0, Time floor = 0,
+              const char* site = "sync.arrive");
 
   int parties() const { return parties_; }
 

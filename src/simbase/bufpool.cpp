@@ -59,8 +59,12 @@ BufferPool& BufferPool::local() {
 }
 
 BufferPool::~BufferPool() {
-  // Thread exit: park the free lists in the reservoir so the next run's
-  // rank threads inherit the memory instead of re-allocating it.
+  // Thread exit: park the free lists in the reservoir so other threads
+  // inherit the memory instead of re-allocating it.
+  donate_all();
+}
+
+void BufferPool::donate_all() {
   Reservoir& r = reservoir();
   std::lock_guard<std::mutex> lk(r.mu);
   for (int k = 0; k < kClasses; ++k) {
@@ -71,6 +75,7 @@ BufferPool::~BufferPool() {
     }
     free_[k].clear();
   }
+  retained_bytes_ = 0;
 }
 
 BufferPool::Buffer BufferPool::acquire(std::size_t n, bool zeroed) {
@@ -86,6 +91,7 @@ BufferPool::Buffer BufferPool::acquire(std::size_t n, bool zeroed) {
       b.mem_ = std::move(list.back().mem);
       b.cap_ = list.back().cap;
       list.pop_back();
+      retained_bytes_ -= b.cap_;
       g_hits.fetch_add(1, std::memory_order_relaxed);
       if (zeroed) std::memset(b.mem_.get(), 0, n);
       b.size_ = n;
@@ -118,8 +124,9 @@ BufferPool::Buffer BufferPool::acquire(std::size_t n, bool zeroed) {
 void BufferPool::release(std::unique_ptr<std::byte[]> mem, std::size_t cap) {
   const int k = class_of(cap);
   auto& list = free_[k];
-  if (list.size() >= kMaxPerClass) {
-    // Local list full: try to park in the reservoir instead of freeing.
+  if (list.size() >= kMaxPerClass || retained_bytes_ + cap > cap_bytes_) {
+    // Local list full or thread over its retained-byte cap: park in the
+    // reservoir instead of keeping (or leaking growth into) local lists.
     Reservoir& r = reservoir();
     std::lock_guard<std::mutex> lk(r.mu);
     if (r.bytes + cap <= Reservoir::kCapBytes) {
@@ -128,8 +135,22 @@ void BufferPool::release(std::unique_ptr<std::byte[]> mem, std::size_t cap) {
     }
     return;  // over cap: unique_ptr frees on scope exit
   }
+  retained_bytes_ += cap;
   list.push_back(Node{std::move(mem), cap});
 }
+
+std::size_t BufferPool::local_retained_bytes() {
+  return local().retained_bytes_;
+}
+
+std::size_t BufferPool::set_local_cap_bytes(std::size_t cap) {
+  BufferPool& p = local();
+  const std::size_t prev = p.cap_bytes_;
+  p.cap_bytes_ = cap;
+  return prev;
+}
+
+void BufferPool::trim_local() { local().donate_all(); }
 
 BufferPool::Stats BufferPool::stats() {
   Stats s;

@@ -18,13 +18,16 @@ namespace tpio::sim {
 /// (power-of-two size classes, no lock on the common path) and takes them
 /// back when the RAII handle dies.
 ///
-/// Lifecycle: `local()` returns this thread's pool. The conductor spawns
-/// fresh rank threads for every run, so a purely thread-local pool would
-/// die with them; instead, a dying thread's pool donates its free lists to
-/// a process-wide reservoir (mutex-protected, byte-capped) from which the
-/// next run's threads repopulate their local lists. Buffers may be
-/// acquired on one thread and released on another — the release simply
-/// lands in the releasing thread's pool.
+/// Lifecycle: `local()` returns this thread's pool. A dying thread's pool
+/// donates its free lists to a process-wide reservoir (mutex-protected,
+/// byte-capped) from which other threads' pools repopulate their local
+/// lists. Under the fiber-backed conductor rank programs share the one
+/// host thread, which never dies mid-process — so the conductor calls
+/// `trim_local()` at run teardown (the fiber-era analogue of rank-thread
+/// death), and long-lived threads are additionally bounded by a per-thread
+/// retained-byte cap enforced on every release (overflow spills straight
+/// to the reservoir). Buffers may be acquired on one thread and released
+/// on another — the release simply lands in the releasing thread's pool.
 ///
 /// Bit-identity: recycling changes *where* a buffer's storage comes from,
 /// never what the simulation computes. `zeroed` acquisition reproduces the
@@ -105,6 +108,25 @@ class BufferPool {
   /// unreachable from other threads and simply age out). For tests.
   static void drain_reservoir();
 
+  /// Bytes currently retained by the calling thread's free lists.
+  static std::size_t local_retained_bytes();
+
+  /// Cap the calling thread's retained bytes; releases that would exceed
+  /// the cap spill to the global reservoir instead of being kept locally.
+  /// Returns the previous cap. Default kDefaultLocalCapBytes.
+  static std::size_t set_local_cap_bytes(std::size_t cap);
+
+  /// Donate the calling thread's free lists to the global reservoir now —
+  /// what a dying rank thread used to do implicitly. The fiber-backed
+  /// conductor calls this at run teardown.
+  static void trim_local();
+
+  /// Default per-thread retained-byte cap (64 MiB): generous enough that
+  /// the steady-state working set of a sweep worker stays fully local,
+  /// small enough that a long-lived host thread cannot hoard unbounded
+  /// freed buffers across heterogeneous runs.
+  static constexpr std::size_t kDefaultLocalCapBytes = std::size_t{64} << 20;
+
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
@@ -114,6 +136,7 @@ class BufferPool {
 
   friend class Buffer;
   void release(std::unique_ptr<std::byte[]> mem, std::size_t cap);
+  void donate_all();  // move every local free list into the reservoir
 
   // Size classes are powers of two: class k holds buffers of capacity
   // 2^k. 48 classes cover anything a simulation can ask for.
@@ -127,6 +150,8 @@ class BufferPool {
     std::size_t cap = 0;
   };
   std::vector<Node> free_[kClasses];
+  std::size_t retained_bytes_ = 0;  // sum of caps across free_
+  std::size_t cap_bytes_ = kDefaultLocalCapBytes;
 };
 
 }  // namespace tpio::sim

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <vector>
 
 #include "sched/conductor.hpp"
@@ -8,13 +9,27 @@
 
 namespace sim = tpio::sim;
 using sim::Conductor;
+using sim::ConductorBackend;
 using sim::Event;
 using sim::EventPtr;
 using sim::RankCtx;
 using sim::Time;
 
-TEST(Conductor, SingleRankAdvances) {
-  Conductor c(1);
+// Every behavioural test runs on both rank substrates: the cooperative
+// fiber scheduler (default) and the legacy thread-per-rank backend kept
+// for differential checks.
+class ConductorBackends
+    : public ::testing::TestWithParam<ConductorBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ConductorBackends,
+    ::testing::Values(ConductorBackend::Fibers, ConductorBackend::Threads),
+    [](const ::testing::TestParamInfo<ConductorBackend>& info) {
+      return std::string(sim::to_string(info.param));
+    });
+
+TEST_P(ConductorBackends, SingleRankAdvances) {
+  Conductor c(1, GetParam());
   c.run([](RankCtx& ctx) {
     EXPECT_EQ(ctx.now(), 0);
     ctx.advance(100);
@@ -28,16 +43,16 @@ TEST(Conductor, SingleRankAdvances) {
   EXPECT_EQ(c.makespan(), 200);
 }
 
-TEST(Conductor, NegativeAdvanceThrows) {
-  Conductor c(1);
+TEST_P(ConductorBackends, NegativeAdvanceThrows) {
+  Conductor c(1, GetParam());
   EXPECT_THROW(c.run([](RankCtx& ctx) { ctx.advance(-1); }), tpio::Error);
 }
 
-TEST(Conductor, ActionsExecuteInVirtualTimeOrder) {
+TEST_P(ConductorBackends, ActionsExecuteInVirtualTimeOrder) {
   // Ranks act at staggered clocks; the shared log must observe ascending
   // virtual times regardless of host scheduling.
   const int n = 16;
-  Conductor c(n);
+  Conductor c(n, GetParam());
   std::vector<std::pair<Time, int>> log;
   c.run([&](RankCtx& ctx) {
     // Rank r performs 10 actions at clocks r, r+n, r+2n, ...
@@ -53,9 +68,9 @@ TEST(Conductor, ActionsExecuteInVirtualTimeOrder) {
   }
 }
 
-TEST(Conductor, TieBreakByRankId) {
+TEST_P(ConductorBackends, TieBreakByRankId) {
   const int n = 8;
-  Conductor c(n);
+  Conductor c(n, GetParam());
   std::vector<int> order;
   c.run([&](RankCtx& ctx) {
     ctx.act([&] { order.push_back(ctx.rank()); });
@@ -64,8 +79,8 @@ TEST(Conductor, TieBreakByRankId) {
   for (int i = 0; i < n; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
-TEST(Conductor, EventWaitAdvancesToCompletionTime) {
-  Conductor c(2);
+TEST_P(ConductorBackends, EventWaitAdvancesToCompletionTime) {
+  Conductor c(2, GetParam());
   auto ev = std::make_shared<Event>();
   c.run([&](RankCtx& ctx) {
     if (ctx.rank() == 0) {
@@ -79,8 +94,8 @@ TEST(Conductor, EventWaitAdvancesToCompletionTime) {
   EXPECT_EQ(c.finish_time(1), 1500);
 }
 
-TEST(Conductor, WaitOnAlreadyDoneEventJumpsForward) {
-  Conductor c(2);
+TEST_P(ConductorBackends, WaitOnAlreadyDoneEventJumpsForward) {
+  Conductor c(2, GetParam());
   auto ev = std::make_shared<Event>();
   c.run([&](RankCtx& ctx) {
     if (ctx.rank() == 0) {
@@ -93,8 +108,8 @@ TEST(Conductor, WaitOnAlreadyDoneEventJumpsForward) {
   });
 }
 
-TEST(Conductor, CompleteBeforeActorClockThrows) {
-  Conductor c(1);
+TEST_P(ConductorBackends, CompleteBeforeActorClockThrows) {
+  Conductor c(1, GetParam());
   auto ev = std::make_shared<Event>();
   EXPECT_THROW(c.run([&](RankCtx& ctx) {
                  ctx.advance(100);
@@ -103,8 +118,8 @@ TEST(Conductor, CompleteBeforeActorClockThrows) {
                tpio::Error);
 }
 
-TEST(Conductor, DoubleCompleteThrows) {
-  Conductor c(1);
+TEST_P(ConductorBackends, DoubleCompleteThrows) {
+  Conductor c(1, GetParam());
   auto ev = std::make_shared<Event>();
   EXPECT_THROW(c.run([&](RankCtx& ctx) {
                  ctx.act([&] { ctx.complete(*ev, 1); });
@@ -113,8 +128,8 @@ TEST(Conductor, DoubleCompleteThrows) {
                tpio::Error);
 }
 
-TEST(Conductor, WaitAllEventsEndsAtMax) {
-  Conductor c(2);
+TEST_P(ConductorBackends, WaitAllEventsEndsAtMax) {
+  Conductor c(2, GetParam());
   auto e1 = std::make_shared<Event>();
   auto e2 = std::make_shared<Event>();
   auto e3 = std::make_shared<Event>();
@@ -133,8 +148,8 @@ TEST(Conductor, WaitAllEventsEndsAtMax) {
   });
 }
 
-TEST(Conductor, TestEventSeesOnlyPastCompletions) {
-  Conductor c(2);
+TEST_P(ConductorBackends, TestEventSeesOnlyPastCompletions) {
+  Conductor c(2, GetParam());
   auto ev = std::make_shared<Event>();
   c.run([&](RankCtx& ctx) {
     if (ctx.rank() == 0) {
@@ -149,8 +164,8 @@ TEST(Conductor, TestEventSeesOnlyPastCompletions) {
   });
 }
 
-TEST(Conductor, TestEventChargesPollCost) {
-  Conductor c(1);
+TEST_P(ConductorBackends, TestEventChargesPollCost) {
+  Conductor c(1, GetParam());
   auto ev = std::make_shared<Event>();
   c.run([&](RankCtx& ctx) {
     ctx.act([&] { ctx.complete(*ev, 0); });
@@ -159,8 +174,8 @@ TEST(Conductor, TestEventChargesPollCost) {
   });
 }
 
-TEST(Conductor, DeadlockDetected) {
-  Conductor c(2);
+TEST_P(ConductorBackends, DeadlockDetected) {
+  Conductor c(2, GetParam());
   auto ev = std::make_shared<Event>();  // nobody completes it
   try {
     c.run([&](RankCtx& ctx) {
@@ -172,14 +187,66 @@ TEST(Conductor, DeadlockDetected) {
   }
 }
 
-TEST(Conductor, AllRanksBlockedDeadlockDetected) {
-  Conductor c(3);
+TEST_P(ConductorBackends, AllRanksBlockedDeadlockDetected) {
+  Conductor c(3, GetParam());
   auto ev = std::make_shared<Event>();
   EXPECT_THROW(c.run([&](RankCtx& ctx) { ctx.wait_event(*ev); }), tpio::Error);
 }
 
-TEST(Conductor, ExceptionInOneRankPropagates) {
-  Conductor c(4);
+TEST_P(ConductorBackends, DeadlockReportNamesSiteAndClock) {
+  Conductor c(2, GetParam());
+  auto ev = std::make_shared<Event>();
+  try {
+    c.run([&](RankCtx& ctx) {
+      if (ctx.rank() == 1) {
+        ctx.advance(420);
+        ctx.wait_event(*ev, "test.rendezvous");
+      }
+    });
+    FAIL() << "expected deadlock error";
+  } catch (const tpio::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank 1: test.rendezvous @420ns"), std::string::npos)
+        << msg;
+  }
+}
+
+TEST_P(ConductorBackends, DeadlockReportTruncatesToSixteenRanks) {
+  const int n = 24;  // 16 listed + 8 elided
+  Conductor c(n, GetParam());
+  auto ev = std::make_shared<Event>();
+  try {
+    c.run([&](RankCtx& ctx) { ctx.wait_event(*ev, "test.hang"); });
+    FAIL() << "expected deadlock error";
+  } catch (const tpio::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank 15: test.hang"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("rank 16:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("+8 more"), std::string::npos) << msg;
+  }
+}
+
+TEST_P(ConductorBackends, FinishingRankRecordsDeadlockVerdict) {
+  // The last runnable rank finishing (not blocking) is what exposes the
+  // deadlock; the verdict must be recorded in first_error_ and rethrown
+  // from run() — the historical bug swallowed the throw on this path.
+  Conductor c(3, GetParam());
+  auto ev = std::make_shared<Event>();
+  try {
+    c.run([&](RankCtx& ctx) {
+      if (ctx.rank() != 0) ctx.wait_event(*ev, "test.orphaned");
+      // Rank 0 finishes without completing ev.
+    });
+    FAIL() << "expected deadlock error";
+  } catch (const tpio::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("deadlock"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("test.orphaned"), std::string::npos) << msg;
+  }
+}
+
+TEST_P(ConductorBackends, ExceptionInOneRankPropagates) {
+  Conductor c(4, GetParam());
   auto ev = std::make_shared<Event>();
   try {
     c.run([&](RankCtx& ctx) {
@@ -195,11 +262,40 @@ TEST(Conductor, ExceptionInOneRankPropagates) {
   }
 }
 
-TEST(Conductor, DeterministicScheduleAcrossRuns) {
+TEST_P(ConductorBackends, AbortWakesEveryBlockedRankExactlyOnce) {
+  // Many ranks block; one throws. Every blocked rank must be released by
+  // the abort protocol exactly once (the conductor asserts the wake count
+  // internally) and run() must rethrow the original error. TSan-clean.
+  const int n = 32;
+  Conductor c(n, GetParam());
+  auto ev = std::make_shared<Event>();
+  std::atomic<int> unwound{0};
+  try {
+    c.run([&](RankCtx& ctx) {
+      if (ctx.rank() == n - 1) {
+        ctx.advance(1'000'000);  // throw strictly after everyone blocked
+        ctx.act([] {});
+        throw std::runtime_error("late failure");
+      }
+      try {
+        ctx.wait_event(*ev, "test.abort_wake");
+      } catch (...) {
+        unwound.fetch_add(1, std::memory_order_relaxed);
+        throw;
+      }
+    });
+    FAIL() << "expected exception";
+  } catch (const std::exception&) {
+    SUCCEED();
+  }
+  EXPECT_EQ(unwound.load(), n - 1);
+}
+
+TEST_P(ConductorBackends, DeterministicScheduleAcrossRuns) {
   // The exact interleaving (and thus the shared log) must be identical on
   // every execution with identical programs.
-  auto run_once = [] {
-    Conductor c(8);
+  auto run_once = [&] {
+    Conductor c(8, GetParam());
     std::vector<std::pair<Time, int>> log;
     auto ev = std::make_shared<Event>();
     c.run([&](RankCtx& ctx) {
@@ -223,9 +319,34 @@ TEST(Conductor, DeterministicScheduleAcrossRuns) {
   EXPECT_EQ(a, d);
 }
 
-TEST(Conductor, ManyRanksStress) {
+TEST(Conductor, BackendsProduceIdenticalSchedules) {
+  // The determinism contract across substrates: the shared action log of
+  // the fiber scheduler must equal the thread-per-rank log entry for entry.
+  auto run_once = [](ConductorBackend backend) {
+    Conductor c(12, backend);
+    std::vector<std::pair<Time, int>> log;
+    auto ev = std::make_shared<Event>();
+    c.run([&](RankCtx& ctx) {
+      const int r = ctx.rank();
+      ctx.advance(static_cast<sim::Duration>((r * 53) % 17));
+      ctx.act([&] { log.emplace_back(ctx.now(), r); });
+      if (r == 0) {
+        ctx.advance(200);
+        ctx.act([&] { ctx.complete(*ev, ctx.now() + 9); });
+      } else {
+        ctx.wait_event(*ev);
+      }
+      ctx.act([&] { log.emplace_back(ctx.now(), r); });
+    });
+    return log;
+  };
+  EXPECT_EQ(run_once(ConductorBackend::Fibers),
+            run_once(ConductorBackend::Threads));
+}
+
+TEST_P(ConductorBackends, ManyRanksStress) {
   const int n = 128;
-  Conductor c(n);
+  Conductor c(n, GetParam());
   std::vector<EventPtr> evs;
   for (int i = 0; i < n; ++i) evs.push_back(std::make_shared<Event>());
   // Chain: rank r waits for event r-1, then completes event r.
@@ -240,8 +361,24 @@ TEST(Conductor, ManyRanksStress) {
   EXPECT_EQ(c.makespan(), 10 * n);
 }
 
-TEST(Conductor, ActionCounterCounts) {
-  Conductor c(2);
+TEST(Conductor, FibersScaleToThousandsOfRanks) {
+  // Thread-per-rank topped out near host thread limits; the fiber backend
+  // must take rank counts that only fit as user-space stacks.
+  const int n = 2048;
+  Conductor c(n, ConductorBackend::Fibers);
+  std::vector<EventPtr> evs;
+  for (int i = 0; i < n; ++i) evs.push_back(std::make_shared<Event>());
+  c.run([&](RankCtx& ctx) {
+    const int r = ctx.rank();
+    if (r > 0) ctx.wait_event(*evs[static_cast<std::size_t>(r - 1)]);
+    ctx.advance(1);
+    ctx.act([&] { ctx.complete(*evs[static_cast<std::size_t>(r)], ctx.now()); });
+  });
+  EXPECT_EQ(c.makespan(), n);
+}
+
+TEST_P(ConductorBackends, ActionCounterCounts) {
+  Conductor c(2, GetParam());
   c.run([](RankCtx& ctx) {
     ctx.act([] {});
     ctx.act([] {});
@@ -249,8 +386,18 @@ TEST(Conductor, ActionCounterCounts) {
   EXPECT_GE(c.actions(), 4u);
 }
 
-TEST(Conductor, FinishTimeBeforeDoneThrows) {
-  Conductor c(1);
+TEST_P(ConductorBackends, FinishTimeBeforeDoneThrows) {
+  Conductor c(1, GetParam());
   EXPECT_THROW((void)c.finish_time(0), tpio::Error);
   EXPECT_THROW((void)c.finish_time(5), tpio::Error);
+}
+
+TEST(Conductor, EnvSelectsDefaultBackend) {
+  // set_default_backend overrides whatever TPIO_CONDUCTOR resolved to.
+  const ConductorBackend before = Conductor::default_backend();
+  Conductor::set_default_backend(ConductorBackend::Threads);
+  EXPECT_EQ(Conductor(1).backend(), ConductorBackend::Threads);
+  Conductor::set_default_backend(ConductorBackend::Fibers);
+  EXPECT_EQ(Conductor(1).backend(), ConductorBackend::Fibers);
+  Conductor::set_default_backend(before);
 }

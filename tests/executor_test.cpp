@@ -42,7 +42,20 @@ std::vector<xp::SweepJob> square_jobs(int n, std::atomic<int>* executed) {
 TEST(Executor, ResolveJobs) {
   EXPECT_EQ(xp::resolve_jobs(1), 1);
   EXPECT_EQ(xp::resolve_jobs(7), 7);
-  EXPECT_GE(xp::resolve_jobs(0), 1);  // hardware concurrency, at least one
+  // hardware concurrency; >= 1 even where hardware_concurrency() == 0
+  EXPECT_GE(xp::resolve_jobs(0), 1);
+}
+
+TEST(Executor, EffectiveWorkersClampsToGridSize) {
+  // Never more workers than jobs; never fewer than one (even for an empty
+  // grid or a 0-core report from the standard library).
+  EXPECT_EQ(xp::effective_workers(8, 3), 3);
+  EXPECT_EQ(xp::effective_workers(2, 100), 2);
+  EXPECT_EQ(xp::effective_workers(4, 4), 4);
+  EXPECT_EQ(xp::effective_workers(8, 0), 1);
+  EXPECT_EQ(xp::effective_workers(1, 0), 1);
+  EXPECT_GE(xp::effective_workers(0, 1000), 1);  // hardware default
+  EXPECT_LE(xp::effective_workers(0, 2), 2);
 }
 
 TEST(Executor, ResultsInInputOrderRegardlessOfWorkers) {

@@ -381,4 +381,43 @@ TEST(PlanCache, ConcurrentLookupsShareOneConstruction) {
   EXPECT_GE(st.hits, 7u);
 }
 
+TEST(BufferPool, PerThreadByteCapPinsPeakRetainedBytes) {
+  // A long-lived thread (sweep worker, fiber-conductor host) releasing
+  // more than its cap must spill to the reservoir, not grow local lists
+  // unbounded. Run on a dedicated thread for a clean local pool.
+  std::thread([] {
+    sim::BufferPool::drain_reservoir();
+    const std::size_t kCap = 256 * 1024;
+    const std::size_t prev = sim::BufferPool::set_local_cap_bytes(kCap);
+    {
+      // 16 x 64 KiB outstanding = 1 MiB, four times the cap.
+      std::vector<sim::BufferPool::Buffer> bufs;
+      for (int i = 0; i < 16; ++i) {
+        bufs.push_back(sim::BufferPool::local().acquire(1 << 16, false));
+      }
+    }  // all released: retention must respect the cap
+    EXPECT_LE(sim::BufferPool::local_retained_bytes(), kCap);
+    EXPECT_EQ(sim::BufferPool::local_retained_bytes(), kCap);  // peak pinned
+    sim::BufferPool::set_local_cap_bytes(prev);
+    sim::BufferPool::trim_local();
+  }).join();
+}
+
+TEST(BufferPool, TrimLocalDonatesToReservoir) {
+  // trim_local is what the fiber conductor calls at run teardown — the
+  // explicit replacement for the dying-rank-thread reservoir hook.
+  std::thread([] {
+    sim::BufferPool::drain_reservoir();
+    { auto b = sim::BufferPool::local().acquire(1 << 15, false); }
+    EXPECT_GT(sim::BufferPool::local_retained_bytes(), 0u);
+    sim::BufferPool::trim_local();
+    EXPECT_EQ(sim::BufferPool::local_retained_bytes(), 0u);
+    sim::BufferPool::reset_stats();
+    { auto b = sim::BufferPool::local().acquire(1 << 15, false); }
+    EXPECT_EQ(sim::BufferPool::stats().reservoir_hits, 1u)
+        << "trimmed buffers must be reachable through the reservoir";
+    sim::BufferPool::trim_local();
+  }).join();
+}
+
 }  // namespace

@@ -1,0 +1,130 @@
+// Paper-scale stress suite for the cooperative rank scheduler: the 576-rank
+// Tile-I/O point the paper actually measures, a 4096-rank smoke run, and
+// differential checks that the fiber substrate reproduces the legacy
+// thread-per-rank results bit-identically.
+//
+// Registered under the `scale` ctest label with a wall-clock budget (see
+// tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "harness/sweep.hpp"
+#include "simbase/units.hpp"
+
+namespace xp = tpio::xp;
+namespace wl = tpio::wl;
+namespace coll = tpio::coll;
+namespace sim = tpio::sim;
+
+namespace {
+
+/// Force a backend for the duration of one test body.
+class BackendGuard {
+ public:
+  explicit BackendGuard(sim::ConductorBackend b)
+      : prev_(sim::Conductor::default_backend()) {
+    sim::Conductor::set_default_backend(b);
+  }
+  ~BackendGuard() { sim::Conductor::set_default_backend(prev_); }
+
+ private:
+  sim::ConductorBackend prev_;
+};
+
+}  // namespace
+
+TEST(Scale, TileIoTableCellAt576Ranks) {
+  // The paper's headline Tile-I/O geometry runs at 576 processes — the
+  // point the thread-per-rank conductor could never reach. One quick cell:
+  // tile1m, write-comm-2 scheduler, scaled Ibex.
+  BackendGuard guard(sim::ConductorBackend::Fibers);
+  xp::RunSpec spec;
+  spec.platform = xp::scaled(xp::ibex());
+  spec.workload = wl::make_tile1m(1, 1);
+  spec.nprocs = 576;
+  spec.options.cb_size = xp::kCbSize;
+  spec.options.overlap = coll::OverlapMode::WriteComm2;
+  spec.seed = 576;
+  const xp::RunResult r = xp::execute(spec);
+  EXPECT_GT(r.makespan, 0);
+  EXPECT_EQ(r.bytes, 576ull * sim::MiB);
+  EXPECT_GT(r.aggregators, 0);
+  // And it must be a *measurement*, not a fluke: the same spec reruns to
+  // the identical virtual schedule.
+  EXPECT_EQ(xp::execute(spec).makespan, r.makespan);
+}
+
+TEST(Scale, SmokeRunAt4096Ranks) {
+  // 4096 ranks, small per-rank volume: completes in seconds and in memory
+  // (fiber stacks are MAP_NORESERVE; RSS stays bounded — measured numbers
+  // live in docs/HANDBOOK.md).
+  BackendGuard guard(sim::ConductorBackend::Fibers);
+  xp::RunSpec spec;
+  spec.platform = xp::scaled(xp::ibex());
+  spec.workload = wl::make_ior(64 * sim::KiB);
+  spec.nprocs = 4096;
+  spec.options.cb_size = xp::kCbSize;
+  spec.options.overlap = coll::OverlapMode::None;
+  spec.seed = 4096;
+  const xp::RunResult r = xp::execute(spec);
+  EXPECT_GT(r.makespan, 0);
+  EXPECT_EQ(r.bytes, 4096ull * 64 * sim::KiB);
+}
+
+TEST(Scale, BackendsAgreeOnEveryRunResultField) {
+  // Differential at small scale: every observable of a run — not just the
+  // makespan — must match between substrates.
+  auto run_with = [](sim::ConductorBackend b, int nprocs) {
+    BackendGuard guard(b);
+    xp::RunSpec spec;
+    spec.platform = xp::scaled(xp::ibex());
+    spec.workload = wl::make_tile1m(1, 2);
+    spec.nprocs = nprocs;
+    spec.options.cb_size = xp::kCbSize;
+    spec.options.overlap = coll::OverlapMode::WriteComm2;
+    spec.seed = 11;
+    spec.verify = true;
+    return xp::execute(spec);
+  };
+  for (int nprocs : {8, 16, 64}) {
+    const xp::RunResult f = run_with(sim::ConductorBackend::Fibers, nprocs);
+    const xp::RunResult t = run_with(sim::ConductorBackend::Threads, nprocs);
+    EXPECT_EQ(f.makespan, t.makespan) << nprocs;
+    EXPECT_EQ(f.cycles, t.cycles) << nprocs;
+    EXPECT_EQ(f.aggregators, t.aggregators) << nprocs;
+    EXPECT_EQ(f.bytes, t.bytes) << nprocs;
+    EXPECT_EQ(f.inter_node_bytes, t.inter_node_bytes) << nprocs;
+    EXPECT_EQ(f.inter_node_messages, t.inter_node_messages) << nprocs;
+    EXPECT_EQ(f.intra_node_bytes, t.intra_node_bytes) << nprocs;
+    EXPECT_EQ(f.verify_error, "") << nprocs;
+    EXPECT_EQ(t.verify_error, "") << nprocs;
+  }
+}
+
+TEST(Scale, QuickSweepByteIdenticalAcrossBackendsAndJobs) {
+  // The acceptance differential: the quick Table-I sweep (16 and 64 ranks,
+  // five schedulers) must produce identical tables on the fiber scheduler
+  // at --jobs 8 and the legacy thread backend at --jobs 1. Exact double
+  // equality — the virtual timeline is integer nanoseconds underneath.
+  const xp::Platform plat = xp::ibex();  // run_overlap_sweep scales it
+  std::vector<xp::OverlapSeries> fibers, threads;
+  {
+    BackendGuard guard(sim::ConductorBackend::Fibers);
+    xp::ExecOptions exec;
+    exec.jobs = 8;
+    fibers = xp::run_overlap_sweep(plat, coll::Options{}, 1, 0xC57, true, exec);
+  }
+  {
+    BackendGuard guard(sim::ConductorBackend::Threads);
+    xp::ExecOptions exec;
+    exec.jobs = 1;
+    threads =
+        xp::run_overlap_sweep(plat, coll::Options{}, 1, 0xC57, true, exec);
+  }
+  ASSERT_EQ(fibers.size(), threads.size());
+  for (std::size_t i = 0; i < fibers.size(); ++i) {
+    EXPECT_EQ(fibers[i].procs, threads[i].procs);
+    EXPECT_EQ(fibers[i].min_ms, threads[i].min_ms) << "series " << i;
+  }
+}

@@ -7,7 +7,11 @@
 //                 verify off, each cell timed over enough repetitions to
 //                 pass a minimum wall budget;
 //   quick_sweep — one serial quick Table I sweep (reps=1, jobs=1, verify
-//                 off) timed end to end.
+//                 off) timed end to end;
+//   scale       — paper-scale single runs (576-rank Tile-I/O cell, 8192-rank
+//                 IOR smoke) with wall time and the process peak-RSS
+//                 high-water mark after each (absent when built against
+//                 trees whose conductor cannot reach those rank counts).
 //
 // Deliberately restricted to the long-stable harness API (execute,
 // run_overlap_sweep, scaled presets) so the identical source compiles
@@ -17,11 +21,14 @@
 //
 // Usage: bench_report [--out FILE] [--label TEXT] [--min-cell-ms N]
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/sweep.hpp"
@@ -88,6 +95,42 @@ Cell time_cell(int nprocs, std::uint64_t block_bytes, coll::OverlapMode mode,
   return c;
 }
 
+/// Process peak-RSS high-water mark (MiB). Monotone over the process
+/// lifetime, so scale points report "peak after this run".
+double peak_rss_mib() {
+  struct rusage ru {};
+  ::getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // KiB on Linux
+}
+
+struct ScalePoint {
+  const char* workload = "";
+  int nprocs = 0;
+  double wall_s = 0.0;
+  double sim_ms = 0.0;
+  double peak_rss_mib_after = 0.0;
+};
+
+ScalePoint time_scale_point(const char* name, wl::Spec workload, int nprocs,
+                            coll::OverlapMode mode) {
+  xp::RunSpec spec;
+  spec.platform = xp::scaled(xp::ibex());
+  spec.workload = std::move(workload);
+  spec.nprocs = nprocs;
+  spec.options.cb_size = xp::kCbSize;
+  spec.options.overlap = mode;
+  spec.seed = static_cast<std::uint64_t>(nprocs);
+  ScalePoint p;
+  p.workload = name;
+  p.nprocs = nprocs;
+  const Clock::time_point t0 = Clock::now();
+  const xp::RunResult r = xp::execute(spec);
+  p.wall_s = seconds_since(t0);
+  p.sim_ms = static_cast<double>(r.makespan) / 1e6;
+  p.peak_rss_mib_after = peak_rss_mib();
+  return p;
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   for (char ch : s) {
@@ -143,6 +186,21 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "quick sweep: %zu series, %.2f s wall\n", series.size(),
                sweep_s);
 
+  // Paper-scale points (fiber conductor): the 576-process Tile-I/O cell of
+  // Fig. 1 and an 8192-rank IOR smoke run, each a single measured run.
+  std::vector<ScalePoint> scale;
+  scale.push_back(time_scale_point("tile1m", wl::make_tile1m(1, 1), 576,
+                                   coll::OverlapMode::WriteComm2));
+  scale.push_back(time_scale_point("ior64k", wl::make_ior(64ull << 10), 8192,
+                                   coll::OverlapMode::None));
+  for (const ScalePoint& p : scale) {
+    std::fprintf(stderr,
+                 "scale p=%-5d %-7s %6.2f s wall  %8.2f sim-ms  peak RSS %.0f "
+                 "MiB\n",
+                 p.nprocs, p.workload, p.wall_s, p.sim_ms,
+                 p.peak_rss_mib_after);
+  }
+
   std::string j;
   j += "{\n";
   j += "  \"schema\": \"tpio-bench-perf-1\",\n";
@@ -166,9 +224,21 @@ int main(int argc, char** argv) {
   std::snprintf(buf, sizeof(buf),
                 "  \"quick_sweep\": {\"platform\": \"ibex\", \"reps\": 1, "
                 "\"jobs\": 1, \"verify\": false, \"series\": %zu, "
-                "\"wall_s\": %.3f}\n",
+                "\"wall_s\": %.3f},\n",
                 series.size(), sweep_s);
   j += buf;
+  j += "  \"scale\": [\n";
+  for (std::size_t i = 0; i < scale.size(); ++i) {
+    const ScalePoint& p = scale[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"workload\": \"%s\", \"nprocs\": %d, "
+                  "\"wall_s\": %.3f, \"sim_ms\": %.3f, "
+                  "\"peak_rss_mib_after\": %.1f}%s\n",
+                  p.workload, p.nprocs, p.wall_s, p.sim_ms,
+                  p.peak_rss_mib_after, i + 1 < scale.size() ? "," : "");
+    j += buf;
+  }
+  j += "  ]\n";
   j += "}\n";
 
   if (!out_path.empty()) {
