@@ -100,6 +100,40 @@ bool parse_double_arg(const std::string& s, double lo, double hi,
   return true;
 }
 
+bool parse_arrival_arg(const std::string& s, ArrivalSpec& out) {
+  const std::size_t colon = s.find(':');
+  const std::string model = s.substr(0, colon);
+  const std::string rest =
+      colon == std::string::npos ? std::string() : s.substr(colon + 1);
+  ArrivalSpec parsed;
+  if (model == "fixed" || model == "poisson") {
+    parsed.model =
+        model == "fixed" ? ArrivalModel::Fixed : ArrivalModel::Poisson;
+    double ms = 0.0;
+    if (!parse_double_arg(rest, 0.0, 1e12, ms)) return false;
+    parsed.gap = sim::milliseconds(ms);
+  } else if (model == "trace") {
+    parsed.model = ArrivalModel::Trace;
+    std::size_t pos = 0;
+    while (pos <= rest.size()) {
+      const std::size_t comma = rest.find(',', pos);
+      const std::string tok =
+          rest.substr(pos, comma == std::string::npos ? std::string::npos
+                                                      : comma - pos);
+      double ms = 0.0;
+      if (!parse_double_arg(tok, 0.0, 1e12, ms)) return false;
+      parsed.trace.push_back(sim::milliseconds(ms));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (parsed.trace.empty()) return false;
+  } else {
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
 Platform platform_by_name(const std::string& name) {
   if (name == "crill") return scaled(crill());
   if (name == "ibex") return scaled(ibex());
@@ -135,6 +169,14 @@ std::string cli_usage() {
       "  --max-retries N                    retry budget per op (default 4)\n"
       "  --degrade F                        degraded-mode trigger ratio\n"
       "  --conductor fibers|threads         rank substrate (default fibers)\n"
+      "  --tenants N                        run N copies on one shared PFS;\n"
+      "                                     tenant 0 is measured, the rest\n"
+      "                                     are NoOverlap background writers\n"
+      "  --arrival fixed:MS|poisson:MS|trace:MS,MS,...\n"
+      "                                     tenant arrival schedule (virtual\n"
+      "                                     milliseconds; default fixed:0)\n"
+      "  --qos fifo|fair|priority           shared-target queuing discipline\n"
+      "                                     (priority: tenant 0 on top)\n"
       "  --help\n";
 }
 
@@ -286,6 +328,18 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
         } else {
           cfg.error = "--conductor wants fibers|threads, got '" + v + "'";
         }
+      } else if (a == "--tenants") {
+        if (!need_value(i)) return cfg;
+        cfg.tenants = static_cast<int>(int_flag(a, args[++i], 1, 64));
+      } else if (a == "--arrival") {
+        if (!need_value(i)) return cfg;
+        if (!parse_arrival_arg(args[++i], cfg.arrival)) {
+          cfg.error = "--arrival wants fixed:MS|poisson:MS|trace:MS,MS,..., "
+                      "got '" + args[i] + "'";
+        }
+      } else if (a == "--qos") {
+        if (!need_value(i)) return cfg;
+        cfg.qos = pfs::parse_qos(args[++i]);  // throws -> caught below
       } else {
         cfg.error = "unknown flag '" + a + "'";
       }
@@ -307,6 +361,12 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
     cfg.error = "--straggler-targets exceeds the platform's " +
                 std::to_string(cfg.spec.platform.pfs.num_targets) +
                 " storage targets";
+  }
+  if (cfg.error.empty() && cfg.arrival.model == ArrivalModel::Trace &&
+      static_cast<int>(cfg.arrival.trace.size()) != cfg.tenants) {
+    cfg.error = "--arrival trace lists " +
+                std::to_string(cfg.arrival.trace.size()) +
+                " instants but --tenants is " + std::to_string(cfg.tenants);
   }
   return cfg;
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "harness/runner.hpp"
+#include "harness/tenancy.hpp"
 #include "sched/conductor.hpp"
 
 namespace tpio::xp {
@@ -14,6 +15,13 @@ struct CliConfig {
   RunSpec spec;
   int reps = 3;
   std::uint64_t seed_base = 1;
+  /// Multi-tenant shape (--tenants > 1 switches tpio_sim to the shared
+  /// system): the measured spec runs as tenant 0 and each extra tenant
+  /// clones it with the NoOverlap scheduler — a same-shape background
+  /// writer hammering the same storage targets.
+  int tenants = 1;
+  ArrivalSpec arrival;
+  pfs::QosPolicy qos = pfs::QosPolicy::Fifo;
   /// Rank execution substrate (--conductor); the binary installs it as the
   /// process default before running.
   sim::ConductorBackend conductor = sim::Conductor::default_backend();
@@ -63,6 +71,10 @@ bool parse_u64_arg(const std::string& s, std::uint64_t& out);
 /// whole string must parse, the value must be finite and in [lo, hi].
 bool parse_double_arg(const std::string& s, double lo, double hi,
                       double& out);
+/// Parse an `--arrival` value: "fixed:GAP_MS" | "poisson:MEAN_MS" |
+/// "trace:MS,MS,..." (milliseconds of virtual time, >= 0). Returns false
+/// on malformed input, leaving `out` untouched.
+bool parse_arrival_arg(const std::string& s, ArrivalSpec& out);
 
 /// The usage text printed for --help / errors.
 std::string cli_usage();

@@ -59,7 +59,9 @@ RunResult execute(const RunSpec& spec) {
   });
 
   RunResult out;
-  out.makespan = conductor.makespan();
+  out.arrival = 0;
+  out.completion = conductor.makespan();
+  out.makespan = out.completion - out.arrival;
   out.aggregators = results[0].aggregators;
   out.cycles = results[0].cycles;
   out.bytes = results[0].bytes_global;

@@ -25,7 +25,17 @@ struct RunSpec {
 };
 
 struct RunResult {
-  sim::Duration makespan = 0;        // job completion (slowest rank)
+  /// Virtual instant the job entered the system (0 for solo runs; a
+  /// tenant's arrival offset in contended multi-runs).
+  sim::Time arrival = 0;
+  /// Virtual instant the slowest rank finished.
+  sim::Time completion = 0;
+  /// Turnaround: completion - arrival. For a job arriving at t=0 this is
+  /// the historical "job completion (slowest rank)"; for delayed arrivals
+  /// it measures the job itself, not the idle lead-in — which keeps
+  /// bandwidth() and the sweep winner logic honest (a job delayed on an
+  /// idle system reports the same makespan as one starting at 0).
+  sim::Duration makespan = 0;
   coll::PhaseTimings rank_sum;       // timings summed over ranks
   coll::PhaseTimings agg_sum;        // timings summed over aggregators only
   /// Timings of the bottleneck aggregator (largest write time). Storage

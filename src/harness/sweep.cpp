@@ -187,6 +187,100 @@ std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
   return run_overlap_sweep(platform, reps, seed, quick, ExecOptions{});
 }
 
+std::vector<OverlapSeries> run_contended_sweep(const Platform& platform,
+                                               const coll::Options& base,
+                                               const ContentionConfig& tenancy,
+                                               int reps, std::uint64_t seed,
+                                               bool quick,
+                                               const ExecOptions& exec) {
+  TPIO_CHECK(tenancy.neighbors >= 0, "neighbor count must be >= 0");
+  const Platform plat = scaled(platform);
+  const std::vector<coll::OverlapMode> modes = {
+      coll::OverlapMode::None, coll::OverlapMode::Comm,
+      coll::OverlapMode::Write, coll::OverlapMode::WriteComm,
+      coll::OverlapMode::WriteComm2};
+
+  std::vector<OverlapSeries> out;
+  std::vector<SweepJob> jobs;
+  std::vector<std::pair<std::size_t, coll::OverlapMode>> slot;  // per job
+  std::string tag;  // tenancy namespace of the checkpoint manifest
+  std::uint64_t series_id = 0x80000;
+  for (const SweepCase& c : paper_workloads()) {
+    for (int procs : paper_proc_counts(quick)) {
+      OverlapSeries series;
+      series.platform = plat.name;
+      series.kind = c.kind;
+      series.size_label = c.size_label;
+      series.procs = procs;
+      for (coll::OverlapMode mode : modes) {
+        RunSpec spec;
+        spec.platform = plat;
+        spec.workload = c.workload;
+        spec.nprocs = procs;
+        spec.options = base;
+        spec.options.cb_size = kCbSize;
+        spec.options.overlap = mode;
+
+        MultiRunSpec mspec;
+        mspec.tenants.push_back(spec);
+        for (int n = 0; n < tenancy.neighbors; ++n) {
+          RunSpec nb = tenancy.has_neighbor ? tenancy.neighbor : spec;
+          nb.platform = plat;  // tenants share one machine
+          if (!tenancy.has_neighbor) {
+            nb.options.overlap = coll::OverlapMode::None;
+          } else {
+            nb.options.cb_size = kCbSize;
+          }
+          mspec.tenants.push_back(nb);
+        }
+        mspec.arrival = tenancy.arrival;
+        mspec.qos = tenancy.qos;
+        mspec.weights = tenancy.weights;
+        mspec.priorities = tenancy.priorities;
+        if (tag.empty()) tag = tenancy_tag(mspec);
+
+        const std::uint64_t job_seed = sim::Rng::derive_seed(
+            seed, series_id * 16 + static_cast<std::uint64_t>(mode));
+        jobs.push_back(SweepJob{
+            job_key(c, procs, coll::to_string(mode)), [mspec, reps, job_seed] {
+              // Series semantics mirror execute_series: min over reps of
+              // the measured tenant's turnaround, each rep on its own
+              // derived seed.
+              sim::Duration best = 0;
+              MultiRunSpec ms = mspec;
+              for (int i = 0; i < reps; ++i) {
+                ms.seed = sim::Rng::derive_seed(job_seed,
+                                                static_cast<std::uint64_t>(i));
+                const MultiRunResult r = execute_multi(ms);
+                for (const TenantResult& t : r.tenants) {
+                  TPIO_CHECK(t.run.verify_error.empty(),
+                             "verification failed: " + t.run.verify_error);
+                }
+                const sim::Duration m = r.tenants[0].run.makespan;
+                best = (i == 0) ? m : std::min(best, m);
+              }
+              return sim::to_millis(best);
+            }});
+        slot.emplace_back(out.size(), mode);
+      }
+      ++series_id;
+      out.push_back(std::move(series));
+    }
+  }
+
+  ExecOptions e = exec;
+  if (e.manifest.empty()) {
+    e.manifest = sweep_manifest("overlap", plat, reps, seed, quick, base,
+                                /*include_auto=*/false) +
+                 "|contended=1" + tag;
+  }
+  const std::vector<double> min_ms = run_jobs(jobs, e);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    out[slot[i].first].min_ms[slot[i].second] = min_ms[i];
+  }
+  return out;
+}
+
 coll::Transfer PrimitiveSeries::winner() const {
   TPIO_CHECK(!min_ms.empty(), "winner of empty series");
   auto best = min_ms.begin();

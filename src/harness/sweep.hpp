@@ -7,6 +7,7 @@
 
 #include "harness/executor.hpp"
 #include "harness/runner.hpp"
+#include "harness/tenancy.hpp"
 
 namespace tpio::xp {
 
@@ -91,6 +92,41 @@ std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
                                              bool quick,
                                              const ExecOptions& exec,
                                              bool include_auto = false);
+
+/// Multi-tenant configuration of a contended sweep cell.
+struct ContentionConfig {
+  /// Background tenants sharing the system with the measured job.
+  int neighbors = 1;
+  /// Arrival schedule of all tenants (measured job is tenant 0).
+  ArrivalSpec arrival;
+  pfs::QosPolicy qos = pfs::QosPolicy::Fifo;
+  /// Optional per-tenant FairShare weights / priority classes
+  /// (size = neighbors + 1; empty = uniform).
+  std::vector<double> weights;
+  std::vector<int> priorities;
+  /// Optional explicit neighbor job. When unset (has_neighbor == false)
+  /// each neighbor clones the measured cell's workload and process count
+  /// with the NoOverlap scheduler — a steady same-shape background writer
+  /// hammering the same storage targets.
+  RunSpec neighbor;
+  bool has_neighbor = false;
+};
+
+/// The Table I overlap sweep under contention: every (series, algorithm)
+/// cell runs as tenant 0 of a shared system with `tenancy.neighbors`
+/// background jobs, and the recorded measurement is the *measured
+/// tenant's* minimum turnaround (completion - arrival) across reps. Same
+/// executor guarantees as run_overlap_sweep: the grid is planned up front
+/// with per-job derived seeds, so tables are bit-identical at any
+/// exec.jobs and on either conductor backend. Checkpoints are namespaced
+/// by the tenancy configuration (tenancy_tag) on top of the usual
+/// manifest, so contended results can never splice into idle-system ones.
+std::vector<OverlapSeries> run_contended_sweep(const Platform& platform,
+                                               const coll::Options& base,
+                                               const ContentionConfig& tenancy,
+                                               int reps, std::uint64_t seed,
+                                               bool quick,
+                                               const ExecOptions& exec);
 
 /// Same sweep shape for the data-transfer-primitive study (Fig. 4):
 /// Write-Comm-2 scheduler, three shuffle primitives.

@@ -1,0 +1,272 @@
+#include "harness/tenancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "net/topology.hpp"
+#include "sched/conductor.hpp"
+#include "simbase/bufpool.hpp"
+#include "simbase/error.hpp"
+#include "simbase/rng.hpp"
+
+namespace tpio::xp {
+
+const char* to_string(ArrivalModel m) {
+  switch (m) {
+    case ArrivalModel::Fixed:
+      return "fixed";
+    case ArrivalModel::Poisson:
+      return "poisson";
+    case ArrivalModel::Trace:
+      return "trace";
+  }
+  tpio::fail("unknown ArrivalModel");
+}
+
+std::vector<sim::Time> arrival_times(const ArrivalSpec& spec, int n,
+                                     std::uint64_t seed) {
+  TPIO_CHECK(n > 0, "arrival_times needs at least one tenant");
+  TPIO_CHECK(spec.gap >= 0, "arrival gap must be >= 0");
+  std::vector<sim::Time> at(static_cast<std::size_t>(n), 0);
+  switch (spec.model) {
+    case ArrivalModel::Fixed:
+      for (int i = 0; i < n; ++i) {
+        at[static_cast<std::size_t>(i)] = static_cast<sim::Time>(i) * spec.gap;
+      }
+      break;
+    case ArrivalModel::Poisson: {
+      // Exponential inter-arrival gaps on a private derived stream: the
+      // schedule is a pure function of (seed, gap, n).
+      sim::Rng rng(sim::Rng::derive_seed(seed, 0xA221));
+      sim::Time t = 0;
+      for (int i = 1; i < n; ++i) {
+        const double u = rng.next_double();
+        const double gap = -static_cast<double>(spec.gap) *
+                           std::log(std::max(1.0 - u, 1e-12));
+        t += std::max<sim::Duration>(0, static_cast<sim::Duration>(
+                                            std::llround(gap)));
+        at[static_cast<std::size_t>(i)] = t;
+      }
+      break;
+    }
+    case ArrivalModel::Trace:
+      TPIO_CHECK(static_cast<int>(spec.trace.size()) == n,
+                 "arrival trace size must match the tenant count");
+      for (int i = 0; i < n; ++i) {
+        TPIO_CHECK(spec.trace[static_cast<std::size_t>(i)] >= 0,
+                   "arrival instants must be >= 0");
+        at[static_cast<std::size_t>(i)] =
+            spec.trace[static_cast<std::size_t>(i)];
+      }
+      break;
+  }
+  return at;
+}
+
+MultiRunResult execute_multi(const MultiRunSpec& spec) {
+  return execute_multi(spec, /*with_baselines=*/false);
+}
+
+MultiRunResult execute_multi(const MultiRunSpec& spec, bool with_baselines) {
+  const int nt = static_cast<int>(spec.tenants.size());
+  TPIO_CHECK(nt > 0, "multi-run needs at least one tenant");
+  TPIO_CHECK(spec.weights.empty() ||
+                 static_cast<int>(spec.weights.size()) == nt,
+             "weights must be empty or one per tenant");
+  TPIO_CHECK(spec.priorities.empty() ||
+                 static_cast<int>(spec.priorities.size()) == nt,
+             "priorities must be empty or one per tenant");
+  const Platform& plat = spec.tenants[0].platform;
+  for (const RunSpec& t : spec.tenants) {
+    TPIO_CHECK(t.nprocs > 0, "run needs processes");
+    TPIO_CHECK(t.platform.name == plat.name &&
+                   t.platform.procs_per_node == plat.procs_per_node,
+               "tenants must share one platform (they share the machine)");
+  }
+
+  // Tenant node blocks: tenant t owns global nodes
+  // [offset_t, offset_t + nodes_t) of the shared machine.
+  std::vector<net::Topology> topos;
+  std::vector<int> offsets;
+  int total_nodes = 0;
+  topos.reserve(static_cast<std::size_t>(nt));
+  offsets.reserve(static_cast<std::size_t>(nt));
+  for (const RunSpec& t : spec.tenants) {
+    topos.push_back(net::Topology::fit(t.nprocs, plat.procs_per_node));
+    offsets.push_back(total_nodes);
+    total_nodes += topos.back().nodes;
+  }
+
+  // Shared-system parameters, with noise/aio streams derived from the
+  // multi-run seed by exactly the solo runner's salts — a lone tenant with
+  // spec.seed == tenants[0].seed replays the solo schedule bit-for-bit.
+  net::FabricParams fp = plat.fabric;
+  fp.noise_seed = sim::Rng::derive_seed(spec.seed, 0xFAB);
+  pfs::PfsParams pp = plat.pfs;
+  pp.noise_seed = sim::Rng::derive_seed(spec.seed, 0x57C);
+  if (pp.aio_penalty_sigma > 0.0) {
+    sim::Rng rng(sim::Rng::derive_seed(spec.seed, 0xA10));
+    const double jitter = std::exp(pp.aio_penalty_sigma * rng.next_normal());
+    pp.aio_penalty *= std::max(1.0, jitter);
+    pp.aio_penalty_sigma = 0.0;
+  }
+  if (plat.targets_per_node > 0) {
+    pp.num_targets = std::max(1, total_nodes * plat.targets_per_node);
+  }
+  pp.qos = spec.qos;
+
+  const net::Topology union_topo{total_nodes, plat.procs_per_node, 0};
+  net::Fabric parent(union_topo, fp);
+  pfs::StorageSystem storage(pp, &parent);
+
+  const std::vector<sim::Time> arrivals =
+      arrival_times(spec.arrival, nt, spec.seed);
+
+  // Per-tenant infrastructure over the shared substrate.
+  std::vector<std::unique_ptr<net::Fabric>> views;
+  std::vector<std::unique_ptr<smpi::Machine>> machines;
+  std::vector<std::shared_ptr<pfs::File>> files;
+  std::vector<coll::Options> eff;
+  std::vector<std::vector<coll::Result>> results(
+      static_cast<std::size_t>(nt));
+  std::vector<int> group_sizes;
+  for (int t = 0; t < nt; ++t) {
+    const RunSpec& ts = spec.tenants[static_cast<std::size_t>(t)];
+    views.push_back(std::make_unique<net::Fabric>(
+        parent, topos[static_cast<std::size_t>(t)],
+        offsets[static_cast<std::size_t>(t)]));
+    machines.push_back(std::make_unique<smpi::Machine>(*views.back(), plat.mpi));
+    pfs::TenantClass cls;
+    cls.id = t;
+    cls.weight =
+        spec.weights.empty() ? 1.0 : spec.weights[static_cast<std::size_t>(t)];
+    cls.priority = spec.priorities.empty()
+                       ? 0
+                       : spec.priorities[static_cast<std::size_t>(t)];
+    const pfs::Integrity integrity =
+        spec.store_content
+            ? pfs::Integrity::Store
+            : (ts.verify ? pfs::Integrity::Digest : pfs::Integrity::None);
+    files.push_back(storage.create("tenant" + std::to_string(t), integrity,
+                                   cls, offsets[static_cast<std::size_t>(t)]));
+    coll::Options o = ts.options;
+    o.materialize = ts.verify || spec.store_content;
+    eff.push_back(o);
+    results[static_cast<std::size_t>(t)].resize(
+        static_cast<std::size_t>(ts.nprocs));
+    group_sizes.push_back(ts.nprocs);
+  }
+
+  sim::Conductor conductor(group_sizes);
+  std::vector<std::function<void(sim::RankCtx&)>> programs;
+  programs.reserve(static_cast<std::size_t>(nt));
+  for (int t = 0; t < nt; ++t) {
+    const RunSpec& ts = spec.tenants[static_cast<std::size_t>(t)];
+    programs.push_back([&, t](sim::RankCtx& ctx) {
+      // The tenant's job enters the system at its arrival instant: every
+      // reservation it makes starts no earlier. An arrival of 0 is a no-op,
+      // preserving solo bit-identity.
+      ctx.advance_to(arrivals[static_cast<std::size_t>(t)]);
+      smpi::Mpi mpi(*machines[static_cast<std::size_t>(t)], ctx);
+      const coll::FileView view =
+          spec.tenants[static_cast<std::size_t>(t)].workload.view(mpi.rank(),
+                                                                  ts.nprocs);
+      sim::BufferPool::Buffer data = sim::BufferPool::local().acquire(
+          view.total_bytes(), /*zeroed=*/false);
+      if (eff[static_cast<std::size_t>(t)].materialize) {
+        wl::fill_into(view, data.span());
+      }
+      results[static_cast<std::size_t>(t)]
+             [static_cast<std::size_t>(mpi.rank())] = coll::collective_write(
+                 mpi, *files[static_cast<std::size_t>(t)], view, data.span(),
+                 eff[static_cast<std::size_t>(t)]);
+    });
+  }
+  conductor.run(programs);
+
+  MultiRunResult out;
+  out.makespan = conductor.makespan();
+  out.tenants.resize(static_cast<std::size_t>(nt));
+  for (int t = 0; t < nt; ++t) {
+    const RunSpec& ts = spec.tenants[static_cast<std::size_t>(t)];
+    const auto& res = results[static_cast<std::size_t>(t)];
+    TenantResult& tr = out.tenants[static_cast<std::size_t>(t)];
+    RunResult& r = tr.run;
+    r.arrival = arrivals[static_cast<std::size_t>(t)];
+    r.completion = conductor.group_makespan(t);
+    r.makespan = r.completion - r.arrival;
+    r.aggregators = res[0].aggregators;
+    r.cycles = res[0].cycles;
+    r.bytes = res[0].bytes_global;
+    r.autotune = res[0].autotune;
+    const net::Fabric& v = *views[static_cast<std::size_t>(t)];
+    r.inter_node_bytes = v.inter_node_bytes();
+    r.inter_node_messages = v.inter_node_messages();
+    r.intra_node_bytes = v.intra_node_bytes();
+    for (int rk = 0; rk < ts.nprocs; ++rk) {
+      r.rank_sum += res[static_cast<std::size_t>(rk)].timings;
+      r.faults += res[static_cast<std::size_t>(rk)].faults;
+      if (r.io_error.empty()) {
+        r.io_error = res[static_cast<std::size_t>(rk)].io_error;
+      }
+    }
+    for (int rk = 0; rk < ts.nprocs; ++rk) {
+      const auto& tm = res[static_cast<std::size_t>(rk)].timings;
+      if (tm.write > 0) {
+        r.agg_sum += tm;
+        if (tm.write > r.agg_max.write) r.agg_max = tm;
+      }
+    }
+    const pfs::File& f = *files[static_cast<std::size_t>(t)];
+    if (ts.verify) {
+      r.verify_error = f.verify(wl::expected_byte);
+      if (r.verify_error.empty() && f.bytes_written() != r.bytes) {
+        r.verify_error = "file holds " + std::to_string(f.bytes_written()) +
+                         " of " + std::to_string(r.bytes) +
+                         " expected bytes (I/O give-ups?)";
+      }
+    }
+    tr.qos = storage.tenant_stats(t);
+  }
+
+  if (with_baselines) {
+    for (int t = 0; t < nt; ++t) {
+      RunSpec solo = spec.tenants[static_cast<std::size_t>(t)];
+      solo.seed = spec.seed;
+      const RunResult base = execute(solo);
+      TenantResult& tr = out.tenants[static_cast<std::size_t>(t)];
+      tr.slowdown = base.makespan > 0
+                        ? static_cast<double>(tr.run.makespan) /
+                              static_cast<double>(base.makespan)
+                        : 0.0;
+    }
+  }
+  return out;
+}
+
+std::string tenancy_tag(const MultiRunSpec& spec) {
+  const bool trivial =
+      spec.tenants.size() <= 1 && spec.qos == pfs::QosPolicy::Fifo &&
+      spec.arrival.model == ArrivalModel::Fixed && spec.arrival.gap == 0 &&
+      spec.weights.empty() && spec.priorities.empty();
+  if (trivial) return {};
+  std::string tag = "|tenants=" + std::to_string(spec.tenants.size()) +
+                    "|qos=" + to_string(spec.qos) +
+                    "|arrival=" + to_string(spec.arrival.model) + ":" +
+                    std::to_string(spec.arrival.gap);
+  if (spec.arrival.model == ArrivalModel::Trace) {
+    for (sim::Time t : spec.arrival.trace) tag += "," + std::to_string(t);
+  }
+  if (!spec.weights.empty()) {
+    tag += "|w=";
+    for (double w : spec.weights) tag += std::to_string(w) + ",";
+  }
+  if (!spec.priorities.empty()) {
+    tag += "|p=";
+    for (int p : spec.priorities) tag += std::to_string(p) + ",";
+  }
+  return tag;
+}
+
+}  // namespace tpio::xp

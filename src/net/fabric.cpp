@@ -39,6 +39,32 @@ Fabric::Fabric(const Topology& topo, const FabricParams& params)
   }
 }
 
+Fabric::Fabric(Fabric& parent, const Topology& local_topo, int node_offset)
+    : topo_(local_topo),
+      params_(parent.params_),
+      parent_(&parent),
+      node_offset_(node_offset) {
+  TPIO_CHECK(!parent.is_view(), "fabric views cannot nest");
+  local_topo.validate();
+  TPIO_CHECK(node_offset >= 0, "fabric view: negative node offset");
+  TPIO_CHECK(node_offset + local_topo.nodes <= parent.topo_.nodes,
+             "fabric view: tenant nodes exceed the shared system");
+}
+
+sim::Timeline& Fabric::tx_chan(int global_node) {
+  return (parent_ ? parent_->nic_tx_
+                  : nic_tx_)[static_cast<std::size_t>(global_node)];
+}
+
+sim::Timeline& Fabric::rx_chan(int global_node) {
+  return (parent_ ? parent_->nic_rx_
+                  : nic_rx_)[static_cast<std::size_t>(global_node)];
+}
+
+sim::Timeline& Fabric::mem_chan(int global_node) {
+  return (parent_ ? parent_->mem_ : mem_)[static_cast<std::size_t>(global_node)];
+}
+
 sim::Duration Fabric::wire_time(std::uint64_t bytes) const {
   return sim::transfer_time(bytes, params_.inter_bw);
 }
@@ -50,8 +76,9 @@ sim::Time Fabric::transfer(int src, int dst, std::uint64_t bytes,
   if (sn == dn) {
     // Intra-node: a copy through the node's memory system.
     intra_bytes_ += bytes;
+    if (parent_) parent_->intra_bytes_ += bytes;
     const sim::Duration t = sim::transfer_time(bytes, params_.intra_bw);
-    auto iv = mem_[static_cast<std::size_t>(sn)].reserve(depart, t);
+    auto iv = mem_chan(sn + node_offset_).reserve(depart, t);
     return iv.start + params_.intra_latency + (iv.end - iv.start);
   }
   // Inter-node, cut-through: the message occupies the source transmit
@@ -60,10 +87,14 @@ sim::Time Fabric::transfer(int src, int dst, std::uint64_t bytes,
   // endpoint delays it.
   inter_bytes_ += bytes;
   inter_msgs_ += 1;
+  if (parent_) {
+    parent_->inter_bytes_ += bytes;
+    parent_->inter_msgs_ += 1;
+  }
   const sim::Duration t = sim::transfer_time(bytes, params_.inter_bw);
-  auto tx = nic_tx_[static_cast<std::size_t>(sn)].reserve(depart, t);
-  auto rx = nic_rx_[static_cast<std::size_t>(dn)].reserve(
-      tx.start + params_.inter_latency, tx.end - tx.start);
+  auto tx = tx_chan(sn + node_offset_).reserve(depart, t);
+  auto rx = rx_chan(dn + node_offset_)
+                .reserve(tx.start + params_.inter_latency, tx.end - tx.start);
   return rx.end;
 }
 
@@ -75,7 +106,7 @@ sim::Time Fabric::transfer_control(int src, int dst, sim::Time depart) const {
 sim::Time Fabric::reserve_tx(int node, std::uint64_t bytes, sim::Time start) {
   TPIO_CHECK(node >= 0 && node < topo_.nodes, "reserve_tx: bad node");
   const sim::Duration t = sim::transfer_time(bytes, params_.inter_bw);
-  return nic_tx_[static_cast<std::size_t>(node)].reserve(start, t).end;
+  return tx_chan(node + node_offset_).reserve(start, t).end;
 }
 
 }  // namespace tpio::net

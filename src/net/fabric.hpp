@@ -36,6 +36,17 @@ class Fabric {
  public:
   Fabric(const Topology& topo, const FabricParams& params);
 
+  /// Tenant view over a shared parent fabric: presents a tenant-local
+  /// topology (nodes renumbered from 0) while every reservation lands on
+  /// the parent's per-node NIC/memory timelines at `node_offset + local
+  /// node` — so co-scheduled tenants contend for the same endpoints. The
+  /// view keeps its own byte/message counters (per-tenant interference
+  /// accounting) and also feeds the parent's aggregate counters. A lone
+  /// view at offset 0 over an idle parent of the same size is
+  /// bit-identical to a standalone Fabric built with the parent's params.
+  /// The parent must outlive the view.
+  Fabric(Fabric& parent, const Topology& local_topo, int node_offset);
+
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
@@ -67,9 +78,22 @@ class Fabric {
   /// Total bytes moved over intra-node memory channels (diagnostic).
   std::uint64_t intra_node_bytes() const { return intra_bytes_; }
 
+  /// True when this fabric is a tenant view over a shared parent.
+  bool is_view() const { return parent_ != nullptr; }
+  /// First parent node this view maps onto (0 for standalone fabrics).
+  int node_offset() const { return node_offset_; }
+
  private:
+  // Timeline resolution: standalone fabrics own their per-node channels;
+  // views borrow the parent's at a node offset.
+  sim::Timeline& tx_chan(int global_node);
+  sim::Timeline& rx_chan(int global_node);
+  sim::Timeline& mem_chan(int global_node);
+
   Topology topo_;
   FabricParams params_;
+  Fabric* parent_ = nullptr;
+  int node_offset_ = 0;
   std::vector<std::unique_ptr<sim::NoiseModel>> noise_;  // one per timeline
   std::vector<sim::Timeline> nic_tx_, nic_rx_, mem_;     // per node
   std::uint64_t inter_bytes_ = 0;

@@ -76,7 +76,7 @@ StorageSystem::StorageSystem(const PfsParams& params, net::Fabric* fabric)
   TPIO_CHECK(f.straggler_after >= 0, "straggler_after must be >= 0");
   targets_.reserve(static_cast<std::size_t>(params.num_targets));
   for (int t = 0; t < params.num_targets; ++t) {
-    targets_.emplace_back("ost[" + std::to_string(t) + "]");
+    targets_.emplace_back("ost[" + std::to_string(t) + "]", params.qos);
     if (params.noise_sigma > 0.0) {
       noise_.push_back(std::make_unique<sim::NoiseModel>(
           params.noise_sigma,
@@ -85,6 +85,18 @@ StorageSystem::StorageSystem(const PfsParams& params, net::Fabric* fabric)
       targets_.back().set_noise(noise_.back().get());
     }
   }
+}
+
+QosStats StorageSystem::tenant_stats(int tenant) const {
+  QosStats out;
+  for (const ServiceQueue& q : targets_) out += q.stats(tenant);
+  return out;
+}
+
+const ServiceQueue& StorageSystem::target(int t) const {
+  TPIO_CHECK(t >= 0 && t < static_cast<int>(targets_.size()),
+             "target index out of range");
+  return targets_[static_cast<std::size_t>(t)];
 }
 
 sim::Timeline& StorageSystem::client_channel(int node) {
@@ -98,7 +110,18 @@ sim::Timeline& StorageSystem::client_channel(int node) {
 
 std::shared_ptr<File> StorageSystem::create(std::string name,
                                             Integrity integrity) {
-  return std::shared_ptr<File>(new File(*this, std::move(name), integrity));
+  return create(std::move(name), integrity, TenantClass{}, 0);
+}
+
+std::shared_ptr<File> StorageSystem::create(std::string name,
+                                            Integrity integrity,
+                                            const TenantClass& tenant,
+                                            int node_offset) {
+  TPIO_CHECK(tenant.id >= 0, "tenant id must be >= 0");
+  TPIO_CHECK(tenant.weight > 0.0, "tenant weight must be positive");
+  TPIO_CHECK(node_offset >= 0, "node offset must be >= 0");
+  return std::shared_ptr<File>(
+      new File(*this, std::move(name), integrity, tenant, node_offset));
 }
 
 // ---------------------------------------------------------------------------
@@ -270,6 +293,10 @@ sim::Time File::schedule_write(sim::RankCtx& ctx, int node,
                                int attempt, IoStatus& status) {
   const PfsParams& p = sys_->params_;
   const FaultModel& faults = sys_->faults_;
+  // Tenant files address the shared system's node space: client channels,
+  // NIC sharing and fault-oracle keys all see the global node, so two
+  // tenants' same-shaped ops stay distinct. Solo files have offset 0.
+  const int gnode = node + node_offset_;
 
   // Fault verdict for this attempt, decided at submission (the storage
   // system knows the request will bounce) but observable to the program
@@ -277,7 +304,7 @@ sim::Time File::schedule_write(sim::RankCtx& ctx, int node,
   // disabled this draws no RNG at all.
   status = IoStatus::Ok;
   if (faults.enabled() &&
-      faults.write_fails(FaultModel::op_key(node, offset, data.size()),
+      faults.write_fails(FaultModel::op_key(gnode, offset, data.size()),
                          attempt)) {
     status = IoStatus::TransientError;
   }
@@ -287,7 +314,7 @@ sim::Time File::schedule_write(sim::RankCtx& ctx, int node,
   // then serviced by its target. Injection of chunk k+1 overlaps the
   // service of chunk k — one write call keeps client and servers busy
   // concurrently, as a real striping client does.
-  sim::Timeline& client = sys_->client_channel(node);
+  sim::Timeline& client = sys_->client_channel(gnode);
   const double penalty = async ? p.aio_penalty : 1.0;
   sim::Time done = ctx.now();
   sim::Time cursor = ctx.now() + p.op_overhead;  // per-call dispatch cost
@@ -304,7 +331,7 @@ sim::Time File::schedule_write(sim::RankCtx& ctx, int node,
     sim::Time injected = client.reserve(cursor, inject_time).end;
     if (p.share_compute_nic) {
       injected =
-          std::max(injected, sys_->fabric_->reserve_tx(node, n, cursor));
+          std::max(injected, sys_->fabric_->reserve_tx(gnode, n, cursor));
     }
     const auto tid =
         static_cast<std::size_t>(stripe_idx % static_cast<std::uint64_t>(
@@ -320,7 +347,7 @@ sim::Time File::schedule_write(sim::RankCtx& ctx, int node,
         std::llround(static_cast<double>(p.request_overhead +
                                          sim::transfer_time(n, p.target_bw)) *
                      penalty * slow));
-    const auto iv = sys_->targets_[tid].reserve(earliest, service);
+    const auto iv = sys_->targets_[tid].reserve(earliest, service, tenant_);
     done = std::max(done, iv.end);
     pos += n;
     left -= n;
@@ -346,13 +373,14 @@ WriteOp File::start_read(sim::RankCtx& ctx, int node, std::uint64_t offset,
     // client pulls the bytes through its storage channel.
     const PfsParams& p = sys_->params_;
     const FaultModel& faults = sys_->faults_;
+    const int gnode = node + node_offset_;
     if (faults.enabled() &&
-        faults.read_fails(FaultModel::op_key(node, offset, out.size()),
+        faults.read_fails(FaultModel::op_key(gnode, offset, out.size()),
                           attempt)) {
       status = IoStatus::TransientError;
     }
     const double penalty = async ? p.aio_penalty : 1.0;
-    sim::Timeline& client = sys_->client_channel(node);
+    sim::Timeline& client = sys_->client_channel(gnode);
     sim::Time done = ctx.now();
     sim::Time cursor = ctx.now() + p.op_overhead;
     std::uint64_t pos = offset;
@@ -376,7 +404,7 @@ WriteOp File::start_read(sim::RankCtx& ctx, int node, std::uint64_t offset,
           std::llround(static_cast<double>(
                            p.request_overhead + sim::transfer_time(n, p.target_bw)) *
                        penalty * slow));
-      const auto iv = sys_->targets_[tid].reserve(earliest, service);
+      const auto iv = sys_->targets_[tid].reserve(earliest, service, tenant_);
       const auto pull =
           client.reserve(iv.end, sim::transfer_time(n, p.client_bw));
       done = std::max(done, pull.end);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/fabric.hpp"
+#include "pfs/qos.hpp"
 #include "simbase/error.hpp"
 #include "sched/conductor.hpp"
 #include "sched/timeline.hpp"
@@ -177,6 +178,10 @@ struct PfsParams {
   /// Fault injection (transient failures, straggler targets). Defaults to
   /// the healthy, bit-identical-to-fault-free model.
   FaultParams faults;
+  /// Queuing discipline of the storage targets when several tenants share
+  /// the system. Fifo (the default) with a single tenant is bit-identical
+  /// to the pre-QoS model.
+  QosPolicy qos = QosPolicy::Fifo;
 };
 
 class File;
@@ -228,6 +233,14 @@ class StorageSystem {
 
   std::shared_ptr<File> create(std::string name, Integrity integrity);
 
+  /// Multi-tenant create: the file's I/O is billed to `tenant` under the
+  /// system's QoS policy, and the caller's tenant-local compute nodes are
+  /// translated by `node_offset` onto the shared system's node space
+  /// (client storage channels, compute-NIC sharing, fault-oracle keys).
+  /// The default create() is exactly create(name, integrity, {}, 0).
+  std::shared_ptr<File> create(std::string name, Integrity integrity,
+                               const TenantClass& tenant, int node_offset);
+
   const PfsParams& params() const { return params_; }
   const FaultModel& faults() const { return faults_; }
 
@@ -235,13 +248,18 @@ class StorageSystem {
   /// attempts contribute nothing.
   std::uint64_t bytes_written() const { return bytes_written_; }
 
+  /// Per-tenant interference accounting summed across all targets.
+  QosStats tenant_stats(int tenant) const;
+  /// One target's service queue (diagnostics/tests).
+  const ServiceQueue& target(int t) const;
+
  private:
   friend class File;
   PfsParams params_;
   net::Fabric* fabric_;
   FaultModel faults_;
   std::vector<std::unique_ptr<sim::NoiseModel>> noise_;
-  std::vector<sim::Timeline> targets_;
+  std::vector<ServiceQueue> targets_;
   std::vector<sim::Timeline> client_tx_;  // lazily sized per node
   std::uint64_t bytes_written_ = 0;
 
@@ -309,6 +327,10 @@ class File {
   /// Fault oracle of the underlying storage system (for retry jitter
   /// seeding and tests).
   const FaultModel& faults() const { return sys_->faults(); }
+  /// Tenant this file's I/O is billed to (default tenant 0 for solo runs).
+  const TenantClass& tenant() const { return tenant_; }
+  /// First shared-system node of this file's tenant (0 for solo runs).
+  int node_offset() const { return node_offset_; }
   /// Highest successfully written offset + 1 (0 for an empty file).
   std::uint64_t size() const { return size_; }
   /// Bytes accepted by successful write attempts (failed attempts are not
@@ -331,8 +353,13 @@ class File {
 
  private:
   friend class StorageSystem;
-  File(StorageSystem& sys, std::string name, Integrity integrity)
-      : sys_(&sys), name_(std::move(name)), integrity_(integrity) {}
+  File(StorageSystem& sys, std::string name, Integrity integrity,
+       const TenantClass& tenant, int node_offset)
+      : sys_(&sys),
+        name_(std::move(name)),
+        integrity_(integrity),
+        tenant_(tenant),
+        node_offset_(node_offset) {}
 
   struct Chunk {
     std::vector<std::byte> bytes;   // Store mode
@@ -371,6 +398,8 @@ class File {
   StorageSystem* sys_;
   std::string name_;
   Integrity integrity_;
+  TenantClass tenant_;
+  int node_offset_ = 0;
   std::uint64_t size_ = 0;
   std::uint64_t bytes_accepted_ = 0;
   std::unordered_map<std::uint64_t, Chunk> chunks_;  // by chunk index

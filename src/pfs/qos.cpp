@@ -1,0 +1,131 @@
+#include "pfs/qos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simbase/error.hpp"
+
+namespace tpio::pfs {
+
+const char* to_string(QosPolicy p) {
+  switch (p) {
+    case QosPolicy::Fifo:
+      return "fifo";
+    case QosPolicy::FairShare:
+      return "fair";
+    case QosPolicy::Priority:
+      return "priority";
+  }
+  tpio::fail("unknown QosPolicy");
+}
+
+QosPolicy parse_qos(const std::string& s) {
+  if (s == "fifo") return QosPolicy::Fifo;
+  if (s == "fair" || s == "fairshare" || s == "fair-share") {
+    return QosPolicy::FairShare;
+  }
+  if (s == "priority" || s == "prio") return QosPolicy::Priority;
+  tpio::fail("unknown QoS policy '" + s + "' (expected fifo|fair|priority)");
+}
+
+ServiceQueue::Lane& ServiceQueue::lane(const TenantClass& who) {
+  TPIO_CHECK(who.id >= 0, "tenant id must be >= 0");
+  TPIO_CHECK(who.weight > 0.0, "tenant weight must be positive");
+  if (static_cast<std::size_t>(who.id) >= lanes_.size()) {
+    lanes_.resize(static_cast<std::size_t>(who.id) + 1);
+  }
+  Lane& ln = lanes_[static_cast<std::size_t>(who.id)];
+  ln.used = true;
+  ln.weight = who.weight;
+  return ln;
+}
+
+sim::Timeline::Interval ServiceQueue::reserve(sim::Time earliest,
+                                              sim::Duration duration,
+                                              const TenantClass& who) {
+  TPIO_CHECK(earliest >= 0, "reserve with negative start");
+  TPIO_CHECK(duration >= 0, "reserve with negative duration");
+  // Noise inflation exactly as sim::Timeline applies it — one draw per
+  // nonzero reservation, same rounding — so a FIFO queue with one tenant
+  // replays the historical Timeline schedule bit-for-bit.
+  sim::Duration d = duration;
+  if (noise_ != nullptr && duration > 0) {
+    d = static_cast<sim::Duration>(
+        std::llround(static_cast<double>(duration) * noise_->factor()));
+    d = std::max<sim::Duration>(d, 1);
+  }
+
+  Lane& ln = lane(who);
+  const sim::Time own_prev = ln.next_free;
+  sim::Time start = 0;
+  sim::Duration served = d;
+
+  switch (policy_) {
+    case QosPolicy::Fifo: {
+      start = std::max(earliest, fifo_next_free_);
+      fifo_next_free_ = start + served;
+      // Queueing behind own earlier requests is not interference.
+      ln.stats.cross_wait += start - std::max(earliest, own_prev);
+      break;
+    }
+    case QosPolicy::FairShare: {
+      // Each tenant queues only behind its own lane; contention shows up
+      // as a service stretch proportional to the backlogged weight.
+      start = std::max(earliest, own_prev);
+      double active_weight = who.weight;
+      for (std::size_t t = 0; t < lanes_.size(); ++t) {
+        if (static_cast<int>(t) == who.id) continue;
+        const Lane& other = lanes_[t];
+        if (other.used && other.next_free > start) {
+          active_weight += other.weight;
+        }
+      }
+      const double stretch = active_weight / who.weight;  // >= 1
+      served = static_cast<sim::Duration>(
+          std::llround(static_cast<double>(d) * stretch));
+      ln.stats.cross_wait += served - d;
+      break;
+    }
+    case QosPolicy::Priority: {
+      // Wait behind the committed horizon of every class at this priority
+      // or higher; lower-priority work never delays this request.
+      start = std::max(earliest, own_prev);
+      for (const auto& [prio, free_at] : class_free_) {
+        if (prio >= who.priority) start = std::max(start, free_at);
+      }
+      sim::Time& horizon = class_free_[who.priority];
+      horizon = std::max(horizon, start + served);
+      ln.stats.cross_wait += start - std::max(earliest, own_prev);
+      break;
+    }
+  }
+
+  const sim::Time end = start + served;
+  ln.next_free = std::max(ln.next_free, end);
+  busy_ += served;
+  ln.stats.requests += 1;
+  ln.stats.busy += served;
+  int active = 1;
+  for (std::size_t t = 0; t < lanes_.size(); ++t) {
+    if (static_cast<int>(t) == who.id) continue;
+    if (lanes_[t].used && lanes_[t].next_free > start) ++active;
+  }
+  ln.stats.peak_active = std::max(ln.stats.peak_active, active);
+  return {start, end};
+}
+
+sim::Time ServiceQueue::next_free() const {
+  sim::Time t = fifo_next_free_;
+  for (const Lane& ln : lanes_) t = std::max(t, ln.next_free);
+  for (const auto& [prio, free_at] : class_free_) t = std::max(t, free_at);
+  return t;
+}
+
+QosStats ServiceQueue::stats(int tenant) const {
+  if (tenant < 0 || static_cast<std::size_t>(tenant) >= lanes_.size()) {
+    return {};
+  }
+  return lanes_[static_cast<std::size_t>(tenant)].stats;
+}
+
+}  // namespace tpio::pfs

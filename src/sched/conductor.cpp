@@ -47,19 +47,60 @@ void Conductor::set_default_backend(ConductorBackend b) {
 Conductor::Conductor(int nranks) : Conductor(nranks, default_backend()) {}
 
 Conductor::Conductor(int nranks, ConductorBackend backend)
+    : Conductor(std::vector<int>{nranks}, backend) {}
+
+Conductor::Conductor(const std::vector<int>& group_sizes)
+    : Conductor(group_sizes, default_backend()) {}
+
+Conductor::Conductor(const std::vector<int>& group_sizes,
+                     ConductorBackend backend)
     : backend_(backend) {
-  TPIO_CHECK(nranks > 0, "conductor needs at least one rank");
-  states_.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
+  TPIO_CHECK(!group_sizes.empty(), "conductor needs at least one group");
+  int total = 0;
+  group_size_.reserve(group_sizes.size());
+  group_base_.reserve(group_sizes.size());
+  for (int n : group_sizes) {
+    TPIO_CHECK(n > 0, "conductor group needs at least one rank");
+    group_base_.push_back(total);
+    group_size_.push_back(n);
+    total += n;
+  }
+  states_.reserve(static_cast<std::size_t>(total));
+  for (int r = 0; r < total; ++r) {
     states_.push_back(std::make_unique<RankState>());
     runnable_.insert({0, r});
   }
-  alive_ = nranks;
+  alive_ = total;
 }
 
 Conductor::~Conductor() = default;
 
-int RankCtx::size() const { return conductor_->size(); }
+int Conductor::group_of(int gid) const {
+  // Groups are small in number (tenants); a linear scan from the back
+  // finds the containing block.
+  for (int g = groups() - 1; g >= 0; --g) {
+    if (gid >= group_base_[static_cast<std::size_t>(g)]) return g;
+  }
+  tpio::fail("group_of: global id outside every group");
+}
+
+int Conductor::group_size(int g) const {
+  TPIO_CHECK(g >= 0 && g < groups(), "group index out of range");
+  return group_size_[static_cast<std::size_t>(g)];
+}
+
+int Conductor::group_base(int g) const {
+  TPIO_CHECK(g >= 0 && g < groups(), "group index out of range");
+  return group_base_[static_cast<std::size_t>(g)];
+}
+
+RankCtx::RankCtx(Conductor* c, int gid)
+    : conductor_(c),
+      gid_(gid),
+      rank_(gid - c->group_base(c->group_of(gid))),
+      group_(c->group_of(gid)) {}
+
+int RankCtx::size() const { return conductor_->group_size(group_); }
 
 void RankCtx::advance(Duration d) {
   TPIO_CHECK(d >= 0, "cannot advance by a negative duration");
@@ -119,18 +160,18 @@ void RankCtx::baton_acquire() {
   Conductor& c = *conductor_;
   if (c.backend_ == ConductorBackend::Fibers) {
     if (c.aborted_) c.throw_aborted();
-    c.update_entry(rank_, clock_);
-    while (!c.aborted_ && !c.is_min(rank_)) Fiber::suspend();
+    c.update_entry(gid_, clock_);
+    while (!c.aborted_ && !c.is_min(gid_)) Fiber::suspend();
     if (c.aborted_) c.throw_aborted();
     ++c.actions_;
     return;
   }
   std::unique_lock lk(c.mutex_);
   if (c.aborted_) c.throw_aborted();
-  Conductor::RankState& st = *c.states_[static_cast<std::size_t>(rank_)];
-  c.update_entry(rank_, clock_);
+  Conductor::RankState& st = *c.states_[static_cast<std::size_t>(gid_)];
+  c.update_entry(gid_, clock_);
   c.notify_min();
-  st.cv.wait(lk, [&] { return c.aborted_ || c.is_min(rank_); });
+  st.cv.wait(lk, [&] { return c.aborted_ || c.is_min(gid_); });
   if (c.aborted_) c.throw_aborted();
   ++c.actions_;
   lk.release();  // keep the mutex held for the duration of the action
@@ -139,10 +180,10 @@ void RankCtx::baton_acquire() {
 void RankCtx::baton_release() {
   Conductor& c = *conductor_;
   if (c.backend_ == ConductorBackend::Fibers) {
-    c.update_entry(rank_, clock_);
+    c.update_entry(gid_, clock_);
     return;
   }
-  c.update_entry(rank_, clock_);
+  c.update_entry(gid_, clock_);
   c.notify_min();
   c.mutex_.unlock();
 }
@@ -176,15 +217,15 @@ void Conductor::complete_locked(RankCtx&, Event& ev, Time t) {
 
 void Conductor::block_current(std::unique_lock<std::mutex>& lk, RankCtx& ctx,
                               const char* site) {
-  RankState& st = *states_[static_cast<std::size_t>(ctx.rank_)];
+  RankState& st = *states_[static_cast<std::size_t>(ctx.gid_)];
   TPIO_CHECK(st.status == Status::Runnable, "blocking a non-runnable rank");
-  runnable_.erase({st.registered_clock, ctx.rank_});
+  runnable_.erase({st.registered_clock, ctx.gid_});
   st.status = Status::Blocked;
   st.wake_pending = false;
   st.block_site = site;
   if (!detect_deadlock()) notify_min();
   st.cv.wait(lk, [&] {
-    return aborted_ || (st.wake_pending && is_min(ctx.rank_));
+    return aborted_ || (st.wake_pending && is_min(ctx.gid_));
   });
   if (aborted_) {
     if (st.status == Status::Blocked) {
@@ -198,9 +239,9 @@ void Conductor::block_current(std::unique_lock<std::mutex>& lk, RankCtx& ctx,
 }
 
 void Conductor::fiber_block_current(RankCtx& ctx, const char* site) {
-  RankState& st = *states_[static_cast<std::size_t>(ctx.rank_)];
+  RankState& st = *states_[static_cast<std::size_t>(ctx.gid_)];
   TPIO_CHECK(st.status == Status::Runnable, "blocking a non-runnable rank");
-  runnable_.erase({st.registered_clock, ctx.rank_});
+  runnable_.erase({st.registered_clock, ctx.gid_});
   st.status = Status::Blocked;
   st.wake_pending = false;
   st.block_site = site;
@@ -219,25 +260,25 @@ void RankCtx::wait_event(Event& ev, const char* site) {
   if (c.backend_ == ConductorBackend::Fibers) {
     if (c.aborted_) c.throw_aborted();
     if (!ev.done_) {
-      c.update_entry(rank_, clock_);
-      ev.waiters_.push_back(rank_);
+      c.update_entry(gid_, clock_);
+      ev.waiters_.push_back(gid_);
       c.fiber_block_current(*this, site);
       TPIO_CHECK(ev.done_, "woken from wait_event but event not done");
     }
     clock_ = std::max(clock_, ev.time_);
-    c.update_entry(rank_, clock_);
+    c.update_entry(gid_, clock_);
     return;
   }
   std::unique_lock lk(c.mutex_);
   if (c.aborted_) c.throw_aborted();
   if (!ev.done_) {
-    c.update_entry(rank_, clock_);
-    ev.waiters_.push_back(rank_);
+    c.update_entry(gid_, clock_);
+    ev.waiters_.push_back(gid_);
     c.block_current(lk, *this, site);
     TPIO_CHECK(ev.done_, "woken from wait_event but event not done");
   }
   clock_ = std::max(clock_, ev.time_);
-  c.update_entry(rank_, clock_);
+  c.update_entry(gid_, clock_);
   c.notify_min();
 }
 
@@ -287,10 +328,22 @@ bool Conductor::detect_deadlock() {
 }
 
 void Conductor::run(const std::function<void(RankCtx&)>& program) {
+  // Every group runs the same program (each rank still sees group-local
+  // rank()/size()); single-group conductors hit the historical path.
+  run(std::vector<std::function<void(RankCtx&)>>(
+      static_cast<std::size_t>(groups()), program));
+}
+
+void Conductor::run(const std::vector<std::function<void(RankCtx&)>>& programs) {
+  TPIO_CHECK(static_cast<int>(programs.size()) == groups(),
+             "conductor run: one program required per group");
+  for (const auto& p : programs) {
+    TPIO_CHECK(static_cast<bool>(p), "conductor run: empty program");
+  }
   if (backend_ == ConductorBackend::Fibers) {
-    run_fibers(program);
+    run_fibers(programs);
   } else {
-    run_threads(program);
+    run_threads(programs);
   }
 }
 
@@ -313,11 +366,13 @@ void Conductor::fiber_body(int rank, const std::function<void(RankCtx&)>& progra
   // loop delivers the deadlock verdict once it sees the empty runnable set.
 }
 
-void Conductor::run_fibers(const std::function<void(RankCtx&)>& program) {
+void Conductor::run_fibers(
+    const std::vector<std::function<void(RankCtx&)>>& programs) {
   const std::size_t stack_bytes = Fiber::default_stack_bytes();
   for (int r = 0; r < size(); ++r) {
     RankState& st = *states_[static_cast<std::size_t>(r)];
-    st.job = FiberJob{this, r, &program};
+    st.job = FiberJob{this, r,
+                      &programs[static_cast<std::size_t>(group_of(r))]};
     st.fiber = std::make_unique<Fiber>(
         stack_bytes,
         [](void* p) {
@@ -353,10 +408,13 @@ void Conductor::run_fibers(const std::function<void(RankCtx&)>& program) {
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
-void Conductor::run_threads(const std::function<void(RankCtx&)>& program) {
+void Conductor::run_threads(
+    const std::vector<std::function<void(RankCtx&)>>& programs) {
   std::vector<std::thread> threads;
   threads.reserve(states_.size());
   for (int r = 0; r < size(); ++r) {
+    const std::function<void(RankCtx&)>& program =
+        programs[static_cast<std::size_t>(group_of(r))];
     threads.emplace_back([this, r, &program] {
       RankCtx ctx(this, r);
       bool ok = true;
@@ -398,6 +456,14 @@ Time Conductor::finish_time(int rank) const {
 Time Conductor::makespan() const {
   Time m = 0;
   for (int r = 0; r < size(); ++r) m = std::max(m, finish_time(r));
+  return m;
+}
+
+Time Conductor::group_makespan(int g) const {
+  const int base = group_base(g);
+  const int n = group_size(g);
+  Time m = 0;
+  for (int r = base; r < base + n; ++r) m = std::max(m, finish_time(r));
   return m;
 }
 

@@ -66,10 +66,18 @@ using EventPtr = std::shared_ptr<Event>;
 /// among runnable ranks, which serializes every mutation of shared
 /// simulation state in virtual-time order and makes whole-program
 /// schedules deterministic.
+///
+/// Multi-group (multi-tenant) runs: `rank()`/`size()` are *group-local* —
+/// each tenant's program sees MPI-style ranks 0..n_t-1 — while the
+/// scheduler orders the baton by a conductor-global id (tenant blocks in
+/// registration order). A single-group conductor has global == local, so
+/// solo runs are bit-identical to the pre-group code path.
 class RankCtx {
  public:
   int rank() const { return rank_; }
   int size() const;
+  /// Group (tenant) index this rank belongs to; 0 in single-group runs.
+  int group() const { return group_; }
   Time now() const { return clock_; }
 
   /// Local computation: advance only this rank's clock. No synchronization.
@@ -111,13 +119,15 @@ class RankCtx {
 
  private:
   friend class Conductor;
-  RankCtx(Conductor* c, int rank) : conductor_(c), rank_(rank) {}
+  RankCtx(Conductor* c, int gid);
 
   void baton_acquire();
   void baton_release();
 
   Conductor* conductor_;
-  int rank_;
+  int gid_;    // conductor-global scheduling id (baton order)
+  int rank_;   // group-local rank (what the program sees)
+  int group_;  // owning group index
   Time clock_ = 0;
 };
 
@@ -135,6 +145,14 @@ class Conductor {
  public:
   explicit Conductor(int nranks);
   Conductor(int nranks, ConductorBackend backend);
+  /// Multi-group conductor: one block of ranks per group (tenant), all
+  /// multiplexed on the same baton/fiber scheduler. Group g's ranks get
+  /// global ids [base_g, base_g + sizes[g]) and see group-local
+  /// rank()/size(); the baton still grants strictly by (clock, global id),
+  /// so cross-tenant interleaving is a deterministic function of virtual
+  /// time alone.
+  explicit Conductor(const std::vector<int>& group_sizes);
+  Conductor(const std::vector<int>& group_sizes, ConductorBackend backend);
   ~Conductor();
 
   /// Process-wide default backend: ConductorBackend::Fibers, unless the
@@ -148,15 +166,32 @@ class Conductor {
   /// Execute `program(ctx)` for every rank; returns when all rank
   /// programs have finished. Rethrows the first exception raised by any
   /// rank. Under the fiber backend everything runs on the calling thread.
+  /// Multi-group conductors run the same program for every group (each
+  /// rank still sees its group-local rank()/size()).
   void run(const std::function<void(RankCtx&)>& program);
+
+  /// Execute `programs[g](ctx)` for every rank of every group g (one
+  /// program per group; programs.size() must equal groups()). The
+  /// per-group programs are multiplexed on one scheduler — the
+  /// multi-tenant execution primitive.
+  void run(const std::vector<std::function<void(RankCtx&)>>& programs);
 
   int size() const { return static_cast<int>(states_.size()); }
 
-  /// Virtual time at which `rank` finished its program (valid after run()).
+  int groups() const { return static_cast<int>(group_size_.size()); }
+  int group_size(int g) const;
+  /// Global id of group `g`'s rank 0.
+  int group_base(int g) const;
+
+  /// Virtual time at which global rank `rank` finished its program (valid
+  /// after run()).
   Time finish_time(int rank) const;
 
   /// max over ranks of finish_time — the simulated wall-clock of the job.
   Time makespan() const;
+
+  /// max over group `g`'s ranks of finish_time — the group's completion.
+  Time group_makespan(int g) const;
 
   /// Total number of baton acquisitions (diagnostic / perf counter).
   std::uint64_t actions() const { return actions_; }
@@ -207,11 +242,14 @@ class Conductor {
   void abort_with(std::exception_ptr e);
   [[noreturn]] void throw_aborted();
 
-  void run_threads(const std::function<void(RankCtx&)>& program);
-  void run_fibers(const std::function<void(RankCtx&)>& program);
-  void fiber_body(int rank, const std::function<void(RankCtx&)>& program);
+  void run_threads(const std::vector<std::function<void(RankCtx&)>>& programs);
+  void run_fibers(const std::vector<std::function<void(RankCtx&)>>& programs);
+  void fiber_body(int gid, const std::function<void(RankCtx&)>& program);
+  int group_of(int gid) const;
 
   ConductorBackend backend_;
+  std::vector<int> group_size_;  // ranks per group
+  std::vector<int> group_base_;  // first global id per group
   std::mutex mutex_;
   std::vector<std::unique_ptr<RankState>> states_;
   std::set<std::pair<Time, int>> runnable_;

@@ -11,7 +11,11 @@
 //   scale       — paper-scale single runs (576-rank Tile-I/O cell, 8192-rank
 //                 IOR smoke) with wall time and the process peak-RSS
 //                 high-water mark after each (absent when built against
-//                 trees whose conductor cannot reach those rank counts).
+//                 trees whose conductor cannot reach those rank counts);
+//   contention  — a 3-tenant shared-system run (tenant 0 write-comm-2 plus
+//                 two NoOverlap neighbors, fair-share storage) timed like a
+//                 grid cell: multi-tenant runs/sec is the tracked figure
+//                 (absent on trees without the tenancy layer).
 //
 // Deliberately restricted to the long-stable harness API (execute,
 // run_overlap_sweep, scaled presets) so the identical source compiles
@@ -32,10 +36,12 @@
 #include <vector>
 
 #include "harness/sweep.hpp"
+#include "harness/tenancy.hpp"
 
 namespace coll = tpio::coll;
 namespace wl = tpio::wl;
 namespace xp = tpio::xp;
+namespace pfs = tpio::pfs;
 
 namespace {
 
@@ -131,6 +137,49 @@ ScalePoint time_scale_point(const char* name, wl::Spec workload, int nprocs,
   return p;
 }
 
+struct ContentionPoint {
+  int tenants = 3;
+  int nprocs = 16;
+  std::uint64_t block_bytes = 1ull << 20;
+  int reps = 0;
+  double wall_s = 0.0;
+  double runs_per_s = 0.0;
+  double t0_sim_ms = 0.0;  // measured tenant's turnaround (last rep)
+};
+
+ContentionPoint time_contention(double min_wall_s) {
+  ContentionPoint p;
+  xp::RunSpec measured;
+  measured.platform = xp::scaled(xp::ibex());
+  measured.workload = wl::make_ior(p.block_bytes);
+  measured.nprocs = p.nprocs;
+  measured.options.cb_size = xp::kCbSize;
+  measured.options.overlap = coll::OverlapMode::WriteComm2;
+  xp::RunSpec neighbor = measured;
+  neighbor.options.overlap = coll::OverlapMode::None;
+
+  xp::MultiRunSpec ms;
+  ms.tenants = {measured, neighbor, neighbor};
+  ms.qos = pfs::QosPolicy::FairShare;
+
+  ms.seed = 1;
+  (void)xp::execute_multi(ms);  // warm-up, as in time_cell
+
+  const Clock::time_point t0 = Clock::now();
+  int reps = 0;
+  do {
+    ms.seed = static_cast<std::uint64_t>(2 + reps);
+    p.t0_sim_ms =
+        static_cast<double>(xp::execute_multi(ms).tenants[0].run.makespan) /
+        1e6;
+    ++reps;
+  } while (seconds_since(t0) < min_wall_s || reps < 3);
+  p.wall_s = seconds_since(t0);
+  p.reps = reps;
+  p.runs_per_s = reps / p.wall_s;
+  return p;
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   for (char ch : s) {
@@ -201,6 +250,12 @@ int main(int argc, char** argv) {
                  p.peak_rss_mib_after);
   }
 
+  const ContentionPoint cont = time_contention(min_wall_s);
+  std::fprintf(stderr,
+               "contention t=%d p=%d %4d reps  %7.2f runs/s  t0 %.2f sim-ms\n",
+               cont.tenants, cont.nprocs, cont.reps, cont.runs_per_s,
+               cont.t0_sim_ms);
+
   std::string j;
   j += "{\n";
   j += "  \"schema\": \"tpio-bench-perf-1\",\n";
@@ -238,7 +293,16 @@ int main(int argc, char** argv) {
                   p.peak_rss_mib_after, i + 1 < scale.size() ? "," : "");
     j += buf;
   }
-  j += "  ]\n";
+  j += "  ],\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"contention\": {\"tenants\": %d, \"workload\": \"ior\", "
+                "\"nprocs\": %d, \"block_bytes\": %llu, \"qos\": \"fair\", "
+                "\"reps\": %d, \"wall_s\": %.4f, \"runs_per_s\": %.3f, "
+                "\"t0_sim_ms\": %.3f}\n",
+                cont.tenants, cont.nprocs,
+                static_cast<unsigned long long>(cont.block_bytes), cont.reps,
+                cont.wall_s, cont.runs_per_s, cont.t0_sim_ms);
+  j += buf;
   j += "}\n";
 
   if (!out_path.empty()) {

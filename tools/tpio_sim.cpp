@@ -10,13 +10,90 @@
 #include <vector>
 
 #include "harness/cli.hpp"
+#include "harness/tenancy.hpp"
 #include "simbase/error.hpp"
+#include "simbase/rng.hpp"
 #include "simbase/stats.hpp"
 #include "simbase/units.hpp"
 
 namespace xp = tpio::xp;
 namespace sim = tpio::sim;
 namespace coll = tpio::coll;
+
+namespace {
+
+// --tenants N: the measured spec runs as tenant 0 of a shared system with
+// N-1 same-shape NoOverlap background writers. Reports the measured
+// tenant's turnaround across reps plus its interference accounting; the
+// first rep also runs each tenant solo to report slowdown factors.
+int run_multi(const xp::CliConfig& cfg) {
+  xp::MultiRunSpec ms;
+  ms.tenants.assign(static_cast<std::size_t>(cfg.tenants), cfg.spec);
+  for (int t = 1; t < cfg.tenants; ++t) {
+    ms.tenants[static_cast<std::size_t>(t)].options.overlap =
+        coll::OverlapMode::None;
+  }
+  ms.arrival = cfg.arrival;
+  ms.qos = cfg.qos;
+  if (cfg.qos == tpio::pfs::QosPolicy::Priority) {
+    // The measured tenant rides the top class; neighbors are best-effort.
+    ms.priorities.assign(static_cast<std::size_t>(cfg.tenants), 0);
+    ms.priorities[0] = 1;
+  }
+
+  std::printf("tenants=%d arrival=%s qos=%s (tenant 0 measured, %d "
+              "no-overlap background writer%s)\n",
+              cfg.tenants, xp::to_string(cfg.arrival.model),
+              tpio::pfs::to_string(cfg.qos), cfg.tenants - 1,
+              cfg.tenants == 2 ? "" : "s");
+
+  sim::Summary times;
+  xp::MultiRunResult first;
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    ms.seed = sim::Rng::derive_seed(cfg.seed_base, static_cast<std::uint64_t>(rep));
+    const xp::MultiRunResult r = xp::execute_multi(ms, rep == 0);
+    if (rep == 0) first = r;
+    times.add(sim::to_millis(r.tenants[0].run.makespan));
+    for (int t = 0; t < cfg.tenants; ++t) {
+      const auto& run = r.tenants[static_cast<std::size_t>(t)].run;
+      if (!run.io_error.empty()) {
+        std::printf("tenant %d io error: %s\n", t, run.io_error.c_str());
+      }
+      if (!run.verify_error.empty()) {
+        std::printf("tenant %d verify error: %s\n", t,
+                    run.verify_error.c_str());
+        return 1;
+      }
+    }
+  }
+
+  for (int t = 0; t < cfg.tenants; ++t) {
+    const auto& tr = first.tenants[static_cast<std::size_t>(t)];
+    std::printf("tenant %d: arrival=%.3f ms turnaround=%.3f ms "
+                "slowdown=%.2fx  [%llu storage reqs, cross-tenant wait "
+                "%.3f ms, peak queue depth %d]\n",
+                t, sim::to_millis(tr.run.arrival),
+                sim::to_millis(tr.run.makespan), tr.slowdown,
+                static_cast<unsigned long long>(tr.qos.requests),
+                sim::to_millis(tr.qos.cross_wait), tr.qos.peak_active);
+  }
+  std::printf("system makespan (first rep): %.3f ms\n",
+              sim::to_millis(first.makespan));
+  std::printf("tenant 0 turnaround: min=%.3f ms  median=%.3f ms  "
+              "max=%.3f ms\n",
+              times.min(), times.median(), times.max());
+  std::printf("tenant 0 effective bandwidth (best): %s\n",
+              sim::format_bandwidth(
+                  static_cast<double>(first.tenants[0].run.bytes) /
+                  (times.min() * 1e-3))
+                  .c_str());
+  if (cfg.spec.verify) {
+    std::puts("verification: OK (every tenant, all repetitions byte-exact)");
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const xp::CliConfig cfg =
@@ -39,6 +116,15 @@ int main(int argc, char** argv) {
               sim::format_bytes(cfg.spec.options.cb_size).c_str(),
               coll::to_string(cfg.spec.options.overlap),
               coll::to_string(cfg.spec.options.transfer), cfg.reps);
+
+  if (cfg.tenants > 1) {
+    try {
+      return run_multi(cfg);
+    } catch (const tpio::Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
 
   // execute_series asserts post-run verification; with injected faults a
   // give-up legitimately leaves a hole — report that as a clean error.

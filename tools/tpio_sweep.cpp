@@ -40,6 +40,11 @@ int main(int argc, char** argv) {
   tpio::pfs::FaultParams faults;
   xp::ExecOptions exec;
   exec.jobs = 0;  // hardware concurrency
+  // --tenants > 1 switches the overlap sweep to the contended variant:
+  // every grid cell runs as tenant 0 of a shared system with N-1
+  // same-shape NoOverlap background writers.
+  long long tenants = 1;
+  xp::ContentionConfig tenancy;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--platform" && i + 1 < argc) {
@@ -128,6 +133,27 @@ int main(int argc, char** argv) {
         return 2;
       }
       base.max_retries = static_cast<int>(n);
+    } else if (a == "--tenants" && i + 1 < argc) {
+      if (!xp::parse_int_arg(argv[++i], 1, 64, tenants)) {
+        std::fprintf(stderr, "--tenants wants a count in [1, 64], got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (a == "--arrival" && i + 1 < argc) {
+      if (!xp::parse_arrival_arg(argv[++i], tenancy.arrival)) {
+        std::fprintf(stderr,
+                     "--arrival wants fixed:MS|poisson:MS|trace:MS,MS,..., "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (a == "--qos" && i + 1 < argc) {
+      try {
+        tenancy.qos = tpio::pfs::parse_qos(argv[++i]);
+      } catch (const tpio::Error& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: tpio_sweep [--platform crill|ibex|lustre] "
@@ -137,7 +163,9 @@ int main(int argc, char** argv) {
                    "[--conductor fibers|threads] "
                    "[--resume FILE] [--progress] "
                    "[--fault-rate R] [--fault-seed N] [--straggler F] "
-                   "[--straggler-targets N] [--max-retries N]\n");
+                   "[--straggler-targets N] [--max-retries N] "
+                   "[--tenants N] [--arrival fixed:MS|poisson:MS|"
+                   "trace:MS,MS,...] [--qos fifo|fair|priority]\n");
       return 2;
     }
   }
@@ -161,7 +189,25 @@ int main(int argc, char** argv) {
   // violations) by throwing; report those as a clean CLI error, not an
   // uncaught-exception abort.
   try {
-    if (primitives) {
+    if (tenants > 1) {
+      if (primitives) {
+        std::fprintf(stderr,
+                     "--primitives and --tenants cannot be combined "
+                     "(the contended sweep covers the overlap grid)\n");
+        return 2;
+      }
+      tenancy.neighbors = static_cast<int>(tenants) - 1;
+      std::puts("platform,benchmark,size,procs,overlap,min_ms");
+      for (const auto& s : xp::run_contended_sweep(
+               plat, base, tenancy, static_cast<int>(reps), 0xC57, quick,
+               exec)) {
+        for (const auto& [m, ms] : s.min_ms) {
+          std::printf("%s,%s,%s,%d,%s,%.6f\n", s.platform.c_str(),
+                      wl::to_string(s.kind), s.size_label.c_str(), s.procs,
+                      coll::to_string(m), ms);
+        }
+      }
+    } else if (primitives) {
       std::puts("platform,benchmark,size,procs,transfer,min_ms");
       for (const auto& s : xp::run_primitive_sweep(
                plat, base, static_cast<int>(reps), 0xC57, quick, exec)) {
