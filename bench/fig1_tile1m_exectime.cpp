@@ -35,32 +35,43 @@ int main(int argc, char** argv) {
   if (!args.ok) {
     std::fprintf(stderr,
                  "usage: fig1_tile1m_exectime [--quick] [--jobs N] "
-                 "[--progress]\n");
+                 "[--progress] [--paper-scale]\n");
     return 2;
   }
   const bool quick = args.quick;
+  // --paper-scale runs the published 256/576-process points on the
+  // unscaled platform presets (paper collective buffer, stripes, eager
+  // limit); the default grid uses the 1/8-geometry stand-ins.
   const std::vector<int> proc_counts =
-      quick ? std::vector<int>{16, 36} : std::vector<int>{64, 144};
+      args.paper_scale ? (quick ? std::vector<int>{256}
+                                : std::vector<int>{256, 576})
+                       : (quick ? std::vector<int>{16, 36}
+                                : std::vector<int>{64, 144});
   const int reps = quick ? 2 : 3;
 
   std::puts("== Fig. 1: Tile I/O (1M elements) execution time per overlap "
             "algorithm ==");
-  std::puts("Paper (256/576 procs): crill ~0%/6% best improvement; "
-            "ibex ~34%/17%. Scaled stand-ins: 64/144 procs.\n");
+  if (args.paper_scale) {
+    std::puts("Paper (256/576 procs): crill ~0%/6% best improvement; "
+              "ibex ~34%/17%. Unscaled geometry.\n");
+  } else {
+    std::puts("Paper (256/576 procs): crill ~0%/6% best improvement; "
+              "ibex ~34%/17%. Scaled stand-ins: 64/144 procs.\n");
+  }
 
   // Plan the (platform x procs x mode) grid, fan out over the executor,
   // then render rows in grid order. Seeds depend only on the grid point,
   // so any --jobs value prints the identical table.
   std::vector<xp::SweepJob> jobs;
   for (const auto& platform : {xp::crill(), xp::ibex()}) {
-    const xp::Platform plat = xp::scaled(platform);
+    const xp::Platform plat = xp::bench_platform(platform, args.paper_scale);
     for (int procs : proc_counts) {
       for (coll::OverlapMode mode : kModes) {
         xp::RunSpec spec;
         spec.platform = plat;
         spec.workload = wl::make_tile1m(1, 2);  // 2 MiB per process
         spec.nprocs = procs;
-        spec.options.cb_size = xp::kCbSize;
+        spec.options.cb_size = xp::bench_cb_size(args.paper_scale);
         spec.options.overlap = mode;
         const std::uint64_t seed =
             0xF161000 + static_cast<std::uint64_t>(procs);
@@ -80,7 +91,7 @@ int main(int argc, char** argv) {
                    "vs no-overlap"});
   std::size_t i = 0;
   for (const auto& platform : {xp::crill(), xp::ibex()}) {
-    const xp::Platform plat = xp::scaled(platform);
+    const xp::Platform plat = xp::bench_platform(platform, args.paper_scale);
     for (int procs : proc_counts) {
       double base = 0.0;
       for (coll::OverlapMode mode : kModes) {

@@ -22,7 +22,9 @@ int run_improvement_figure(const xp::Platform& platform, const char* figure,
                            const char* paper_note, int argc, char** argv) {
   const xp::BenchArgs args = xp::parse_bench_args(argc, argv);
   if (!args.ok) {
-    std::fprintf(stderr, "usage: %s [--quick] [--jobs N] [--progress]\n",
+    std::fprintf(stderr,
+                 "usage: %s [--quick] [--jobs N] [--progress] "
+                 "[--paper-scale]\n",
                  argv[0]);
     return 2;
   }
@@ -31,10 +33,11 @@ int run_improvement_figure(const xp::Platform& platform, const char* figure,
 
   std::printf("== %s: average positive improvement over no-overlap, %s ==\n",
               figure, platform.name.c_str());
-  std::printf("%s\n\n", paper_note);
+  std::printf("%s%s\n\n", paper_note,
+              args.paper_scale ? " (unscaled paper geometry)" : "");
 
-  const auto sweep =
-      xp::run_overlap_sweep(platform, reps, 0xF16, quick, args.exec);
+  const auto sweep = xp::run_overlap_sweep(platform, reps, 0xF16, quick,
+                                           args.exec, args.paper_scale);
 
   xp::Table table({"Benchmark", "Comm Overlap", "Write Overlap",
                    "Write-Comm Overlap", "Write-Comm 2 Overlap"});

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <span>
+#include <tuple>
 
 #include "core/autotune.hpp"
 #include "core/plan_cache.hpp"
@@ -115,39 +117,6 @@ void Engine::leader_gather(int cycle, int slot) {
   const int me = mpi_.rank();
   const int A = plan_.num_aggregators();
 
-  // The staging layout: concatenation over aggregators of the node's
-  // coalesced cycle segments, file-ordered within each aggregator slice.
-  // Every member derives it identically from the shared plan, so members
-  // pack and the leader unpacks without exchanging metadata.
-  std::vector<Segment> layout;  // local_offset = position in stage
-  std::uint64_t stage_bytes = 0;
-  for (int a = 0; a < A; ++a) {
-    const Plan::Range r = plan_.cycle_range(a, cycle);
-    const auto segs = plan_.node_segments_in(node_, r.begin, r.end);
-    for (Segment g : segs) {
-      g.local_offset += stage_bytes;
-      layout.push_back(g);
-    }
-    if (!segs.empty()) {
-      stage_bytes += segs.back().local_offset + segs.back().length;
-    }
-  }
-  if (stage_bytes == 0) return;  // node contributes nothing this cycle
-
-  // Map a member piece to its slot in the merged layout. Union segments
-  // are maximal coalesced runs, so each piece fits inside exactly one.
-  auto stage_pos = [&](const Segment& piece) -> std::uint64_t {
-    auto it = std::upper_bound(
-        layout.begin(), layout.end(), piece.file_offset,
-        [](std::uint64_t v, const Segment& g) { return v < g.file_offset; });
-    TPIO_CHECK(it != layout.begin(), "gather piece outside node layout");
-    --it;
-    TPIO_CHECK(piece.file_offset >= it->file_offset &&
-                   piece.file_offset + piece.length <=
-                       it->file_offset + it->length,
-               "gather piece straddles node layout");
-    return it->local_offset + (piece.file_offset - it->file_offset);
-  };
   // Pieces of member `m`, in the (aggregator, file-offset) pack order.
   auto pieces_of = [&](int m) {
     std::vector<Segment> out;
@@ -206,8 +175,44 @@ void Engine::leader_gather(int cycle, int slot) {
     return;
   }
 
-  // Leader: receive every member's packed pieces, scatter them (and our
-  // own) into the merged staging buffer.
+  // Leader: derive the staging layout — concatenation over aggregators of
+  // the node's coalesced cycle segments, file-ordered within each
+  // aggregator slice. Only leaders compute it (it reads every member's
+  // view, which the sparse metadata exchange delivers to leaders alone);
+  // members pack against pieces_of(me), whose positions the leader
+  // re-derives when unpacking, so no gather metadata is exchanged.
+  std::vector<Segment> layout;  // local_offset = position in stage
+  std::uint64_t stage_bytes = 0;
+  for (int a = 0; a < A; ++a) {
+    const Plan::Range r = plan_.cycle_range(a, cycle);
+    const auto segs = plan_.node_segments_in(node_, r.begin, r.end);
+    for (Segment g : segs) {
+      g.local_offset += stage_bytes;
+      layout.push_back(g);
+    }
+    if (!segs.empty()) {
+      stage_bytes += segs.back().local_offset + segs.back().length;
+    }
+  }
+  if (stage_bytes == 0) return;  // node contributes nothing this cycle
+
+  // Map a member piece to its slot in the merged layout. Union segments
+  // are maximal coalesced runs, so each piece fits inside exactly one.
+  auto stage_pos = [&](const Segment& piece) -> std::uint64_t {
+    auto it = std::upper_bound(
+        layout.begin(), layout.end(), piece.file_offset,
+        [](std::uint64_t v, const Segment& g) { return v < g.file_offset; });
+    TPIO_CHECK(it != layout.begin(), "gather piece outside node layout");
+    --it;
+    TPIO_CHECK(piece.file_offset >= it->file_offset &&
+                   piece.file_offset + piece.length <=
+                       it->file_offset + it->length,
+               "gather piece straddles node layout");
+    return it->local_offset + (piece.file_offset - it->file_offset);
+  };
+
+  // Receive every member's packed pieces, scatter them (and our own) into
+  // the merged staging buffer.
   ScopedTraceEvent ev_(opt_.trace, "leader_gather", cycle, mpi_.ctx().now());
   struct F_ { ScopedTraceEvent& e; smpi::Mpi& m; ~F_() { e.finish(m.ctx().now()); } } f_{ev_, mpi_};
   // The staging buffer is fully covered by the members' pieces, so it
@@ -893,11 +898,22 @@ Result collective_write(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
   Result res;
   const sim::Time start = mpi.ctx().now();
 
-  // Metadata phase: exchange flattened views; every rank derives the same
-  // plan deterministically.
+  // Metadata phase, stage 1: allgather the fixed-size view summaries —
+  // O(P·32B) per rank instead of the old O(P·view) full-blob allgatherv —
+  // and derive the shared geometry skeleton deterministically on every
+  // rank.
   PhaseTimings t;
   const sim::Time meta_start = mpi.ctx().now();
-  auto blobs = mpi.allgatherv(view.serialize());
+  const ViewSummary my_summary = view.summarize();
+  std::vector<ViewSummary> summaries;
+  {
+    const auto blobs =
+        mpi.allgather(std::as_bytes(std::span(&my_summary, 1)));
+    summaries.resize(blobs.size());
+    for (std::size_t r = 0; r < blobs.size(); ++r) {
+      std::memcpy(&summaries[r], blobs[r].data(), sizeof(ViewSummary));
+    }
+  }
   const net::Topology& topo = mpi.machine().fabric().topology();
   const std::uint64_t stripe = file.stripe_size();
 
@@ -911,7 +927,7 @@ Result collective_write(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
   AutoDecision warm;
   if (opt.overlap == OverlapMode::Auto && !opt.tuning_cache.empty()) {
     std::uint64_t global_bytes = 0;
-    for (const auto& b : blobs) global_bytes += FileView::blob_total_bytes(b);
+    for (const ViewSummary& s : summaries) global_bytes += s.total_bytes;
     const std::string key =
         platform_signature(topo, mpi.machine().fabric().params(),
                            mpi.machine().params(), file.params()) +
@@ -933,12 +949,44 @@ Result collective_write(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
     }
   }
 
-  // Plan memoization: every rank of every repetition derives the same plan
-  // from the same exchanged blobs — build it once per geometry and share
-  // the immutable instance (bit-identical to a fresh construction; plan
-  // building never advances the virtual clock).
-  std::shared_ptr<const Plan> plan =
-      PlanCache::get_or_build(blobs, topo, stripe, eff);
+  // The skeleton (aggregator map, domains, cycle count) comes from the
+  // summaries alone, built once per geometry and shared across ranks.
+  std::shared_ptr<const PlanSkeleton> skel =
+      PlanCache::get_or_build_skeleton(summaries, topo, stripe, eff);
+
+  // Stage 2: targeted delivery of the full view blobs. Aggregators plan
+  // over every source (their incoming_segments walk all views); node
+  // leaders additionally unpack their members' gather pieces, so they pull
+  // the node's rank interval; everyone else keeps only its own view.
+  const int me = mpi.rank();
+  const int P = topo.nprocs();
+  int want_b = 0, want_e = 0;
+  if (skel->is_aggregator(me)) {
+    want_e = P;
+  } else if (eff.hierarchical && skel->is_leader(me)) {
+    std::tie(want_b, want_e) = skel->node_rank_range(topo.node_of(me));
+  }
+  std::shared_ptr<const Plan> plan;
+  {
+    auto delivered = mpi.sparse_allgatherv(view.serialize(), want_b, want_e,
+                                           eff.dense_metadata);
+    if (static_cast<int>(delivered.size()) == P) {
+      // Every view held (aggregator, or dense_metadata): share one dense
+      // plan per geometry through the memoizing cache, as the legacy
+      // single-stage path did — bit-identical to a fresh construction.
+      std::vector<std::vector<std::byte>> blobs;
+      blobs.reserve(delivered.size());
+      for (auto& [r, b] : delivered) blobs.push_back(std::move(b));
+      plan = PlanCache::get_or_build(blobs, topo, stripe, eff);
+    } else {
+      std::vector<std::pair<int, FileView>> held;
+      held.reserve(delivered.size());
+      for (auto& [r, b] : delivered) {
+        held.emplace_back(r, FileView::deserialize(b));
+      }
+      plan = std::make_shared<const Plan>(skel, std::move(held));
+    }
+  }
   t.meta += mpi.ctx().now() - meta_start;
 
   Engine engine(mpi, file, *plan, data, eff, t);

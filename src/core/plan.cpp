@@ -17,30 +17,22 @@ int auto_aggregator_count(std::uint64_t total_bytes, std::uint64_t cb_size,
   return std::clamp(a, 1, topo.nprocs());
 }
 
-Plan::Plan(std::vector<FileView> views, const net::Topology& topo,
-           std::uint64_t stripe_size, const Options& opt)
-    : views_(std::move(views)),
-      topo_(topo),
-      hierarchical_(opt.hierarchical) {
+PlanSkeleton::PlanSkeleton(std::span<const ViewSummary> summaries,
+                           const net::Topology& topo,
+                           std::uint64_t stripe_size, const Options& opt)
+    : topo_(topo), hierarchical_(opt.hierarchical) {
   const int P = topo.nprocs();
-  TPIO_CHECK(static_cast<int>(views_.size()) == P,
-             "one view per rank required");
+  TPIO_CHECK(static_cast<int>(summaries.size()) == P,
+             "one view summary per rank required");
 
-  // Global range and volume.
+  // Global range and volume. Empty views carry the identity summary
+  // (first_offset = MAX, last_end = 0), so min/max skip them naturally.
   range_begin_ = UINT64_MAX;
   range_end_ = 0;
-  local_prefix_.resize(views_.size());
-  for (std::size_t r = 0; r < views_.size(); ++r) {
-    views_[r].validate();
-    std::uint64_t pos = 0;
-    local_prefix_[r].reserve(views_[r].extents.size());
-    for (const Extent& e : views_[r].extents) {
-      local_prefix_[r].push_back(pos);
-      pos += e.length;
-      range_begin_ = std::min(range_begin_, e.offset);
-      range_end_ = std::max(range_end_, e.end());
-    }
-    global_bytes_ += pos;
+  for (const ViewSummary& s : summaries) {
+    range_begin_ = std::min(range_begin_, s.first_offset);
+    range_end_ = std::max(range_end_, s.last_end);
+    global_bytes_ += s.total_bytes;
   }
   if (global_bytes_ == 0) {
     range_begin_ = range_end_ = 0;
@@ -118,15 +110,7 @@ Plan::Plan(std::vector<FileView> views, const net::Topology& topo,
   num_cycles_ = static_cast<int>((max_domain + sub_buffer_ - 1) / sub_buffer_);
 }
 
-bool Plan::is_aggregator(int rank) const {
-  return agg_index_of_rank_[static_cast<std::size_t>(rank)] >= 0;
-}
-
-int Plan::agg_index(int rank) const {
-  return agg_index_of_rank_[static_cast<std::size_t>(rank)];
-}
-
-Plan::Range Plan::cycle_range(int a, int c) const {
+PlanSkeleton::Range PlanSkeleton::cycle_range(int a, int c) const {
   const Range d = domains_[static_cast<std::size_t>(a)];
   const std::uint64_t lo =
       d.begin + static_cast<std::uint64_t>(c) * sub_buffer_;
@@ -134,12 +118,100 @@ Plan::Range Plan::cycle_range(int a, int c) const {
   return Range{lo, std::min(d.end, lo + sub_buffer_)};
 }
 
+std::pair<int, int> PlanSkeleton::node_rank_range(int node) const {
+  TPIO_CHECK(node >= 0 && node < topo_.nodes, "node outside topology");
+  const int first = node * topo_.procs_per_node;
+  const int last =
+      std::min((node + 1) * topo_.procs_per_node, topo_.nprocs());
+  TPIO_CHECK(first < last, "empty node in topology");
+  return {first, last};
+}
+
+namespace {
+
+std::vector<ViewSummary> summarize_all(const std::vector<FileView>& views) {
+  std::vector<ViewSummary> out;
+  out.reserve(views.size());
+  for (const FileView& v : views) out.push_back(v.summarize());
+  return out;
+}
+
+}  // namespace
+
+Plan::Plan(std::vector<FileView> views, const net::Topology& topo,
+           std::uint64_t stripe_size, const Options& opt) {
+  const int P = topo.nprocs();
+  TPIO_CHECK(static_cast<int>(views.size()) == P,
+             "one view per rank required");
+  for (const FileView& v : views) v.validate();
+  skel_ = std::make_shared<const PlanSkeleton>(summarize_all(views), topo,
+                                               stripe_size, opt);
+  views_ = std::move(views);
+  held_ranks_.reserve(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) held_ranks_.push_back(r);
+  index_views();
+}
+
+Plan::Plan(std::shared_ptr<const PlanSkeleton> skeleton,
+           std::vector<std::pair<int, FileView>> held)
+    : skel_(std::move(skeleton)) {
+  TPIO_CHECK(skel_ != nullptr, "partial plan requires a skeleton");
+  held_ranks_.reserve(held.size());
+  views_.reserve(held.size());
+  int prev = -1;
+  for (auto& [r, v] : held) {
+    TPIO_CHECK(r > prev, "held views must be ascending by rank");
+    TPIO_CHECK(r >= 0 && r < skel_->topology().nprocs(),
+               "held view rank outside the job");
+    v.validate();
+    held_ranks_.push_back(r);
+    views_.push_back(std::move(v));
+    prev = r;
+  }
+  index_views();
+}
+
+void Plan::index_views() {
+  dense_ = static_cast<int>(held_ranks_.size()) ==
+               skel_->topology().nprocs() &&
+           (held_ranks_.empty() || held_ranks_.front() == 0);
+  prefix_.resize(views_.size());
+  for (std::size_t i = 0; i < views_.size(); ++i) {
+    std::uint64_t pos = 0;
+    prefix_[i].clear();
+    prefix_[i].reserve(views_[i].extents.size());
+    for (const Extent& e : views_[i].extents) {
+      prefix_[i].push_back(pos);
+      pos += e.length;
+    }
+  }
+}
+
+bool Plan::holds_view(int r) const {
+  if (dense_) return r >= 0 && r < static_cast<int>(held_ranks_.size());
+  return std::binary_search(held_ranks_.begin(), held_ranks_.end(), r);
+}
+
+std::size_t Plan::held_slot(int r) const {
+  if (dense_) {
+    TPIO_CHECK(r >= 0 && r < static_cast<int>(held_ranks_.size()),
+               "rank outside the job");
+    return static_cast<std::size_t>(r);
+  }
+  auto it = std::lower_bound(held_ranks_.begin(), held_ranks_.end(), r);
+  TPIO_CHECK(it != held_ranks_.end() && *it == r,
+             "view queried for a rank whose view was not delivered here — "
+             "widen the want interval or use dense_metadata");
+  return static_cast<std::size_t>(it - held_ranks_.begin());
+}
+
 std::vector<Segment> Plan::segments_in(int r, std::uint64_t lo,
                                        std::uint64_t hi) const {
   std::vector<Segment> out;
   if (lo >= hi) return out;
-  const auto& exts = views_[static_cast<std::size_t>(r)].extents;
-  const auto& prefix = local_prefix_[static_cast<std::size_t>(r)];
+  const std::size_t slot = held_slot(r);
+  const auto& exts = views_[slot].extents;
+  const auto& prefix = prefix_[slot];
   // First extent whose end is past lo.
   auto it = std::lower_bound(
       exts.begin(), exts.end(), lo,
@@ -152,15 +224,6 @@ std::vector<Segment> Plan::segments_in(int r, std::uint64_t lo,
     out.push_back(Segment{s, prefix[idx] + (s - it->offset), e - s});
   }
   return out;
-}
-
-std::pair<int, int> Plan::node_rank_range(int node) const {
-  TPIO_CHECK(node >= 0 && node < topo_.nodes, "node outside topology");
-  const int first = node * topo_.procs_per_node;
-  const int last =
-      std::min((node + 1) * topo_.procs_per_node, topo_.nprocs());
-  TPIO_CHECK(first < last, "empty node in topology");
-  return {first, last};
 }
 
 std::vector<Segment> Plan::node_segments_in(int node, std::uint64_t lo,
@@ -206,7 +269,8 @@ std::uint64_t Plan::node_bytes_in(int node, std::uint64_t lo,
 
 std::uint64_t Plan::bytes_in(int r, std::uint64_t lo, std::uint64_t hi) const {
   if (lo >= hi) return 0;
-  const auto& exts = views_[static_cast<std::size_t>(r)].extents;
+  const std::size_t slot = held_slot(r);
+  const auto& exts = views_[slot].extents;
   auto it = std::lower_bound(
       exts.begin(), exts.end(), lo,
       [](const Extent& e, std::uint64_t v) { return e.end() <= v; });

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -16,13 +18,17 @@ struct Segment {
   std::uint64_t length = 0;
 };
 
-/// The distribution plan of one collective write, identical on every rank
-/// (derived deterministically from the exchanged views). Owns no payload.
-class Plan {
+/// Everything about a collective write's geometry that is derivable from
+/// the per-rank ViewSummary table alone: file range, global volume,
+/// aggregator placement, file domains, leader election, cycle count. Built
+/// once per (summary table, topology, options) and shared across ranks via
+/// shared_ptr — per-rank copies of the O(P) placement arrays would put the
+/// O(P²) aggregate memory the two-stage exchange removes right back.
+class PlanSkeleton {
  public:
-  /// `views[r]` is rank r's file view; `topo` maps ranks to nodes.
-  Plan(std::vector<FileView> views, const net::Topology& topo,
-       std::uint64_t stripe_size, const Options& opt);
+  PlanSkeleton(std::span<const ViewSummary> summaries,
+               const net::Topology& topo, std::uint64_t stripe_size,
+               const Options& opt);
 
   int num_aggregators() const { return static_cast<int>(domains_.size()); }
   int num_cycles() const { return num_cycles_; }
@@ -31,71 +37,138 @@ class Plan {
   std::uint64_t range_begin() const { return range_begin_; }
   std::uint64_t range_end() const { return range_end_; }
 
-  bool is_aggregator(int rank) const;
-  /// Index into domains for an aggregator rank (-1 otherwise).
-  int agg_index(int rank) const;
-  /// The rank serving aggregator index `a`.
+  bool is_aggregator(int rank) const {
+    return agg_index_of_rank_[static_cast<std::size_t>(rank)] >= 0;
+  }
+  int agg_index(int rank) const {
+    return agg_index_of_rank_[static_cast<std::size_t>(rank)];
+  }
   int agg_rank(int a) const { return agg_ranks_[static_cast<std::size_t>(a)]; }
 
   struct Range {
     std::uint64_t begin = 0, end = 0;
     std::uint64_t size() const { return end - begin; }
   };
-  /// File-domain of aggregator `a` (may be empty).
   Range domain(int a) const { return domains_[static_cast<std::size_t>(a)]; }
-  /// The slice of domain `a` processed in cycle `c`.
   Range cycle_range(int a, int c) const;
 
-  /// Segments of rank `r`'s view that fall in [lo, hi), with local offsets.
-  std::vector<Segment> segments_in(int r, std::uint64_t lo,
-                                   std::uint64_t hi) const;
-  /// Total bytes of rank `r`'s view inside [lo, hi) (cheaper than
-  /// materializing the segments).
-  std::uint64_t bytes_in(int r, std::uint64_t lo, std::uint64_t hi) const;
-
-  // ----- two-level (hierarchical) routing ---------------------------------
-  /// Whether this plan was built with Options::hierarchical.
   bool hierarchical() const { return hierarchical_; }
   const net::Topology& topology() const { return topo_; }
-  /// The rank elected leader of `node` (per Options::leader_policy).
   int leader_rank(int node) const {
     return leader_by_node_[static_cast<std::size_t>(node)];
   }
-  /// The leader of `rank`'s node.
   int leader_of(int rank) const { return leader_rank(topo_.node_of(rank)); }
   bool is_leader(int rank) const { return leader_of(rank) == rank; }
-  /// Half-open rank interval [first, last) living on `node` (block
-  /// mapping; the last node may be partially filled).
   std::pair<int, int> node_rank_range(int node) const;
-  /// Union of the node's members' segments inside [lo, hi): coalesced
-  /// (touching/overlapping pieces merged), ordered by file offset, with
-  /// `local_offset` re-purposed as the position inside the node's merged
-  /// message. Single-member nodes return segments_in(member) verbatim so
-  /// the hierarchical path degenerates to the direct one exactly.
-  std::vector<Segment> node_segments_in(int node, std::uint64_t lo,
-                                        std::uint64_t hi) const;
-  /// Bytes of the merged node message for [lo, hi) (coalesced size).
-  std::uint64_t node_bytes_in(int node, std::uint64_t lo,
-                              std::uint64_t hi) const;
-
-  const FileView& view(int r) const {
-    return views_[static_cast<std::size_t>(r)];
-  }
 
  private:
-  std::vector<FileView> views_;
   net::Topology topo_;
   bool hierarchical_ = false;
   std::vector<int> leader_by_node_;  // per node
-  std::vector<std::vector<std::uint64_t>> local_prefix_;  // per rank, per extent
-  std::vector<Range> domains_;   // per aggregator index
-  std::vector<int> agg_ranks_;   // per aggregator index
+  std::vector<Range> domains_;       // per aggregator index
+  std::vector<int> agg_ranks_;       // per aggregator index
   std::vector<int> agg_index_of_rank_;
   std::uint64_t range_begin_ = 0;
   std::uint64_t range_end_ = 0;
   std::uint64_t global_bytes_ = 0;
   std::uint64_t sub_buffer_ = 0;
   int num_cycles_ = 0;
+};
+
+/// The distribution plan of one collective write: a shared geometry
+/// skeleton plus the full views this rank actually holds. On the sparse
+/// metadata path a plain sender holds only its own view, a node leader its
+/// node's views, an aggregator all of them; the dense path (and the legacy
+/// constructor) holds every view. Geometry queries are answered by the
+/// skeleton and are identical on every rank regardless of which views it
+/// holds; view queries (segments_in, view, ...) require the view to be
+/// held and fail loudly otherwise. Owns no payload.
+class Plan {
+ public:
+  /// Legacy dense construction: `views[r]` is rank r's file view. Builds
+  /// the skeleton from the views' own summaries — bit-identical geometry
+  /// to the two-stage path by construction — and holds every view.
+  Plan(std::vector<FileView> views, const net::Topology& topo,
+       std::uint64_t stripe_size, const Options& opt);
+
+  /// Partial construction from a shared skeleton plus the (rank, view)
+  /// pairs delivered to this rank, ascending by rank.
+  Plan(std::shared_ptr<const PlanSkeleton> skeleton,
+       std::vector<std::pair<int, FileView>> held);
+
+  int num_aggregators() const { return skel_->num_aggregators(); }
+  int num_cycles() const { return skel_->num_cycles(); }
+  std::uint64_t sub_buffer_bytes() const { return skel_->sub_buffer_bytes(); }
+  std::uint64_t global_bytes() const { return skel_->global_bytes(); }
+  std::uint64_t range_begin() const { return skel_->range_begin(); }
+  std::uint64_t range_end() const { return skel_->range_end(); }
+
+  bool is_aggregator(int rank) const { return skel_->is_aggregator(rank); }
+  /// Index into domains for an aggregator rank (-1 otherwise).
+  int agg_index(int rank) const { return skel_->agg_index(rank); }
+  /// The rank serving aggregator index `a`.
+  int agg_rank(int a) const { return skel_->agg_rank(a); }
+
+  using Range = PlanSkeleton::Range;
+  /// File-domain of aggregator `a` (may be empty).
+  Range domain(int a) const { return skel_->domain(a); }
+  /// The slice of domain `a` processed in cycle `c`.
+  Range cycle_range(int a, int c) const { return skel_->cycle_range(a, c); }
+
+  /// Segments of rank `r`'s view that fall in [lo, hi), with local offsets.
+  /// Requires rank `r`'s view to be held.
+  std::vector<Segment> segments_in(int r, std::uint64_t lo,
+                                   std::uint64_t hi) const;
+  /// Total bytes of rank `r`'s view inside [lo, hi) (cheaper than
+  /// materializing the segments). Requires rank `r`'s view to be held.
+  std::uint64_t bytes_in(int r, std::uint64_t lo, std::uint64_t hi) const;
+
+  // ----- two-level (hierarchical) routing ---------------------------------
+  /// Whether this plan was built with Options::hierarchical.
+  bool hierarchical() const { return skel_->hierarchical(); }
+  const net::Topology& topology() const { return skel_->topology(); }
+  /// The rank elected leader of `node` (per Options::leader_policy).
+  int leader_rank(int node) const { return skel_->leader_rank(node); }
+  /// The leader of `rank`'s node.
+  int leader_of(int rank) const { return skel_->leader_of(rank); }
+  bool is_leader(int rank) const { return skel_->is_leader(rank); }
+  /// Half-open rank interval [first, last) living on `node` (block
+  /// mapping; the last node may be partially filled).
+  std::pair<int, int> node_rank_range(int node) const {
+    return skel_->node_rank_range(node);
+  }
+  /// Union of the node's members' segments inside [lo, hi): coalesced
+  /// (touching/overlapping pieces merged), ordered by file offset, with
+  /// `local_offset` re-purposed as the position inside the node's merged
+  /// message. Single-member nodes return segments_in(member) verbatim so
+  /// the hierarchical path degenerates to the direct one exactly. Requires
+  /// every member's view to be held.
+  std::vector<Segment> node_segments_in(int node, std::uint64_t lo,
+                                        std::uint64_t hi) const;
+  /// Bytes of the merged node message for [lo, hi) (coalesced size).
+  std::uint64_t node_bytes_in(int node, std::uint64_t lo,
+                              std::uint64_t hi) const;
+
+  /// Rank `r`'s full view; requires it to be held on this rank.
+  const FileView& view(int r) const {
+    return views_[static_cast<std::size_t>(held_slot(r))];
+  }
+  /// Whether rank `r`'s full view was delivered to this rank.
+  bool holds_view(int r) const;
+
+  const PlanSkeleton& skeleton() const { return *skel_; }
+  std::shared_ptr<const PlanSkeleton> skeleton_ptr() const { return skel_; }
+
+ private:
+  /// Index into views_/prefix_ for a held rank; fails if not held.
+  std::size_t held_slot(int r) const;
+  void index_views();
+
+  std::shared_ptr<const PlanSkeleton> skel_;
+  std::vector<int> held_ranks_;   // ascending; == [0, P) on the dense path
+  std::vector<FileView> views_;   // parallel to held_ranks_
+  std::vector<std::vector<std::uint64_t>> prefix_;  // parallel, per extent
+  bool dense_ = false;            // held_ranks_ is exactly [0, P)
 };
 
 /// Automatic aggregator-count selection (approximation of Chaarawi &

@@ -17,6 +17,8 @@ std::atomic<std::uint64_t> g_hits{0};
 struct CacheState {
   std::mutex mu;
   std::unordered_map<std::string, std::shared_ptr<const Plan>> plans;
+  std::unordered_map<std::string, std::shared_ptr<const PlanSkeleton>>
+      skeletons;
   // Bound the footprint: past this many distinct geometries the cache is
   // simply cleared (in-use plans stay alive through their shared_ptrs).
   static constexpr std::size_t kMaxEntries = 256;
@@ -33,15 +35,10 @@ void append_u64(std::string& key, std::uint64_t v) {
   key.append(buf, sizeof v);
 }
 
-/// Exact key material: every input the Plan constructor reads, serialized
-/// verbatim (binary string; collisions require byte-identical inputs).
-std::string make_key(const std::vector<std::vector<std::byte>>& blobs,
-                     const net::Topology& topo, std::uint64_t stripe,
-                     const Options& opt) {
-  std::size_t total = 10 * sizeof(std::uint64_t);
-  for (const auto& b : blobs) total += b.size() + sizeof(std::uint64_t);
-  std::string key;
-  key.reserve(total);
+/// Shared key header: every non-view input the Plan/PlanSkeleton
+/// constructors read, serialized verbatim.
+void append_header(std::string& key, const net::Topology& topo,
+                   std::uint64_t stripe, const Options& opt) {
   append_u64(key, static_cast<std::uint64_t>(topo.nodes));
   append_u64(key, static_cast<std::uint64_t>(topo.procs_per_node));
   append_u64(key, static_cast<std::uint64_t>(topo.nprocs()));
@@ -51,9 +48,37 @@ std::string make_key(const std::vector<std::vector<std::byte>>& blobs,
   append_u64(key, static_cast<std::uint64_t>(opt.num_aggregators));
   append_u64(key, (opt.stripe_align ? 1u : 0u) | (opt.hierarchical ? 2u : 0u) |
                       (opt.leader_policy == LeaderPolicy::Spread ? 4u : 0u));
+}
+
+/// Exact key material: every input the Plan constructor reads, serialized
+/// verbatim (binary string; collisions require byte-identical inputs).
+std::string make_key(const std::vector<std::vector<std::byte>>& blobs,
+                     const net::Topology& topo, std::uint64_t stripe,
+                     const Options& opt) {
+  std::size_t total = 10 * sizeof(std::uint64_t);
+  for (const auto& b : blobs) total += b.size() + sizeof(std::uint64_t);
+  std::string key;
+  key.reserve(total);
+  append_header(key, topo, stripe, opt);
   for (const auto& b : blobs) {
     append_u64(key, b.size());
     key.append(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+  return key;
+}
+
+/// Skeleton key: the same header plus the raw summary table (trivially
+/// copyable, fixed 32 bytes per rank).
+std::string make_skeleton_key(const std::vector<ViewSummary>& summaries,
+                              const net::Topology& topo, std::uint64_t stripe,
+                              const Options& opt) {
+  std::string key;
+  key.reserve(10 * sizeof(std::uint64_t) +
+              summaries.size() * sizeof(ViewSummary));
+  append_header(key, topo, stripe, opt);
+  if (!summaries.empty()) {
+    key.append(reinterpret_cast<const char*>(summaries.data()),
+               summaries.size() * sizeof(ViewSummary));
   }
   return key;
 }
@@ -92,13 +117,36 @@ std::shared_ptr<const Plan> PlanCache::get_or_build(
   return plan;
 }
 
+std::shared_ptr<const PlanSkeleton> PlanCache::get_or_build_skeleton(
+    const std::vector<ViewSummary>& summaries, const net::Topology& topo,
+    std::uint64_t stripe_size, const Options& opt) {
+  if (!g_enabled.load(std::memory_order_relaxed)) {
+    return std::make_shared<const PlanSkeleton>(summaries, topo, stripe_size,
+                                                opt);
+  }
+  g_lookups.fetch_add(1, std::memory_order_relaxed);
+  std::string key = make_skeleton_key(summaries, topo, stripe_size, opt);
+  CacheState& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.skeletons.find(key);
+  if (it != s.skeletons.end()) {
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  if (s.skeletons.size() >= CacheState::kMaxEntries) s.skeletons.clear();
+  auto skel = std::make_shared<const PlanSkeleton>(summaries, topo,
+                                                   stripe_size, opt);
+  s.skeletons.emplace(std::move(key), skel);
+  return skel;
+}
+
 PlanCache::Stats PlanCache::stats() {
   Stats st;
   st.lookups = g_lookups.load(std::memory_order_relaxed);
   st.hits = g_hits.load(std::memory_order_relaxed);
   CacheState& s = state();
   std::lock_guard<std::mutex> lk(s.mu);
-  st.entries = s.plans.size();
+  st.entries = s.plans.size() + s.skeletons.size();
   return st;
 }
 
@@ -106,6 +154,7 @@ void PlanCache::clear() {
   CacheState& s = state();
   std::lock_guard<std::mutex> lk(s.mu);
   s.plans.clear();
+  s.skeletons.clear();
 }
 
 void PlanCache::set_enabled(bool on) {

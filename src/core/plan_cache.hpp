@@ -44,10 +44,21 @@ class PlanCache {
       const net::Topology& topo, std::uint64_t stripe_size,
       const Options& opt);
 
+  /// Skeleton twin of get_or_build for the two-stage metadata exchange:
+  /// keyed by the raw ViewSummary table (O(P·32B)) plus the same topology /
+  /// stripe / Options header, so the P ranks of a run trigger exactly one
+  /// skeleton construction. Plans themselves are not cached on the sparse
+  /// path — each rank's Plan is a thin wrapper (shared skeleton + the few
+  /// views delivered to it) whose construction is cheap and whose held set
+  /// differs per rank.
+  static std::shared_ptr<const PlanSkeleton> get_or_build_skeleton(
+      const std::vector<ViewSummary>& summaries, const net::Topology& topo,
+      std::uint64_t stripe_size, const Options& opt);
+
   struct Stats {
     std::uint64_t lookups = 0;
     std::uint64_t hits = 0;
-    std::uint64_t entries = 0;  // currently cached plans
+    std::uint64_t entries = 0;  // currently cached plans + skeletons
   };
   static Stats stats();
 

@@ -1,5 +1,6 @@
 #include "core/types.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "simbase/error.hpp"
@@ -17,6 +18,17 @@ void FileView::validate() const {
     prev_end = e.end();
     first = false;
   }
+}
+
+ViewSummary FileView::summarize() const {
+  ViewSummary s;
+  for (const Extent& e : extents) {
+    s.first_offset = std::min(s.first_offset, e.offset);
+    s.last_end = std::max(s.last_end, e.end());
+    s.total_bytes += e.length;
+  }
+  s.extent_count = extents.size();
+  return s;
 }
 
 std::vector<std::byte> FileView::serialize() const {

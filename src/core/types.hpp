@@ -21,6 +21,22 @@ struct Extent {
   friend bool operator==(const Extent&, const Extent&) = default;
 };
 
+/// Fixed-size digest of a FileView, the unit of the first (dense) stage of
+/// the two-stage metadata exchange: every rank allgathers one ViewSummary
+/// per rank — O(P·32B) instead of O(P·view) — and derives the aggregator
+/// map, file range, and global byte count from the summaries alone. Full
+/// views travel only in the second, targeted stage. Trivially copyable;
+/// shipped as raw bytes.
+struct ViewSummary {
+  std::uint64_t first_offset = UINT64_MAX;  // min extent offset (empty: MAX)
+  std::uint64_t last_end = 0;               // max extent end (empty: 0)
+  std::uint64_t total_bytes = 0;            // sum of extent lengths
+  std::uint64_t extent_count = 0;           // number of extents
+
+  friend bool operator==(const ViewSummary&, const ViewSummary&) = default;
+};
+static_assert(sizeof(ViewSummary) == 32);
+
 /// A rank's view of the file: sorted, non-overlapping extents. The rank's
 /// local data buffer holds the extents' bytes contiguously, in order —
 /// the flattened representation OMPIO derives from an MPI file view.
@@ -35,6 +51,9 @@ struct FileView {
 
   /// Validate ordering/disjointness; throws tpio::Error on violation.
   void validate() const;
+
+  /// Fixed-size digest for the first stage of the metadata exchange.
+  ViewSummary summarize() const;
 
   /// Serialize to/from bytes for the metadata exchange.
   std::vector<std::byte> serialize() const;
@@ -154,6 +173,13 @@ struct Options {
   /// integrity, i.e. spec.verify). The runner sets this from RunSpec::verify;
   /// it is excluded from autotune workload signatures and plan-cache keys.
   bool materialize = true;
+  /// true makes the metadata exchange materialize every rank's full view on
+  /// every rank (the pre-two-stage behaviour) instead of delivering full
+  /// views only to the ranks that plan over them. Purely a host-memory /
+  /// host-time toggle: the virtual cost of the exchange and every RunResult
+  /// field are bit-identical either way (the differential `metadata` suite
+  /// pins this). Default off; flip on to bisect a suspected delivery bug.
+  bool dense_metadata = false;
 };
 
 /// Where a rank's blocked time went, in virtual nanoseconds. Mirrors the

@@ -157,6 +157,9 @@ std::string cli_usage() {
       "  --tuning-cache FILE                auto: persistent decision cache\n"
       "  --hierarchical                     two-level (intra-node) shuffle\n"
       "  --leader lowest|spread             node-leader policy (default lowest)\n"
+      "  --dense-metadata                   materialize every rank's view on\n"
+      "                                     every rank (legacy exchange; same\n"
+      "                                     virtual cost, more host memory)\n"
       "  --reps N                           measurements (default 3)\n"
       "  --seed N                           master seed (default 1)\n"
       "  --verify                           check file contents\n"
@@ -270,6 +273,8 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
         cfg.spec.options.tuning_cache = args[++i];
       } else if (a == "--hierarchical") {
         cfg.spec.options.hierarchical = true;
+      } else if (a == "--dense-metadata") {
+        cfg.spec.options.dense_metadata = true;
       } else if (a == "--leader") {
         if (!need_value(i)) return cfg;
         if (!parse_leader(args[++i], cfg.spec.options.leader_policy)) {

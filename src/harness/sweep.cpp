@@ -17,6 +17,14 @@ Platform scaled(Platform p) {
   return p;
 }
 
+Platform bench_platform(const Platform& p, bool paper_scale) {
+  return paper_scale ? p : scaled(p);
+}
+
+std::uint64_t bench_cb_size(bool paper_scale) {
+  return paper_scale ? kPaperCbSize : kCbSize;
+}
+
 std::vector<SweepCase> paper_workloads() {
   // Two problem sizes per benchmark, mirroring the paper's sweep over
   // transfer/block/tile geometries (scaled; see kGeometryScale).
@@ -36,6 +44,15 @@ std::vector<SweepCase> paper_workloads() {
 }
 
 std::vector<int> paper_proc_counts(bool quick) {
+  return paper_proc_counts(quick, /*paper_scale=*/false);
+}
+
+std::vector<int> paper_proc_counts(bool quick, bool paper_scale) {
+  if (paper_scale) {
+    // The published counts (kProcScale x the stand-ins below).
+    if (quick) return {64, 256};
+    return {64, 144, 256, 400};
+  }
   if (quick) return {16, 64};
   return {16, 36, 64, 100};
 }
@@ -80,11 +97,15 @@ std::string job_key(const SweepCase& c, int procs, const char* variant) {
 
 std::string sweep_manifest(const char* sweep, const Platform& plat, int reps,
                            std::uint64_t seed, bool quick,
-                           const coll::Options& base, bool include_auto) {
+                           const coll::Options& base, bool include_auto,
+                           bool paper_scale = false) {
   std::string m = std::string(sweep) + "|platform=" + plat.name +
                   "|seed=" + std::to_string(seed) +
                   "|reps=" + std::to_string(reps) +
                   "|quick=" + (quick ? "1" : "0");
+  // Unscaled grids run different geometry under the same job keys — keep
+  // their checkpoints apart from the scaled stand-in grid's.
+  if (paper_scale) m += "|paper=1";
   if (base.hierarchical) {
     // Keep hierarchical grids in their own checkpoint namespace — the job
     // keys coincide with the flat sweep's, only the options differ.
@@ -114,8 +135,9 @@ std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
                                              int reps, std::uint64_t seed,
                                              bool quick,
                                              const ExecOptions& exec,
-                                             bool include_auto) {
-  const Platform plat = scaled(platform);
+                                             bool include_auto,
+                                             bool paper_scale) {
+  const Platform plat = bench_platform(platform, paper_scale);
   std::vector<coll::OverlapMode> modes = {
       coll::OverlapMode::None, coll::OverlapMode::Comm,
       coll::OverlapMode::Write, coll::OverlapMode::WriteComm,
@@ -130,7 +152,7 @@ std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
   std::vector<std::pair<std::size_t, coll::OverlapMode>> slot;  // per job
   std::uint64_t series_id = 0;
   for (const SweepCase& c : paper_workloads()) {
-    for (int procs : paper_proc_counts(quick)) {
+    for (int procs : paper_proc_counts(quick, paper_scale)) {
       OverlapSeries series;
       series.platform = plat.name;
       series.kind = c.kind;
@@ -142,7 +164,7 @@ std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
         spec.workload = c.workload;
         spec.nprocs = procs;
         spec.options = base;
-        spec.options.cb_size = kCbSize;
+        spec.options.cb_size = bench_cb_size(paper_scale);
         spec.options.overlap = mode;
         // Independent noise per (series, algorithm): real measurements of
         // different code versions are separate runs on the machine.
@@ -163,8 +185,8 @@ std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
 
   ExecOptions e = exec;
   if (e.manifest.empty()) {
-    e.manifest =
-        sweep_manifest("overlap", plat, reps, seed, quick, base, include_auto);
+    e.manifest = sweep_manifest("overlap", plat, reps, seed, quick, base,
+                                include_auto, paper_scale);
   }
   const std::vector<double> min_ms = run_jobs(jobs, e);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -176,9 +198,10 @@ std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
 std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
                                              int reps, std::uint64_t seed,
                                              bool quick,
-                                             const ExecOptions& exec) {
+                                             const ExecOptions& exec,
+                                             bool paper_scale) {
   return run_overlap_sweep(platform, coll::Options{}, reps, seed, quick, exec,
-                           /*include_auto=*/false);
+                           /*include_auto=*/false, paper_scale);
 }
 
 std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
@@ -389,6 +412,8 @@ BenchArgs parse_bench_args(int argc, char** argv) {
       }
     } else if (std::strcmp(a, "--progress") == 0) {
       out.exec.progress = true;
+    } else if (std::strcmp(a, "--paper-scale") == 0) {
+      out.paper_scale = true;
     } else {
       out.ok = false;
     }

@@ -29,9 +29,18 @@ inline constexpr std::uint64_t kCbSize = 4ull << 20;
 /// per-aggregator storage share, NIC incast degree and file-domain sizes
 /// all depend on the node count, not the rank count.
 inline constexpr int kProcScale = 4;
+/// Collective buffer of the *unscaled* (paper-scale) runs: the published
+/// 32 MiB (scaled runs use kCbSize).
+inline constexpr std::uint64_t kPaperCbSize = 32ull << 20;
 
 /// Platform preset with the benchmark geometry scaling applied.
 Platform scaled(Platform p);
+
+/// Platform for one bench grid: the preset verbatim at paper scale, the
+/// 1/8-geometry stand-in otherwise.
+Platform bench_platform(const Platform& p, bool paper_scale);
+/// Collective buffer for one bench grid (paper 32 MiB vs scaled 4 MiB).
+std::uint64_t bench_cb_size(bool paper_scale);
 
 /// One benchmark configuration of the Table I / Figs. 2-3 sweep.
 struct SweepCase {
@@ -45,6 +54,10 @@ std::vector<SweepCase> paper_workloads();
 
 /// Scaled stand-ins for the paper's process counts.
 std::vector<int> paper_proc_counts(bool quick);
+/// Process counts of one bench grid: the paper's published counts
+/// (64..400, with the fiber conductor comfortably past the 576-proc Fig. 1
+/// cells) at paper scale, the 1/kProcScale stand-ins otherwise.
+std::vector<int> paper_proc_counts(bool quick, bool paper_scale);
 
 /// Result of one test *series*: a fixed (platform, workload, process
 /// count) measured `reps` times for every overlap algorithm; per-algorithm
@@ -73,10 +86,14 @@ struct OverlapSeries {
 /// are merged back in grid order, so the returned tables are bit-identical
 /// for every `exec.jobs` value; `exec.jobs == 1` runs the historical serial
 /// path on the calling thread.
+/// `paper_scale` runs the grid at the unscaled geometry: the platform
+/// preset verbatim, the paper's process counts, and the 32 MiB collective
+/// buffer. Checkpoints are namespaced separately from the scaled grid.
 std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
                                              int reps, std::uint64_t seed,
                                              bool quick,
-                                             const ExecOptions& exec);
+                                             const ExecOptions& exec,
+                                             bool paper_scale = false);
 std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
                                              int reps, std::uint64_t seed,
                                              bool quick);
@@ -91,7 +108,8 @@ std::vector<OverlapSeries> run_overlap_sweep(const Platform& platform,
                                              int reps, std::uint64_t seed,
                                              bool quick,
                                              const ExecOptions& exec,
-                                             bool include_auto = false);
+                                             bool include_auto = false,
+                                             bool paper_scale = false);
 
 /// Multi-tenant configuration of a contended sweep cell.
 struct ContentionConfig {
@@ -161,9 +179,13 @@ std::vector<PrimitiveSeries> run_primitive_sweep(const Platform& platform,
 ///   --quick        reduced grid / fewer reps
 ///   --jobs N       worker threads (0 = hardware concurrency, 1 = serial)
 ///   --progress     live sweep progress on stderr
+///   --paper-scale  unscaled geometry: platform presets verbatim, the
+///                  paper's process counts (incl. the 576-proc Fig. 1
+///                  cells), 32 MiB collective buffer
 /// Unknown flags set ok = false (caller prints usage and exits).
 struct BenchArgs {
   bool quick = false;
+  bool paper_scale = false;
   ExecOptions exec;
   bool ok = true;
 };

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "mpi/internal.hpp"
 #include "mpi/mpi.hpp"
@@ -15,6 +16,15 @@ using detail::ceil_log2;
 // while its collectives only move small metadata. The coarse model keeps
 // large-rank simulations affordable without changing the cost ordering the
 // paper's analysis depends on.
+//
+// The closed forms follow the optimized collectives of Jocksch et al.
+// (arXiv:2006.13112): dissemination (Bruck-style) allgatherv in
+// ceil(log2 P) latency rounds with the volume bottleneck at the rank that
+// contributed least; binomial trees for the rooted collectives with the
+// volume charged at the root's NIC; recursive halving/doubling for
+// reduce_scatter and the butterfly allreduce built on it. Degenerate
+// exchanges are free: P == 1 pays nothing, and empty contributions never
+// pay a volume term (transfer_time(0) == 0 by construction).
 
 void Mpi::barrier() {
   machine_->barrier_sync_.arrive(*ctx_, machine_->sync_collective_cost(size()),
@@ -49,8 +59,139 @@ void Mpi::leader_barrier() {
                         /*floor=*/0, "mpi.leader_barrier");
 }
 
-std::vector<std::vector<std::byte>> Mpi::allgatherv(
-    std::span<const std::byte> mine) {
+namespace {
+
+/// Which collective a generation of the shared exchange slot carries.
+/// Collectives are called in the same order on every rank, so a generation
+/// is always homogeneous (checked at deposit time).
+enum CollKind : int {
+  kAllgatherv = 0,
+  kAllgather,
+  kGatherv,
+  kScatterv,
+  kBcast,
+  kSparse,
+};
+
+std::uint64_t blob_total(const std::vector<std::vector<std::byte>>& blobs) {
+  std::uint64_t total = 0;
+  for (const auto& b : blobs) total += b.size();
+  return total;
+}
+
+std::uint64_t blob_min(const std::vector<std::vector<std::byte>>& blobs) {
+  std::uint64_t m = UINT64_MAX;
+  for (const auto& b : blobs) m = std::min<std::uint64_t>(m, b.size());
+  return m;
+}
+
+/// Closed-form duration of one exchange generation, computed by the last
+/// arrival from the full blob table (and, for sparse exchanges, the want
+/// topology). Never reads the materialization mode: dense and sparse
+/// host-side delivery of the same exchange cost the same virtual time.
+sim::Duration exchange_cost(Machine& m, int kind, int root,
+                            const std::vector<std::vector<std::byte>>& blobs,
+                            const std::vector<std::pair<int, int>>& wants) {
+  const int P = static_cast<int>(blobs.size());
+  if (P <= 1) return 0;  // a single rank has nobody to exchange with
+  const sim::Duration lat = m.fabric().params().inter_latency;
+  const double bw = m.fabric().params().inter_bw;
+  const auto log_p = static_cast<sim::Duration>(ceil_log2(P));
+  const sim::Duration sync = m.sync_collective_cost(P);
+
+  switch (kind) {
+    case kAllgatherv:
+    case kAllgather: {
+      // Dissemination allgatherv: ceil(log2 P) rounds; the volume
+      // bottleneck is the rank that contributed least — it receives
+      // total - min_blob bytes. Using the true minimum (not the average
+      // total/P of the old ring formula) keeps uneven blob mixes from
+      // undercharging the exchange.
+      const std::uint64_t total = blob_total(blobs);
+      return log_p * lat +
+             sim::transfer_time(total - blob_min(blobs),
+                                m.fabric().params().inter_bw) +
+             sync;
+    }
+    case kGatherv: {
+      // Binomial gather: tree latency, volume bound by the root's inbound
+      // NIC (everything except the root's own contribution). Non-roots
+      // forward strictly less, so charging everyone the allgatherv volume
+      // (the old model) overstated the cost of every gather.
+      const std::uint64_t total = blob_total(blobs);
+      const auto& root_blob = blobs[static_cast<std::size_t>(root)];
+      return log_p * lat +
+             sim::transfer_time(total - root_blob.size(), bw) + sync;
+    }
+    case kScatterv: {
+      // Binomial scatter: the root injects the whole packed payload down
+      // the tree.
+      const auto& packed = blobs[static_cast<std::size_t>(root)];
+      return log_p * lat + sim::transfer_time(packed.size(), bw) + sync;
+    }
+    case kBcast: {
+      // Binomial broadcast: every tree level forwards the full payload.
+      const auto& src = blobs[static_cast<std::size_t>(root)];
+      return log_p * (lat + sim::transfer_time(src.size(), bw)) + sync;
+    }
+    case kSparse: {
+      // Targeted delivery: rank r pulls the blobs of its want interval
+      // [b_r, e_r); source s pushes its blob to every rank wanting it.
+      // The bottleneck rank's in/out traffic (bytes and message count)
+      // prices the exchange; self-delivery is free.
+      std::vector<std::uint64_t> prefix(static_cast<std::size_t>(P) + 1, 0);
+      for (int i = 0; i < P; ++i) {
+        prefix[static_cast<std::size_t>(i) + 1] =
+            prefix[static_cast<std::size_t>(i)] +
+            blobs[static_cast<std::size_t>(i)].size();
+      }
+      std::vector<std::int64_t> want_count(static_cast<std::size_t>(P) + 1,
+                                           0);
+      std::uint64_t max_bytes = 0, max_msgs = 0;
+      for (int r = 0; r < P; ++r) {
+        const auto [b, e] = wants[static_cast<std::size_t>(r)];
+        want_count[static_cast<std::size_t>(b)] += 1;
+        want_count[static_cast<std::size_t>(e)] -= 1;
+        std::uint64_t in_bytes = prefix[static_cast<std::size_t>(e)] -
+                                 prefix[static_cast<std::size_t>(b)];
+        auto in_msgs = static_cast<std::uint64_t>(e - b);
+        if (b <= r && r < e) {
+          in_bytes -= blobs[static_cast<std::size_t>(r)].size();
+          in_msgs -= 1;
+        }
+        max_bytes = std::max(max_bytes, in_bytes);
+        max_msgs = std::max(max_msgs, in_msgs);
+      }
+      std::int64_t wanting = 0;
+      for (int s = 0; s < P; ++s) {
+        wanting += want_count[static_cast<std::size_t>(s)];
+        const auto [b, e] = wants[static_cast<std::size_t>(s)];
+        const auto out_msgs = static_cast<std::uint64_t>(
+            wanting - ((b <= s && s < e) ? 1 : 0));
+        max_msgs = std::max(max_msgs, out_msgs);
+        max_bytes = std::max(
+            max_bytes,
+            out_msgs * blobs[static_cast<std::size_t>(s)].size());
+      }
+      sim::Duration cost = sync;
+      if (max_msgs > 0) cost += log_p * lat;  // delivery handshake rounds
+      // Per-message matching at the bottleneck rank (an aggregator pulling
+      // P blobs pays queue processing per source, like its shuffle does).
+      cost += static_cast<sim::Duration>(max_msgs) * m.params().match_cost;
+      cost += sim::transfer_time(max_bytes, bw);
+      return cost;
+    }
+    default:
+      tpio::fail("exchange_cost: unknown collective kind");
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::shared_ptr<const std::vector<std::vector<std::byte>>> Mpi::exchange(
+    std::span<const std::byte> mine, int kind, int root,
+    std::pair<int, int> want) {
   Machine& m = *machine_;
   const int P = size();
 
@@ -63,79 +204,202 @@ std::vector<std::vector<std::byte>> Mpi::allgatherv(
     if (!slot.blobs) {
       slot.blobs = std::make_shared<std::vector<std::vector<std::byte>>>(
           static_cast<std::size_t>(P));
+      slot.kind = kind;
+      slot.root = root;
+      if (kind == kSparse) {
+        slot.wants.assign(static_cast<std::size_t>(P), {0, 0});
+      }
     }
+    TPIO_CHECK(slot.kind == kind && slot.root == root,
+               "mismatched collective calls across ranks");
     auto& blob = (*slot.blobs)[static_cast<std::size_t>(rank())];
     blob.assign(mine.begin(), mine.end());
+    if (kind == kSparse) slot.wants[static_cast<std::size_t>(rank())] = want;
     slot.arrived += 1;
     slot.max_clock = std::max(slot.max_clock, ctx_->now());
     Captured c{slot.blobs, slot.release};
     if (slot.arrived == P) {
-      std::uint64_t total = 0;
-      for (const auto& b : *slot.blobs) total += b.size();
-      // Ring allgather: (P-1) rounds of latency, each rank forwards
-      // (P-1)/P of the total volume through its NIC.
-      const sim::Duration cost =
-          static_cast<sim::Duration>(P - 1) * m.fabric_->params().inter_latency +
-          sim::transfer_time(total - total / static_cast<std::uint64_t>(P),
-                             m.fabric_->params().inter_bw) +
-          m.sync_collective_cost(P);
-      ctx_->complete(*slot.release, slot.max_clock + cost);
+      ctx_->complete(*slot.release,
+                     slot.max_clock + exchange_cost(m, kind, root,
+                                                    *slot.blobs, slot.wants));
       slot = Machine::ExchangeSlot{};  // open next generation
     }
     return c;
   });
   ctx_->wait_event(*cap.release, "mpi.exchange");
-  return *cap.blobs;
+  return cap.blobs;
+}
+
+std::vector<std::vector<std::byte>> Mpi::allgatherv(
+    std::span<const std::byte> mine) {
+  return *exchange(mine, kAllgatherv, /*root=*/-1, {0, 0});
+}
+
+std::vector<std::vector<std::byte>> Mpi::allgather(
+    std::span<const std::byte> mine) {
+  auto table = exchange(mine, kAllgather, /*root=*/-1, {0, 0});
+  for (const auto& b : *table) {
+    TPIO_CHECK(b.size() == mine.size(),
+               "allgather: contribution sizes differ across ranks");
+  }
+  return *table;
+}
+
+std::vector<std::pair<int, std::vector<std::byte>>> Mpi::sparse_allgatherv(
+    std::span<const std::byte> mine, int want_begin, int want_end,
+    bool dense) {
+  TPIO_CHECK(0 <= want_begin && want_begin <= want_end && want_end <= size(),
+             "sparse_allgatherv: want interval out of range");
+  auto table = exchange(mine, kSparse, /*root=*/-1, {want_begin, want_end});
+  std::vector<std::pair<int, std::vector<std::byte>>> out;
+  if (dense) {
+    out.reserve(table->size());
+    for (int r = 0; r < size(); ++r) {
+      out.emplace_back(r, (*table)[static_cast<std::size_t>(r)]);
+    }
+    return out;
+  }
+  const int me = rank();
+  out.reserve(static_cast<std::size_t>(want_end - want_begin) + 1);
+  for (int r = 0; r < size(); ++r) {
+    if (r == me || (want_begin <= r && r < want_end)) {
+      out.emplace_back(r, (*table)[static_cast<std::size_t>(r)]);
+    }
+  }
+  return out;
 }
 
 namespace {
 
-std::vector<std::byte> to_bytes(std::uint64_t v) {
-  std::vector<std::byte> b(sizeof(v));
-  std::memcpy(b.data(), &v, sizeof(v));
-  return b;
+std::uint64_t reduce_identity(Mpi::ReduceOp op) {
+  switch (op) {
+    case Mpi::ReduceOp::Max: return 0;
+    case Mpi::ReduceOp::Min: return UINT64_MAX;
+    case Mpi::ReduceOp::Sum: return 0;
+  }
+  return 0;
 }
 
-std::uint64_t from_bytes(const std::vector<std::byte>& b) {
-  TPIO_CHECK(b.size() == sizeof(std::uint64_t), "bad scalar blob size");
-  std::uint64_t v = 0;
-  std::memcpy(&v, b.data(), sizeof(v));
-  return v;
+std::uint64_t reduce_fold(std::uint64_t a, std::uint64_t b,
+                          Mpi::ReduceOp op) {
+  switch (op) {
+    case Mpi::ReduceOp::Max: return std::max(a, b);
+    case Mpi::ReduceOp::Min: return std::min(a, b);
+    case Mpi::ReduceOp::Sum: return a + b;
+  }
+  return a;
 }
 
 }  // namespace
 
+std::shared_ptr<const std::vector<std::uint64_t>> Mpi::reduce(
+    std::span<const std::uint64_t> elems, bool scatter, ReduceOp op) {
+  Machine& m = *machine_;
+  const int P = size();
+
+  struct Captured {
+    std::shared_ptr<std::vector<std::uint64_t>> accum;
+    sim::EventPtr release;
+  };
+  Captured cap = ctx_->act([&]() -> Captured {
+    Machine::ReduceSlot& slot = m.reduce_;
+    if (!slot.accum) {
+      slot.accum = std::make_shared<std::vector<std::uint64_t>>(
+          elems.size(), reduce_identity(op));
+      slot.op = static_cast<int>(op);
+      slot.scatter = scatter;
+    }
+    TPIO_CHECK(slot.accum->size() == elems.size() &&
+                   slot.op == static_cast<int>(op) &&
+                   slot.scatter == scatter,
+               "mismatched reduce calls across ranks");
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+      (*slot.accum)[i] = reduce_fold((*slot.accum)[i], elems[i], op);
+    }
+    slot.arrived += 1;
+    slot.max_clock = std::max(slot.max_clock, ctx_->now());
+    Captured c{slot.accum, slot.release};
+    if (slot.arrived == P) {
+      sim::Duration cost = 0;
+      if (P > 1) {
+        const auto n = static_cast<std::uint64_t>(elems.size()) *
+                       sizeof(std::uint64_t);
+        const sim::Duration lat = m.fabric().params().inter_latency;
+        const double bw = m.fabric().params().inter_bw;
+        const auto log_p = static_cast<sim::Duration>(ceil_log2(P));
+        // Recursive halving moves (P-1)/P of the vector per rank in
+        // ceil(log2 P) rounds; the butterfly allreduce is a reduce_scatter
+        // followed by its mirror allgather — both terms doubled.
+        const auto rounds = scatter ? log_p : 2 * log_p;
+        const std::uint64_t vol = scatter ? n - n / static_cast<std::uint64_t>(P)
+                                          : 2 * (n - n / static_cast<std::uint64_t>(P));
+        cost = rounds * lat + sim::transfer_time(vol, bw) +
+               m.sync_collective_cost(P);
+      }
+      ctx_->complete(*slot.release, slot.max_clock + cost);
+      slot = Machine::ReduceSlot{};  // open next generation
+    }
+    return c;
+  });
+  ctx_->wait_event(*cap.release, "mpi.reduce");
+  return cap.accum;
+}
+
+std::uint64_t Mpi::reduce_scatter(std::span<const std::uint64_t> elems,
+                                  ReduceOp op) {
+  TPIO_CHECK(elems.size() == static_cast<std::size_t>(size()),
+             "reduce_scatter: one element per rank required");
+  return (*reduce(elems, /*scatter=*/true, op))[static_cast<std::size_t>(
+      rank())];
+}
+
+std::uint64_t Mpi::allreduce(std::uint64_t v, ReduceOp op) {
+  return (*reduce({&v, 1}, /*scatter=*/false, op))[0];
+}
+
 std::uint64_t Mpi::allreduce_max(std::uint64_t v) {
-  auto all = allgatherv(to_bytes(v));
-  std::uint64_t r = 0;
-  for (const auto& b : all) r = std::max(r, from_bytes(b));
-  return r;
+  return allreduce(v, ReduceOp::Max);
 }
 
 std::uint64_t Mpi::allreduce_min(std::uint64_t v) {
-  auto all = allgatherv(to_bytes(v));
-  std::uint64_t r = UINT64_MAX;
-  for (const auto& b : all) r = std::min(r, from_bytes(b));
-  return r;
+  return allreduce(v, ReduceOp::Min);
 }
 
 std::uint64_t Mpi::allreduce_sum(std::uint64_t v) {
-  auto all = allgatherv(to_bytes(v));
-  std::uint64_t r = 0;
-  for (const auto& b : all) r += from_bytes(b);
-  return r;
+  return allreduce(v, ReduceOp::Sum);
 }
 
 std::vector<std::vector<std::byte>> Mpi::gatherv(
     std::span<const std::byte> mine, int root) {
   TPIO_CHECK(root >= 0 && root < size(), "gatherv: root out of range");
-  // Data plane via the exchange slot; the cost model is the same class of
-  // synchronizing collective. Non-roots drop the gathered set.
-  auto all = allgatherv(mine);
+  auto table = exchange(mine, kGatherv, root, {0, 0});
   if (rank() != root) {
-    for (auto& b : all) b.clear();
+    // Non-roots never see the gathered set (and never pay for holding it).
+    return std::vector<std::vector<std::byte>>(table->size());
   }
-  return all;
+  return *table;
+}
+
+std::vector<std::byte> detail::scatterv_unpack(
+    std::span<const std::byte> packed, int nprocs, int rank) {
+  const auto P = static_cast<std::size_t>(nprocs);
+  TPIO_CHECK(packed.size() >= P * sizeof(std::uint64_t),
+             "scatterv: malformed root payload");
+  std::vector<std::uint64_t> sizes(P);
+  std::memcpy(sizes.data(), packed.data(), P * sizeof(std::uint64_t));
+  std::size_t pos = P * sizeof(std::uint64_t);
+  for (std::size_t r = 0; r < P; ++r) {
+    TPIO_CHECK(sizes[r] <= packed.size() - pos,
+               "scatterv: size table overruns the root payload");
+    pos += sizes[r];
+  }
+  pos = P * sizeof(std::uint64_t);
+  for (std::size_t r = 0; r < static_cast<std::size_t>(rank); ++r) {
+    pos += sizes[r];
+  }
+  std::vector<std::byte> out(sizes[static_cast<std::size_t>(rank)]);
+  std::memcpy(out.data(), packed.data() + pos, out.size());
+  return out;
 }
 
 std::vector<std::byte> Mpi::scatterv(
@@ -162,34 +426,19 @@ std::vector<std::byte> Mpi::scatterv(
       pos += b.size();
     }
   }
-  auto all = allgatherv(mine);
-  const auto& packed = all[static_cast<std::size_t>(root)];
-  const auto P = static_cast<std::size_t>(size());
-  TPIO_CHECK(packed.size() >= P * sizeof(std::uint64_t),
-             "scatterv: malformed root payload");
-  std::vector<std::uint64_t> sizes(P);
-  std::memcpy(sizes.data(), packed.data(), P * sizeof(std::uint64_t));
-  std::size_t pos = P * sizeof(std::uint64_t);
-  for (std::size_t r = 0; r < P; ++r) {
-    if (r == static_cast<std::size_t>(rank())) {
-      std::vector<std::byte> out(sizes[r]);
-      std::memcpy(out.data(), packed.data() + pos, sizes[r]);
-      return out;
-    }
-    pos += sizes[r];
-  }
-  return {};
+  auto table = exchange(mine, kScatterv, root, {0, 0});
+  return detail::scatterv_unpack((*table)[static_cast<std::size_t>(root)],
+                                 size(), rank());
 }
 
 void Mpi::bcast(std::span<std::byte> data, int root) {
   TPIO_CHECK(root >= 0 && root < size(), "bcast: root out of range");
-  // Binomial-tree cost; data plane via the exchange slot (only the root's
-  // contribution is read).
-  auto all =
-      allgatherv(rank() == root
-                     ? std::span<const std::byte>(data.data(), data.size())
-                     : std::span<const std::byte>{});
-  const auto& src = all[static_cast<std::size_t>(root)];
+  auto table =
+      exchange(rank() == root
+                   ? std::span<const std::byte>(data.data(), data.size())
+                   : std::span<const std::byte>{},
+               kBcast, root, {0, 0});
+  const auto& src = (*table)[static_cast<std::size_t>(root)];
   TPIO_CHECK(src.size() == data.size(), "bcast size mismatch across ranks");
   if (rank() != root) std::memcpy(data.data(), src.data(), src.size());
 }

@@ -5,6 +5,7 @@
 #include <deque>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "net/fabric.hpp"
@@ -139,6 +140,33 @@ class Mpi {
   void leader_barrier();
   /// Everyone contributes `mine`; returns all contributions indexed by rank.
   std::vector<std::vector<std::byte>> allgatherv(std::span<const std::byte> mine);
+  /// Fixed-size allgather: like allgatherv but every rank must contribute
+  /// the same number of bytes (checked). The vehicle of compact per-rank
+  /// summary exchanges — one cheap dissemination round trip instead of
+  /// shipping full metadata blobs.
+  std::vector<std::vector<std::byte>> allgather(std::span<const std::byte> mine);
+  /// Targeted metadata delivery (sparse allgatherv): every rank contributes
+  /// `mine` and names the half-open source interval [want_begin, want_end)
+  /// whose blobs it needs. Returns (source rank, blob) pairs ascending by
+  /// rank — always including this rank's own blob. With `dense` every
+  /// rank materializes all P blobs instead; the virtual cost is identical
+  /// either way, because it derives from the want topology all ranks
+  /// declared, never from the host-side materialization switch.
+  std::vector<std::pair<int, std::vector<std::byte>>> sparse_allgatherv(
+      std::span<const std::byte> mine, int want_begin, int want_end,
+      bool dense = false);
+
+  enum class ReduceOp { Max, Min, Sum };
+  /// Reduce-scatter over one element per rank: every rank contributes
+  /// size() elements; rank r receives the op-reduction over all ranks of
+  /// their elems[r]. Recursive-halving cost (Jocksch et al.); the data
+  /// plane folds contributions into one shared accumulator, never
+  /// materializing per-rank blobs.
+  std::uint64_t reduce_scatter(std::span<const std::uint64_t> elems,
+                               ReduceOp op);
+  /// Butterfly allreduce (reduce_scatter + allgather cost shape) of one
+  /// scalar. O(1) host memory per rank.
+  std::uint64_t allreduce(std::uint64_t v, ReduceOp op);
   std::uint64_t allreduce_max(std::uint64_t v);
   std::uint64_t allreduce_min(std::uint64_t v);
   std::uint64_t allreduce_sum(std::uint64_t v);
@@ -171,6 +199,19 @@ class Mpi {
 
  private:
   friend class Machine;
+
+  /// One generation of the shared exchange slot: deposit `mine`, wait for
+  /// the collective's closed-form cost, return the full blob table. `kind`
+  /// selects the cost shape (see collectives.cpp); `root` and `want` feed
+  /// the rooted and sparse variants.
+  std::shared_ptr<const std::vector<std::vector<std::byte>>> exchange(
+      std::span<const std::byte> mine, int kind, int root,
+      std::pair<int, int> want);
+  /// Shared reduce slot: fold `elems` element-wise into the generation's
+  /// accumulator; `scatter` selects the reduce_scatter vs allreduce cost.
+  std::shared_ptr<const std::vector<std::uint64_t>> reduce(
+      std::span<const std::uint64_t> elems, bool scatter, ReduceOp op);
+
   Machine* machine_;
   sim::RankCtx* ctx_;
 };
@@ -243,12 +284,25 @@ class Machine {
   sim::SyncPoint leader_sync_;
   struct ExchangeSlot {
     int arrived = 0;
+    int kind = -1;  // collective kind of this generation (first arrival sets)
+    int root = -1;
     sim::Time max_clock = 0;
-    sim::Duration max_extra = 0;
     std::shared_ptr<std::vector<std::vector<std::byte>>> blobs;
+    // Sparse exchanges only: per-rank want interval [first, second), the
+    // input of the want-topology cost model.
+    std::vector<std::pair<int, int>> wants;
     sim::EventPtr release = std::make_shared<sim::Event>();
   };
   ExchangeSlot exchange_;
+  struct ReduceSlot {
+    int arrived = 0;
+    int op = -1;
+    bool scatter = false;
+    sim::Time max_clock = 0;
+    std::shared_ptr<std::vector<std::uint64_t>> accum;
+    sim::EventPtr release = std::make_shared<sim::Event>();
+  };
+  ReduceSlot reduce_;
 
   // Window registry for collective win_allocate.
   struct WinCreateSlot {

@@ -1,0 +1,220 @@
+// Differential harness for the two-stage metadata exchange: the sparse
+// path (summary allgather + targeted view delivery) must be a pure
+// host-memory optimization. Flipping Options::dense_metadata — or
+// comparing the legacy dense Plan against a PlanSkeleton built from
+// summaries alone — may never move a single RunResult field, on any
+// scheduler, shuffle primitive, hierarchy setting, --jobs value or
+// conductor backend.
+//
+// Registered under the `metadata` ctest label (tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/plan.hpp"
+#include "core/read_engine.hpp"
+#include "harness/runner.hpp"
+#include "harness/sweep.hpp"
+#include "simbase/crc.hpp"
+#include "simbase/rng.hpp"
+#include "simbase/units.hpp"
+#include "test_rig.hpp"
+
+namespace xp = tpio::xp;
+namespace wl = tpio::wl;
+namespace coll = tpio::coll;
+namespace sim = tpio::sim;
+namespace net = tpio::net;
+
+namespace {
+
+/// Force a backend for the duration of one test body.
+class BackendGuard {
+ public:
+  explicit BackendGuard(sim::ConductorBackend b)
+      : prev_(sim::Conductor::default_backend()) {
+    sim::Conductor::set_default_backend(b);
+  }
+  ~BackendGuard() { sim::Conductor::set_default_backend(prev_); }
+
+ private:
+  sim::ConductorBackend prev_;
+};
+
+void expect_identical(const xp::RunResult& a, const xp::RunResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.makespan, b.makespan) << what;
+  EXPECT_EQ(a.completion, b.completion) << what;
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+  EXPECT_EQ(a.aggregators, b.aggregators) << what;
+  EXPECT_EQ(a.bytes, b.bytes) << what;
+  EXPECT_EQ(a.inter_node_bytes, b.inter_node_bytes) << what;
+  EXPECT_EQ(a.inter_node_messages, b.inter_node_messages) << what;
+  EXPECT_EQ(a.intra_node_bytes, b.intra_node_bytes) << what;
+  EXPECT_EQ(a.rank_sum.meta, b.rank_sum.meta) << what;
+  EXPECT_EQ(a.rank_sum.total, b.rank_sum.total) << what;
+  EXPECT_EQ(a.agg_max.write, b.agg_max.write) << what;
+  EXPECT_EQ(a.verify_error, "") << what;
+  EXPECT_EQ(b.verify_error, "") << what;
+}
+
+}  // namespace
+
+TEST(MetadataDiff, DenseSparseIdenticalAcrossSchedulersPrimitivesHierarchy) {
+  // The full option matrix: 5 schedulers x 3 primitives x hier on/off.
+  // Every observable of the run must be bit-identical between the sparse
+  // delivery (default) and the legacy dense materialization.
+  BackendGuard guard(sim::ConductorBackend::Fibers);
+  for (int m = 0; m < 5; ++m) {
+    for (int t = 0; t < 3; ++t) {
+      for (bool hier : {false, true}) {
+        xp::RunSpec spec;
+        spec.platform = xp::scaled(xp::ibex());
+        spec.workload = wl::make_tile1m(1, 1);
+        spec.nprocs = 16;
+        spec.options.cb_size = xp::kCbSize;
+        spec.options.overlap = static_cast<coll::OverlapMode>(m);
+        spec.options.transfer = static_cast<coll::Transfer>(t);
+        spec.options.hierarchical = hier;
+        spec.seed = 0xD1FF;
+        spec.verify = true;
+        const xp::RunResult sparse = xp::execute(spec);
+        spec.options.dense_metadata = true;
+        const xp::RunResult dense = xp::execute(spec);
+        expect_identical(sparse, dense,
+                         "overlap=" + std::string(coll::to_string(
+                                          spec.options.overlap)) +
+                             " transfer=" +
+                             std::string(coll::to_string(
+                                 spec.options.transfer)) +
+                             " hier=" + std::to_string(hier));
+      }
+    }
+  }
+}
+
+TEST(MetadataDiff, DenseSparseIdenticalOnReadPath) {
+  // collective_read runs the same two-stage exchange (minus hierarchy);
+  // dense materialization may change neither the bytes read nor the
+  // virtual schedule.
+  auto run_read = [](bool dense) {
+    tpio::test::ClusterSpec cs;
+    cs.nodes = 4;
+    cs.ppn = 3;
+    tpio::test::Cluster cluster(cs);
+    auto file = cluster.storage().create("md", tpio::pfs::Integrity::Store);
+    std::uint64_t crc = 0;
+    cluster.run([&](tpio::smpi::Mpi& mpi) {
+      coll::FileView view;
+      for (int row = 0; row < 6; ++row) {
+        view.extents.push_back(coll::Extent{
+            (static_cast<std::uint64_t>(row) * 12 +
+             static_cast<std::uint64_t>(mpi.rank())) *
+                2048,
+            2048});
+      }
+      const auto data = tpio::test::fill_view(view);
+      coll::Options wopt;
+      wopt.cb_size = 16384;
+      wopt.dense_metadata = dense;
+      coll::collective_write(mpi, *file, view, data, wopt);
+      mpi.barrier();
+      std::vector<std::byte> out(view.total_bytes(), std::byte{0xEE});
+      coll::collective_read(mpi, *file, view, out, wopt);
+      EXPECT_EQ(out, data) << "rank " << mpi.rank();
+      if (mpi.rank() == 0) crc = sim::crc64(out);
+    });
+    return std::pair{cluster.conductor().makespan(), crc};
+  };
+  const auto [t_sparse, crc_sparse] = run_read(false);
+  const auto [t_dense, crc_dense] = run_read(true);
+  EXPECT_EQ(t_sparse, t_dense);
+  EXPECT_EQ(crc_sparse, crc_dense);
+}
+
+TEST(MetadataDiff, QuickSweepIdenticalAcrossJobsBackendsAndDensity) {
+  // The acceptance differential: the quick Table-I sweep must produce the
+  // identical table for every (backend, --jobs, dense_metadata) corner.
+  // Exact double equality — the timeline is integer nanoseconds.
+  struct Corner {
+    sim::ConductorBackend backend;
+    int jobs;
+    bool dense;
+  };
+  const Corner corners[] = {
+      {sim::ConductorBackend::Fibers, 1, false},
+      {sim::ConductorBackend::Fibers, 8, true},
+      {sim::ConductorBackend::Threads, 1, true},
+      {sim::ConductorBackend::Threads, 8, false},
+  };
+  std::vector<std::vector<xp::OverlapSeries>> tables;
+  for (const Corner& c : corners) {
+    BackendGuard guard(c.backend);
+    xp::ExecOptions exec;
+    exec.jobs = c.jobs;
+    coll::Options base;
+    base.dense_metadata = c.dense;
+    tables.push_back(
+        xp::run_overlap_sweep(xp::ibex(), base, 1, 0x3E7A, true, exec));
+  }
+  for (std::size_t k = 1; k < tables.size(); ++k) {
+    ASSERT_EQ(tables[k].size(), tables[0].size());
+    for (std::size_t i = 0; i < tables[0].size(); ++i) {
+      EXPECT_EQ(tables[k][i].procs, tables[0][i].procs);
+      EXPECT_EQ(tables[k][i].min_ms, tables[0][i].min_ms)
+          << "corner " << k << " series " << i;
+    }
+  }
+}
+
+TEST(MetadataDiff, SkeletonFromSummariesMatchesDensePlanGeometry) {
+  // PlanSkeleton sees 32 bytes per rank; the dense Plan sees every extent.
+  // Both must derive the same geometry — aggregator placement, domains,
+  // cycles, leaders — for random decompositions.
+  sim::Rng rng(0x5EED);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int ppn = 1 + static_cast<int>(rng.next_below(4));
+    const int nodes = 2 + static_cast<int>(rng.next_below(7));
+    const int P = nodes * ppn;
+    const net::Topology topo{nodes, ppn};
+    std::vector<coll::FileView> views(static_cast<std::size_t>(P));
+    std::uint64_t pos = rng.next_below(1 << 20);
+    for (int k = 0; k < 50; ++k) {
+      const int owner =
+          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(P)));
+      const std::uint64_t len = 1 + rng.next_below(100'000);
+      views[static_cast<std::size_t>(owner)].extents.push_back(
+          coll::Extent{pos, len});
+      pos += len + rng.next_below(4096);
+    }
+    coll::Options opt;
+    opt.cb_size = 1 << 20;
+    opt.hierarchical = (trial % 2 == 1);
+    const std::uint64_t stripe = 128 * sim::KiB;
+
+    std::vector<coll::ViewSummary> summaries;
+    summaries.reserve(views.size());
+    for (const auto& v : views) summaries.push_back(v.summarize());
+    const coll::PlanSkeleton skel(summaries, topo, stripe, opt);
+    const coll::Plan dense(views, topo, stripe, opt);
+
+    ASSERT_EQ(skel.num_aggregators(), dense.num_aggregators()) << trial;
+    EXPECT_EQ(skel.num_cycles(), dense.num_cycles()) << trial;
+    EXPECT_EQ(skel.sub_buffer_bytes(), dense.sub_buffer_bytes()) << trial;
+    EXPECT_EQ(skel.global_bytes(), dense.global_bytes()) << trial;
+    EXPECT_EQ(skel.range_begin(), dense.range_begin()) << trial;
+    EXPECT_EQ(skel.range_end(), dense.range_end()) << trial;
+    for (int a = 0; a < skel.num_aggregators(); ++a) {
+      EXPECT_EQ(skel.agg_rank(a), dense.agg_rank(a)) << trial;
+      EXPECT_EQ(skel.domain(a).begin, dense.domain(a).begin) << trial;
+      EXPECT_EQ(skel.domain(a).end, dense.domain(a).end) << trial;
+    }
+    for (int r = 0; r < P; ++r) {
+      EXPECT_EQ(skel.is_aggregator(r), dense.is_aggregator(r)) << trial;
+      EXPECT_EQ(skel.agg_index(r), dense.agg_index(r)) << trial;
+    }
+  }
+}

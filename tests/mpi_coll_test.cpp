@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <functional>
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "mpi/internal.hpp"
 #include "mpi/mpi.hpp"
 #include "net/fabric.hpp"
 
@@ -296,4 +300,310 @@ TEST(MpiColl, ScattervEmptyBlobsAllowed) {
       EXPECT_TRUE(mine.empty());
     }
   });
+}
+
+// ---------------------------------------------------------------------------
+// Scalable metadata-exchange collectives: reduce_scatter, allgather,
+// sparse_allgatherv, and the Jocksch-style cost-model fixes.
+// ---------------------------------------------------------------------------
+
+TEST(MpiColl, ReduceScatterReducesOneColumnPerRank) {
+  // Rank r contributes elems[i] = (r+1)*(i+1); rank i must receive the
+  // op-reduction of column i across all ranks.
+  auto run_op = [](smpi::Mpi::ReduceOp op) {
+    std::vector<std::uint64_t> got(4);
+    Rig rig(4);
+    rig.run([&](smpi::Mpi& mpi) {
+      const auto r = static_cast<std::uint64_t>(mpi.rank());
+      std::vector<std::uint64_t> elems(4);
+      for (std::uint64_t i = 0; i < 4; ++i) elems[i] = (r + 1) * (i + 1);
+      got[r] = mpi.reduce_scatter(elems, op);
+    });
+    return got;
+  };
+  const auto sums = run_op(smpi::Mpi::ReduceOp::Sum);
+  const auto maxs = run_op(smpi::Mpi::ReduceOp::Max);
+  const auto mins = run_op(smpi::Mpi::ReduceOp::Min);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sums[i], (i + 1) * (1 + 2 + 3 + 4));
+    EXPECT_EQ(maxs[i], (i + 1) * 4);
+    EXPECT_EQ(mins[i], (i + 1) * 1);
+  }
+}
+
+TEST(MpiColl, AllgatherFixedSizeRoundTrips) {
+  Rig rig(5);
+  rig.run([&](smpi::Mpi& mpi) {
+    const std::uint32_t v = 0x1000u + static_cast<std::uint32_t>(mpi.rank());
+    const auto out = mpi.allgather(std::as_bytes(std::span(&v, 1)));
+    ASSERT_EQ(out.size(), 5u);
+    for (std::uint32_t r = 0; r < 5; ++r) {
+      ASSERT_EQ(out[r].size(), sizeof(std::uint32_t));
+      std::uint32_t got = 0;
+      std::memcpy(&got, out[r].data(), sizeof(got));
+      EXPECT_EQ(got, 0x1000u + r);
+    }
+  });
+}
+
+TEST(MpiColl, ScattervMalformedSizeTableRejectedOnEveryRank) {
+  // A size table claiming more bytes than the payload holds must be
+  // rejected before any copy — by every rank, not only the ranks whose
+  // slice happens to land out of bounds.
+  const int nprocs = 3;
+  std::vector<std::byte> packed(nprocs * sizeof(std::uint64_t) + 4);
+  const std::uint64_t sizes[3] = {2, 2, 64};  // 64 overruns the 4-byte tail
+  std::memcpy(packed.data(), sizes, sizeof(sizes));
+  for (int r = 0; r < nprocs; ++r) {
+    EXPECT_THROW(smpi::detail::scatterv_unpack(packed, nprocs, r),
+                 tpio::Error);
+  }
+  // A payload shorter than its own size table is equally malformed.
+  const std::vector<std::byte> stub(sizeof(std::uint64_t));
+  EXPECT_THROW(smpi::detail::scatterv_unpack(stub, nprocs, 0), tpio::Error);
+}
+
+TEST(MpiColl, GathervCheaperThanAllgathervSameBlobs) {
+  // gatherv charges the root-bound volume (total minus the root's own
+  // blob); allgatherv charges the dissemination volume (total minus the
+  // smallest blob). With the largest blob at the root, gatherv must
+  // finish strictly earlier — the old model priced both identically.
+  auto finish = [](bool gather) {
+    Rig rig(6);
+    sim::Time t = 0;
+    rig.run([&](smpi::Mpi& mpi) {
+      const std::vector<std::byte> mine(
+          1000u * (static_cast<std::size_t>(mpi.rank()) + 1));
+      if (gather) {
+        mpi.gatherv(mine, 5);
+      } else {
+        mpi.allgatherv(mine);
+      }
+      if (mpi.rank() == 0) t = mpi.ctx().now();
+    });
+    return t;
+  };
+  EXPECT_LT(finish(true), finish(false));
+}
+
+TEST(MpiColl, AllgathervSingleRankIsFree) {
+  // P = 1: no remote bytes, no hops, no sync — time must not move.
+  Rig rig(1);
+  rig.run([&](smpi::Mpi& mpi) {
+    const sim::Time before = mpi.ctx().now();
+    const std::vector<std::byte> mine(4096, std::byte{7});
+    const auto out = mpi.allgatherv(mine);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].size(), 4096u);
+    EXPECT_EQ(mpi.ctx().now(), before);
+  });
+}
+
+TEST(MpiColl, AllgathervAllEmptyPaysNoVolumeTerm) {
+  // All-empty exchange costs exactly the latency + sync floor: the
+  // volume term must vanish with the payload.
+  Rig rig(4);
+  sim::Time t = 0;
+  rig.run([&](smpi::Mpi& mpi) {
+    const auto out = mpi.allgatherv({});
+    ASSERT_EQ(out.size(), 4u);
+    for (const auto& b : out) EXPECT_TRUE(b.empty());
+    if (mpi.rank() == 0) t = mpi.ctx().now();
+  });
+  const sim::Duration floor_cost =
+      static_cast<sim::Duration>(smpi::detail::ceil_log2(4)) * 100 +
+      rig.machine.sync_collective_cost(4);
+  EXPECT_EQ(t, floor_cost);
+}
+
+TEST(MpiColl, AllgathervChargesTotalMinusSmallestBlob) {
+  // Two grids with the same total volume: the skewed one disseminates
+  // more remote bytes (total - min). The old total - total/P formula
+  // priced both at 3000 bytes; the fix must separate them.
+  auto finish = [](std::vector<std::size_t> sizes) {
+    Rig rig(4);
+    sim::Time t = 0;
+    rig.run([&](smpi::Mpi& mpi) {
+      const std::vector<std::byte> mine(
+          sizes[static_cast<std::size_t>(mpi.rank())]);
+      mpi.allgatherv(mine);
+      if (mpi.rank() == 0) t = mpi.ctx().now();
+    });
+    return t;
+  };
+  EXPECT_GT(finish({0, 0, 0, 4000}), finish({1000, 1000, 1000, 1000}));
+}
+
+TEST(MpiColl, SparseAllgathervDeliversWantedInterval) {
+  Rig rig(6);
+  rig.run([&](smpi::Mpi& mpi) {
+    const int me = mpi.rank();
+    const std::vector<std::byte> mine(
+        static_cast<std::size_t>(me) + 1,
+        static_cast<std::byte>(me));
+    const int want_b = (me == 0) ? 2 : 0;
+    const int want_e = (me == 0) ? 5 : 0;
+    const auto got = mpi.sparse_allgatherv(mine, want_b, want_e);
+    if (me == 0) {
+      // Wanted [2,5) plus the rank's own blob, ascending by source.
+      ASSERT_EQ(got.size(), 4u);
+      const int expect_src[] = {0, 2, 3, 4};
+      for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(got[i].first, expect_src[i]);
+    } else {
+      // No wants: only the rank's own blob comes back.
+      ASSERT_EQ(got.size(), 1u);
+      EXPECT_EQ(got[0].first, me);
+    }
+    for (const auto& [src, blob] : got) {
+      ASSERT_EQ(blob.size(), static_cast<std::size_t>(src) + 1);
+      for (std::byte b : blob) EXPECT_EQ(b, static_cast<std::byte>(src));
+    }
+  });
+}
+
+TEST(MpiColl, SparseAllgathervDenseFlagKeepsVirtualTime) {
+  // dense=true is a host-materialization switch only: rank 1 gets all six
+  // blobs instead of one, but the completion time is bit-identical because
+  // the cost derives from the declared want topology.
+  auto run_one = [](bool dense) {
+    Rig rig(6);
+    sim::Time t = 0;
+    std::size_t rank1_blobs = 0;
+    rig.run([&](smpi::Mpi& mpi) {
+      const int me = mpi.rank();
+      const std::vector<std::byte> mine(100u * (static_cast<std::size_t>(me) + 1));
+      const int want_e = (me % 2 == 0) ? 6 : 0;
+      const auto got = mpi.sparse_allgatherv(mine, 0, want_e, dense);
+      if (me == 0) t = mpi.ctx().now();
+      if (me == 1) rank1_blobs = got.size();
+    });
+    return std::pair{t, rank1_blobs};
+  };
+  const auto [t_sparse, n_sparse] = run_one(false);
+  const auto [t_dense, n_dense] = run_one(true);
+  EXPECT_EQ(t_sparse, t_dense);
+  EXPECT_EQ(n_sparse, 1u);
+  EXPECT_EQ(n_dense, 6u);
+}
+
+TEST(MpiColl, SparseAllgathervFullWantMatchesAllgathervData) {
+  constexpr int P = 5;
+  std::vector<std::vector<std::byte>> via_dense(P);
+  std::vector<std::vector<std::byte>> via_sparse(P);
+  auto payload = [](int r) {
+    return std::vector<std::byte>(static_cast<std::size_t>(2 * r + 1),
+                                  static_cast<std::byte>(r * 13));
+  };
+  {
+    Rig rig(P);
+    rig.run([&](smpi::Mpi& mpi) {
+      const auto out = mpi.allgatherv(payload(mpi.rank()));
+      if (mpi.rank() == 0) via_dense = out;
+    });
+  }
+  {
+    Rig rig(P);
+    rig.run([&](smpi::Mpi& mpi) {
+      const auto got = mpi.sparse_allgatherv(payload(mpi.rank()), 0, P);
+      if (mpi.rank() != 0) return;
+      ASSERT_EQ(got.size(), static_cast<std::size_t>(P));
+      for (const auto& [src, blob] : got) {
+        via_sparse[static_cast<std::size_t>(src)] = blob;
+      }
+    });
+  }
+  EXPECT_EQ(via_sparse, via_dense);
+}
+
+TEST(MpiColl, BcastRootAtLastRank) {
+  Rig rig(4);
+  rig.run([&](smpi::Mpi& mpi) {
+    std::vector<std::byte> buf(8);
+    if (mpi.rank() == 3) {
+      for (std::size_t i = 0; i < 8; ++i) {
+        buf[i] = static_cast<std::byte>(0xA0 + i);
+      }
+    }
+    mpi.bcast(buf, 3);
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(buf[i], static_cast<std::byte>(0xA0 + i));
+    }
+  });
+}
+
+TEST(MpiColl, GathervRootAtLastRank) {
+  Rig rig(5);
+  rig.run([&](smpi::Mpi& mpi) {
+    const std::vector<std::byte> mine(
+        static_cast<std::size_t>(mpi.rank()),
+        static_cast<std::byte>(mpi.rank()));
+    const auto out = mpi.gatherv(mine, 4);
+    ASSERT_EQ(out.size(), 5u);
+    if (mpi.rank() == 4) {
+      for (int r = 0; r < 5; ++r) {
+        ASSERT_EQ(out[static_cast<std::size_t>(r)].size(),
+                  static_cast<std::size_t>(r));
+        for (std::byte b : out[static_cast<std::size_t>(r)]) {
+          EXPECT_EQ(b, static_cast<std::byte>(r));
+        }
+      }
+    } else {
+      for (const auto& b : out) EXPECT_TRUE(b.empty());
+    }
+  });
+}
+
+TEST(MpiColl, ScattervRootAtLastRank) {
+  Rig rig(4);
+  rig.run([&](smpi::Mpi& mpi) {
+    std::vector<std::vector<std::byte>> blobs;
+    if (mpi.rank() == 3) {
+      for (int r = 0; r < 4; ++r) {
+        blobs.emplace_back(static_cast<std::size_t>(r + 1),
+                           static_cast<std::byte>(r * 5));
+      }
+    }
+    const auto mine = mpi.scatterv(blobs, 3);
+    ASSERT_EQ(mine.size(), static_cast<std::size_t>(mpi.rank()) + 1);
+    for (std::byte b : mine) EXPECT_EQ(b, static_cast<std::byte>(mpi.rank() * 5));
+  });
+}
+
+TEST(MpiColl, MetadataCollectivesOnSingleNode) {
+  // Single node, multiple ranks: the full two-stage vocabulary (summary
+  // allgather, sparse delivery, reduce_scatter) must round-trip with no
+  // inter-node fabric in play.
+  Rig rig(1, 4);
+  rig.run([&](smpi::Mpi& mpi) {
+    const std::uint64_t v = static_cast<std::uint64_t>(mpi.rank()) + 1;
+    const auto summaries = mpi.allgather(std::as_bytes(std::span(&v, 1)));
+    ASSERT_EQ(summaries.size(), 4u);
+    const auto got = mpi.sparse_allgatherv(
+        std::as_bytes(std::span(&v, 1)), 0, mpi.rank() == 0 ? 4 : 0);
+    EXPECT_EQ(got.size(), mpi.rank() == 0 ? 4u : 1u);
+    std::vector<std::uint64_t> elems(4, v);
+    EXPECT_EQ(mpi.reduce_scatter(elems, smpi::Mpi::ReduceOp::Sum),
+              1u + 2u + 3u + 4u);
+    EXPECT_EQ(mpi.allreduce_max(v), 4u);
+  });
+}
+
+TEST(MpiColl, DeterministicSummaryExchangeTimes) {
+  // The exact collective sequence of the two-stage metadata exchange,
+  // repeated: completion times must be bit-identical across runs.
+  auto once = [] {
+    Rig rig(6, 2);
+    sim::Time t = 0;
+    rig.run([&](smpi::Mpi& mpi) {
+      const std::uint64_t v = static_cast<std::uint64_t>(mpi.rank()) * 7 + 1;
+      mpi.allgather(std::as_bytes(std::span(&v, 1)));
+      const std::vector<std::byte> blob(
+          64u * (static_cast<std::size_t>(mpi.rank()) + 1));
+      mpi.sparse_allgatherv(blob, 0, mpi.rank() < 3 ? 12 : 0);
+      mpi.allreduce_max(v);
+      if (mpi.rank() == 11) t = mpi.ctx().now();
+    });
+    return t;
+  };
+  EXPECT_EQ(once(), once());
 }

@@ -8,6 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+
+#include <chrono>
+
 #include "harness/runner.hpp"
 #include "harness/sweep.hpp"
 #include "simbase/units.hpp"
@@ -127,4 +131,47 @@ TEST(Scale, QuickSweepByteIdenticalAcrossBackendsAndJobs) {
     EXPECT_EQ(fibers[i].procs, threads[i].procs);
     EXPECT_EQ(fibers[i].min_ms, threads[i].min_ms) << "series " << i;
   }
+}
+
+TEST(Scale, MetadataExchangeSmokeAt4096Ranks) {
+  // The two-stage metadata exchange at 4096 ranks: the sparse and dense
+  // paths must agree on every RunResult field even at a scale where the
+  // dense path materializes 4096 views on each of 4096 ranks, the run
+  // must account a nonzero metadata phase, and the host-side cost of the
+  // sparse run stays inside generous ceilings that an O(P^2) regression
+  // would blow through. The tracked dense-vs-sparse host numbers live in
+  // BENCH_PERF.json (tools/bench_report, `metadata` section).
+  BackendGuard guard(sim::ConductorBackend::Fibers);
+  xp::RunSpec spec;
+  spec.platform = xp::scaled(xp::ibex());
+  spec.workload = wl::make_ior(16 * sim::KiB);
+  spec.nprocs = 4096;
+  spec.options.cb_size = xp::kCbSize;
+  spec.options.overlap = coll::OverlapMode::None;
+  spec.seed = 4096;
+  const auto t0 = std::chrono::steady_clock::now();
+  const xp::RunResult sparse = xp::execute(spec);
+  const double sparse_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GT(sparse.makespan, 0);
+  EXPECT_GT(sparse.rank_sum.meta, 0);
+  EXPECT_EQ(sparse.bytes, 4096ull * 16 * sim::KiB);
+  EXPECT_LT(sparse_wall_s, 60.0);
+  struct rusage ru {};
+  ::getrusage(RUSAGE_SELF, &ru);
+  EXPECT_LT(static_cast<double>(ru.ru_maxrss) / 1024.0, 8192.0)
+      << "peak RSS after the sparse 4096-rank run (MiB)";
+
+  spec.options.dense_metadata = true;
+  const xp::RunResult dense = xp::execute(spec);
+  EXPECT_EQ(dense.makespan, sparse.makespan);
+  EXPECT_EQ(dense.completion, sparse.completion);
+  EXPECT_EQ(dense.cycles, sparse.cycles);
+  EXPECT_EQ(dense.aggregators, sparse.aggregators);
+  EXPECT_EQ(dense.bytes, sparse.bytes);
+  EXPECT_EQ(dense.inter_node_bytes, sparse.inter_node_bytes);
+  EXPECT_EQ(dense.inter_node_messages, sparse.inter_node_messages);
+  EXPECT_EQ(dense.intra_node_bytes, sparse.intra_node_bytes);
+  EXPECT_EQ(dense.rank_sum.meta, sparse.rank_sum.meta);
 }
