@@ -45,6 +45,35 @@ OverlapMode decide(const ProbeStats& s, const AutoPolicy& p) {
   return OverlapMode::WriteComm2;
 }
 
+std::vector<int> sub_comm_candidates(const net::Topology& topo,
+                                     int num_targets) {
+  const int cap = std::min({topo.nodes, num_targets, 8});
+  std::vector<int> ks{1};
+  for (int k = 2; k <= cap; k *= 2) ks.push_back(k);
+  return ks;
+}
+
+int decide_sub_comm_count(const std::vector<double>& probe_ms,
+                          double min_gain) {
+  TPIO_CHECK(!probe_ms.empty(), "need at least the shared-file probe");
+  TPIO_CHECK(min_gain >= 0.0, "subfile improvement floor must be >= 0");
+  // Doubling search over the probed candidates: accept k=2 only when it
+  // beats the shared file by the gain floor, k=4 only when it beats the
+  // accepted k=2, and so on. The first non-improvement ends the search —
+  // fragmentation costs grow monotonically with k, so there is nothing
+  // past the first regression.
+  int best = 0;
+  for (std::size_t i = 1; i < probe_ms.size(); ++i) {
+    TPIO_CHECK(probe_ms[i] > 0.0, "probe makespans must be positive");
+    if (probe_ms[i] < (1.0 - min_gain) * probe_ms[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(i);
+    } else {
+      break;
+    }
+  }
+  return 1 << best;
+}
+
 namespace {
 
 std::string num(double v) {

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/types.hpp"
 #include "net/topology.hpp"
@@ -82,6 +83,26 @@ double probe_aio_ratio(const ProbeStats& s);
 /// Map probe statistics onto a fixed scheduler. Pure and deterministic:
 /// identical inputs give identical outputs on every rank.
 OverlapMode decide(const ProbeStats& s, const AutoPolicy& p);
+
+/// Sub-communicator counts worth probing for one geometry: powers of two
+/// in [1, min(nodes, num_targets, 8)]. Splitting only helps when there is
+/// something to split over — multiple nodes (smaller collectives) and
+/// multiple storage targets (subfiles on disjoint stripe sets) — so a
+/// single-node or single-target system probes nothing but the shared file.
+std::vector<int> sub_comm_candidates(const net::Topology& topo,
+                                     int num_targets);
+
+/// Pick a sub-communicator count (Options::sub_comm_count) from probed
+/// makespans, one per candidate k (sub_comm_candidates order; candidates
+/// not probed may be omitted from the tail). Pure and deterministic: a
+/// doubling search that accepts a larger k only while it improves the
+/// previously accepted probe by at least `min_gain` (fractional, see
+/// Options::auto_subfile_floor) and stops at the first non-improvement —
+/// whether splitting pays is a property of the whole platform (per-request
+/// storage overheads, stream limits, fabric speed), which one shared-file
+/// cycle cannot reveal but two cheap probe runs measure directly.
+int decide_sub_comm_count(const std::vector<double>& probe_ms,
+                          double min_gain);
 
 /// Hardware fingerprint of the simulated platform, built from the knobs
 /// that shape the comm/IO balance. Deliberately excludes per-run noise

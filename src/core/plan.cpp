@@ -48,10 +48,9 @@ PlanSkeleton::PlanSkeleton(std::span<const ViewSummary> summaries,
   for (int i = 0; i < A; ++i) {
     const int node = i % topo.nodes;
     const int slot = i / topo.nodes;
-    const int rank = node * topo.procs_per_node + slot;
-    TPIO_CHECK(slot < topo.procs_per_node,
+    const int rank = topo.node_first(node) + slot;
+    TPIO_CHECK(rank < topo.node_last(node),
                "more aggregators than processes on a node");
-    TPIO_CHECK(rank < P, "aggregator placement outside the job");
     TPIO_CHECK(agg_index_of_rank_[static_cast<std::size_t>(rank)] == -1,
                "duplicate aggregator placement");
     agg_index_of_rank_[static_cast<std::size_t>(rank)] = i;
@@ -120,9 +119,8 @@ PlanSkeleton::Range PlanSkeleton::cycle_range(int a, int c) const {
 
 std::pair<int, int> PlanSkeleton::node_rank_range(int node) const {
   TPIO_CHECK(node >= 0 && node < topo_.nodes, "node outside topology");
-  const int first = node * topo_.procs_per_node;
-  const int last =
-      std::min((node + 1) * topo_.procs_per_node, topo_.nprocs());
+  const int first = topo_.node_first(node);
+  const int last = topo_.node_last(node);
   TPIO_CHECK(first < last, "empty node in topology");
   return {first, last};
 }

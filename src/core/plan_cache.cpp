@@ -41,6 +41,7 @@ void append_header(std::string& key, const net::Topology& topo,
                    std::uint64_t stripe, const Options& opt) {
   append_u64(key, static_cast<std::uint64_t>(topo.nodes));
   append_u64(key, static_cast<std::uint64_t>(topo.procs_per_node));
+  append_u64(key, static_cast<std::uint64_t>(topo.rank_offset));
   append_u64(key, static_cast<std::uint64_t>(topo.nprocs()));
   append_u64(key, stripe);
   append_u64(key, opt.cb_size);

@@ -141,6 +141,29 @@ struct Options {
   /// owned, may be null. Each rank passes its own Trace.
   Trace* trace = nullptr;
 
+  // ----- subfiling (sub-communicator multi-file write) ----------------------
+  /// Number of sub-communicators (gio-style subfiling): the P ranks split
+  /// into this many contiguous subgroups, each electing its own aggregator
+  /// set and running an independent two-phase write into its own striped
+  /// subfile. 1 (the default) is the shared-file mode and is bit-identical
+  /// to the pre-subfiling path on every RunResult field; 0 asks the
+  /// harness to pick k from probe cycles (xp::auto_sub_comm_count).
+  int sub_comm_count = 1;
+  /// Stripe unit of each subfile in bytes (pfs::FileStriping::stripe_unit,
+  /// sweepable 1 MB-512 MB as in gio); 0 inherits the system stripe size.
+  /// Also honoured at k == 1 for stripe-unit sweeps of the shared file.
+  std::uint64_t subfile_stripe_unit = 0;
+  /// Striping factor of each subfile — how many storage targets it spreads
+  /// over; 0 = all targets. Subfile g starts its stripe set at target
+  /// g * factor (mod num_targets), so k * factor <= num_targets gives the
+  /// subfiles disjoint target subsets.
+  int subfile_stripe_factor = 0;
+  /// sub_comm_count == 0 (auto-k): minimum fractional improvement a larger
+  /// k must show over the previously accepted probe run before auto-k
+  /// accepts it (coll::decide_sub_comm_count); the default absorbs run-
+  /// to-run noise so near-ties keep the shared file.
+  double auto_subfile_floor = 0.02;
+
   // ----- resilience (fault injection: pfs::FaultParams) ---------------------
   /// Transiently failed writes/reads are retried up to this many times
   /// beyond the first attempt before the engine gives up (records a give-up

@@ -180,6 +180,14 @@ std::string cli_usage() {
       "                                     milliseconds; default fixed:0)\n"
       "  --qos fifo|fair|priority           shared-target queuing discipline\n"
       "                                     (priority: tenant 0 on top)\n"
+      "  --sub-comms N|auto                 split ranks into N sub-\n"
+      "                                     communicators, one file each\n"
+      "                                     (subfiling; default 1 = shared\n"
+      "                                     file; auto = probe-driven)\n"
+      "  --stripe-unit SIZE                 per-(sub)file stripe unit\n"
+      "                                     override (default: platform)\n"
+      "  --stripe-factor N                  targets each (sub)file stripes\n"
+      "                                     over (default: all targets)\n"
       "  --help\n";
 }
 
@@ -345,6 +353,22 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
       } else if (a == "--qos") {
         if (!need_value(i)) return cfg;
         cfg.qos = pfs::parse_qos(args[++i]);  // throws -> caught below
+      } else if (a == "--sub-comms") {
+        if (!need_value(i)) return cfg;
+        const std::string v = args[++i];
+        if (v == "auto") {
+          cfg.spec.options.sub_comm_count = 0;  // resolved by the tool
+        } else {
+          cfg.spec.options.sub_comm_count =
+              static_cast<int>(int_flag(a, v, 1, 1'000'000));
+        }
+      } else if (a == "--stripe-unit") {
+        if (!need_value(i)) return cfg;
+        cfg.spec.options.subfile_stripe_unit = bytes_flag(a, args[++i]);
+      } else if (a == "--stripe-factor") {
+        if (!need_value(i)) return cfg;
+        cfg.spec.options.subfile_stripe_factor =
+            static_cast<int>(int_flag(a, args[++i], 1, 1'000'000));
       } else {
         cfg.error = "unknown flag '" + a + "'";
       }
@@ -366,6 +390,12 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
     cfg.error = "--straggler-targets exceeds the platform's " +
                 std::to_string(cfg.spec.platform.pfs.num_targets) +
                 " storage targets";
+  }
+  if (cfg.error.empty() &&
+      cfg.spec.options.sub_comm_count > cfg.spec.nprocs) {
+    cfg.error = "--sub-comms " +
+                std::to_string(cfg.spec.options.sub_comm_count) +
+                " exceeds --procs " + std::to_string(cfg.spec.nprocs);
   }
   if (cfg.error.empty() && cfg.arrival.model == ArrivalModel::Trace &&
       static_cast<int>(cfg.arrival.trace.size()) != cfg.tenants) {

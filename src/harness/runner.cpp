@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "core/autotune.hpp"
+#include "harness/tenancy.hpp"
 #include "net/topology.hpp"
 #include "sched/conductor.hpp"
 #include "simbase/bufpool.hpp"
@@ -14,6 +16,22 @@ namespace tpio::xp {
 
 RunResult execute(const RunSpec& spec) {
   TPIO_CHECK(spec.nprocs > 0, "run needs processes");
+  TPIO_CHECK(spec.options.sub_comm_count >= 1,
+             "sub_comm_count must be resolved (>= 1) before execute; "
+             "0 = auto is decided by xp::auto_sub_comm_count");
+
+  // Subfiling (or per-file striping overrides): run through the
+  // multi-group machinery as a single tenant. The lone-tenant path is
+  // pinned bit-identical to the inline runner below by the contention and
+  // subfiling differential suites.
+  if (spec.options.sub_comm_count > 1 || spec.options.subfile_stripe_unit > 0 ||
+      spec.options.subfile_stripe_factor > 0) {
+    MultiRunSpec ms;
+    ms.tenants = {spec};
+    ms.seed = spec.seed;
+    MultiRunResult mr = execute_multi(ms);
+    return std::move(mr.tenants[0].run);
+  }
 
   net::FabricParams fp = spec.platform.fabric;
   fp.noise_seed = sim::Rng::derive_seed(spec.seed, 0xFAB);
@@ -98,6 +116,37 @@ RunResult execute(const RunSpec& spec) {
     }
   }
   return out;
+}
+
+int auto_sub_comm_count(const RunSpec& spec) {
+  const net::Topology topo =
+      net::Topology::fit(spec.nprocs, spec.platform.procs_per_node);
+  int num_targets = spec.platform.pfs.num_targets;
+  if (spec.platform.targets_per_node > 0) {
+    num_targets = std::max(1, topo.nodes * spec.platform.targets_per_node);
+  }
+  // Blocking probe runs at doubling k, lazily: the search stops at the
+  // first candidate that fails the improvement floor, so the common
+  // shared-file answer costs two probes. Probes are virtual-time runs of
+  // the spec itself (same seed), so the decision is a pure function of
+  // the spec — deterministic across workers and conductor backends.
+  std::vector<double> probe_ms;
+  for (const int k : coll::sub_comm_candidates(topo, num_targets)) {
+    if (k > spec.nprocs) break;
+    RunSpec probe = spec;
+    probe.options.sub_comm_count = k;
+    probe.options.overlap = coll::OverlapMode::None;
+    probe.options.trace = nullptr;
+    probe.options.tuning_cache.clear();
+    probe.verify = false;
+    const RunResult r = execute(probe);
+    probe_ms.push_back(sim::to_millis(r.makespan));
+    if (coll::decide_sub_comm_count(probe_ms,
+                                    spec.options.auto_subfile_floor) < k) {
+      break;  // k lost to the previous probe; larger k only fragments more
+    }
+  }
+  return coll::decide_sub_comm_count(probe_ms, spec.options.auto_subfile_floor);
 }
 
 sim::Duration Series::min_makespan() const {

@@ -6,9 +6,21 @@
 
 #include "core/engine.hpp"
 #include "harness/platform.hpp"
+#include "pfs/qos.hpp"
 #include "workloads/workloads.hpp"
 
 namespace tpio::xp {
+
+/// Per-subfile outcome of a subfiled run (Options::sub_comm_count > 1):
+/// one entry per sub-communicator, in subgroup order.
+struct SubfileResult {
+  int group = 0;             // sub-communicator index, 0..k-1
+  int ranks = 0;             // ranks in the subgroup
+  int aggregators = 0;       // aggregator count the subgroup elected
+  std::uint64_t bytes = 0;   // bytes the subgroup wrote to its subfile
+  sim::Time completion = 0;  // virtual instant the subgroup finished
+  pfs::QosStats qos;         // storage interference stats of the subfile
+};
 
 /// One fully-specified simulated collective-write job.
 struct RunSpec {
@@ -63,6 +75,10 @@ struct RunResult {
   /// will also report it when requested).
   std::string io_error;
   std::string verify_error;          // empty = verified / not requested
+  /// Subfiling only (Options::sub_comm_count > 1): per-subfile outcomes.
+  /// Empty on every shared-file run, so k == 1 results compare equal to
+  /// the pre-subfiling RunResult field-for-field.
+  std::vector<SubfileResult> subfiles;
   double bandwidth() const {         // effective write bandwidth, bytes/s
     return makespan > 0
                ? static_cast<double>(bytes) / sim::to_seconds(makespan)
@@ -72,6 +88,18 @@ struct RunResult {
 
 /// Execute one job on a freshly-built simulated cluster.
 RunResult execute(const RunSpec& spec);
+
+/// Resolve Options::sub_comm_count == 0 ("auto-k") by measurement: run a
+/// cheap blocking probe of `spec` (OverlapMode::None, no trace/verify,
+/// same seed) at each k from coll::sub_comm_candidates — lazily, stopping
+/// at the first k that fails the improvement floor — and pick via
+/// coll::decide_sub_comm_count. Whether splitting pays is a property of
+/// the whole platform (per-request storage overheads, stream limits,
+/// fabric speed) that no single shared-file run reveals, so auto-k probes
+/// instead of predicting. Deterministic: probe timings are virtual, so
+/// the result is a pure function of the spec. Returns k >= 1; the caller
+/// stores it into Options::sub_comm_count before execute().
+int auto_sub_comm_count(const RunSpec& spec);
 
 /// Minimum makespan across `reps` seeds (the paper compares per-point
 /// minima across 3-9 measurements; see section IV).

@@ -125,6 +125,9 @@ std::string sweep_manifest(const char* sweep, const Platform& plat, int reps,
       m += "|degrade=" + std::to_string(base.degrade_slowdown);
     }
   }
+  // Subfiled grids run under different plans and storage layouts than the
+  // shared-file grid (identical job keys) — keep their checkpoints apart.
+  m += subfiling_tag(base);
   return m;
 }
 

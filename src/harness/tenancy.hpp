@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/runner.hpp"
@@ -87,5 +88,17 @@ MultiRunResult execute_multi(const MultiRunSpec& spec, bool with_baselines);
 /// to namespace sweep-checkpoint manifests so contended results can never
 /// be spliced into idle-system ones.
 std::string tenancy_tag(const MultiRunSpec& spec);
+
+/// Contiguous partition of `nprocs` ranks into `k` sub-communicators:
+/// subgroup g gets (base, count) with counts nprocs/k rounded up for the
+/// first nprocs%k groups — the block split MPI_Comm_split would produce
+/// for color = rank * k / nprocs. Requires 1 <= k <= nprocs.
+std::vector<std::pair<int, int>> sub_comm_partition(int nprocs, int k);
+
+/// Compact textual fingerprint of the subfiling configuration
+/// (sub-communicator count, per-subfile stripe unit/factor), empty when
+/// every knob is at its shared-file default; appended to sweep-checkpoint
+/// manifests so subfiled grids can never splice into shared-file ones.
+std::string subfiling_tag(const coll::Options& opt);
 
 }  // namespace tpio::xp

@@ -34,8 +34,8 @@ void Mpi::barrier() {
 std::vector<int> Mpi::node_ranks() const {
   const net::Topology& topo = machine_->fabric_->topology();
   const int node = topo.node_of(rank());
-  const int first = node * topo.procs_per_node;
-  const int last = std::min((node + 1) * topo.procs_per_node, topo.nprocs());
+  const int first = topo.node_first(node);
+  const int last = topo.node_last(node);
   std::vector<int> out;
   out.reserve(static_cast<std::size_t>(last - first));
   for (int r = first; r < last; ++r) out.push_back(r);

@@ -21,10 +21,8 @@ Machine::Machine(net::Fabric& fabric, const MpiParams& params)
   const net::Topology& topo = fabric.topology();
   node_sync_.reserve(static_cast<std::size_t>(topo.nodes));
   for (int n = 0; n < topo.nodes; ++n) {
-    const int first = n * topo.procs_per_node;
-    const int last =
-        std::min((n + 1) * topo.procs_per_node, topo.nprocs());
-    node_sync_.push_back(std::make_unique<sim::SyncPoint>(last - first));
+    node_sync_.push_back(std::make_unique<sim::SyncPoint>(
+        topo.node_last(n) - topo.node_first(n)));
   }
 }
 

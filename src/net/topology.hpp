@@ -1,17 +1,28 @@
 #pragma once
 
+#include <algorithm>
+
 #include "simbase/error.hpp"
 
 namespace tpio::net {
 
 /// Placement of MPI ranks onto cluster nodes (block mapping, the Open MPI
-/// default of `--map-by core`): rank r lives on node r / procs_per_node.
-/// The last node may be partially filled (`ranks` < nodes * procs_per_node).
+/// default of `--map-by core`): rank r lives on node (rank_offset + r) /
+/// procs_per_node. The last node may be partially filled (`ranks` <
+/// nodes * procs_per_node), and — for sub-communicator views whose rank 0
+/// starts mid-node — the first node may be partially filled too
+/// (`rank_offset` > 0). Whole-world topologies always have rank_offset 0.
 struct Topology {
   int nodes = 1;
   int procs_per_node = 1;
   /// Actual rank count; 0 means "all nodes full".
   int ranks = 0;
+  /// Slot of rank 0 within its node (0 <= rank_offset < procs_per_node).
+  /// Nonzero only for rank-granular sub-views: a subgroup carved out of a
+  /// larger job keeps its members' physical node slots, so its first node
+  /// contributes procs_per_node - rank_offset ranks. At rank_offset == 0
+  /// every formula below reduces exactly to the historical block mapping.
+  int rank_offset = 0;
 
   /// Central validity check. Aggregate initialization bypasses fit()'s
   /// argument checks, so every accessor funnels through here: malformed
@@ -22,10 +33,14 @@ struct Topology {
   void validate() const {
     TPIO_CHECK(nodes > 0 && procs_per_node > 0,
                "topology sizes must be positive");
-    TPIO_CHECK(ranks >= 0 && ranks <= nodes * procs_per_node,
+    TPIO_CHECK(rank_offset >= 0 && rank_offset < procs_per_node,
+               "topology rank_offset must lie within the first node");
+    TPIO_CHECK(rank_offset == 0 || ranks > 0,
+               "rank-offset topologies must carry an explicit rank count");
+    TPIO_CHECK(ranks >= 0 && rank_offset + ranks <= nodes * procs_per_node,
                "topology rank count exceeds node capacity");
-    TPIO_CHECK(ranks == 0 || ranks > (nodes - 1) * procs_per_node,
-               "topology leaves a node empty (only the last may be partial)");
+    TPIO_CHECK(ranks == 0 || rank_offset + ranks > (nodes - 1) * procs_per_node,
+               "topology leaves a node empty (only the ends may be partial)");
   }
 
   int nprocs() const {
@@ -35,7 +50,19 @@ struct Topology {
 
   int node_of(int rank) const {
     TPIO_CHECK(rank >= 0 && rank < nprocs(), "rank outside topology");
-    return rank / procs_per_node;
+    return (rank_offset + rank) / procs_per_node;
+  }
+
+  /// First rank living on `node` (ranks are contiguous per node).
+  int node_first(int node) const {
+    TPIO_CHECK(node >= 0 && node < nodes, "node outside topology");
+    return std::max(0, node * procs_per_node - rank_offset);
+  }
+
+  /// One past the last rank living on `node`.
+  int node_last(int node) const {
+    TPIO_CHECK(node >= 0 && node < nodes, "node outside topology");
+    return std::min(nprocs(), (node + 1) * procs_per_node - rank_offset);
   }
 
   bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
@@ -44,6 +71,25 @@ struct Topology {
   static Topology fit(int nprocs, int ppn) {
     TPIO_CHECK(nprocs > 0 && ppn > 0, "topology sizes must be positive");
     return Topology{(nprocs + ppn - 1) / ppn, ppn, nprocs};
+  }
+
+  /// Rank-granular sub-view: the topology seen by `count` contiguous ranks
+  /// of `world` starting at world rank `base`. Members keep their physical
+  /// node slots, so the view may start and end mid-node. Pair the result
+  /// with the base's node for fabric-view placement (world.node_of(base)).
+  static Topology sub_view(const Topology& world, int base, int count) {
+    TPIO_CHECK(count > 0 && base >= 0 && base + count <= world.nprocs(),
+               "sub-view outside world topology");
+    const int first_node = world.node_of(base);
+    const int last_node = world.node_of(base + count - 1);
+    Topology t;
+    t.nodes = last_node - first_node + 1;
+    t.procs_per_node = world.procs_per_node;
+    t.ranks = count;
+    t.rank_offset =
+        (world.rank_offset + base) - first_node * world.procs_per_node;
+    t.validate();
+    return t;
   }
 };
 

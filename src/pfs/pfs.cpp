@@ -117,18 +117,47 @@ std::shared_ptr<File> StorageSystem::create(std::string name,
                                             Integrity integrity,
                                             const TenantClass& tenant,
                                             int node_offset) {
+  return create(std::move(name), integrity, tenant, node_offset,
+                FileStriping{});
+}
+
+std::shared_ptr<File> StorageSystem::create(std::string name,
+                                            Integrity integrity,
+                                            const TenantClass& tenant,
+                                            int node_offset,
+                                            const FileStriping& striping) {
   TPIO_CHECK(tenant.id >= 0, "tenant id must be >= 0");
   TPIO_CHECK(tenant.weight > 0.0, "tenant weight must be positive");
   TPIO_CHECK(node_offset >= 0, "node offset must be >= 0");
-  return std::shared_ptr<File>(
-      new File(*this, std::move(name), integrity, tenant, node_offset));
+  TPIO_CHECK(striping.stripe_factor >= 0 &&
+                 striping.stripe_factor <= params_.num_targets,
+             "stripe factor must be in [0, num_targets]");
+  TPIO_CHECK(striping.target_offset >= 0 &&
+                 striping.target_offset < params_.num_targets,
+             "target offset must be in [0, num_targets)");
+  return std::shared_ptr<File>(new File(*this, std::move(name), integrity,
+                                        tenant, node_offset, striping));
 }
 
 // ---------------------------------------------------------------------------
 // Content recording / verification
 // ---------------------------------------------------------------------------
 
-std::uint64_t File::stripe_size() const { return sys_->params_.stripe_size; }
+std::uint64_t File::stripe_size() const {
+  return striping_.stripe_unit > 0 ? striping_.stripe_unit
+                                   : sys_->params_.stripe_size;
+}
+
+int File::target_of(std::uint64_t stripe_idx) const {
+  const auto nt = static_cast<std::uint64_t>(sys_->params_.num_targets);
+  const auto factor = striping_.stripe_factor > 0
+                          ? static_cast<std::uint64_t>(striping_.stripe_factor)
+                          : nt;
+  return static_cast<int>(
+      (static_cast<std::uint64_t>(striping_.target_offset) +
+       stripe_idx % factor) %
+      nt);
+}
 
 std::uint64_t File::mix(std::uint64_t offset, std::byte value) {
   // SplitMix64 finalizer over (offset, value); summed commutatively per
@@ -147,6 +176,7 @@ void File::record(std::uint64_t offset, std::span<const std::byte> data,
   // the bytes — but the *content* only becomes observable once the write
   // completes on the virtual timeline.
   size_ = std::max(size_, offset + data.size());
+  if (!data.empty()) min_offset_ = std::min(min_offset_, offset);
   bytes_accepted_ += data.size();
   sys_->bytes_written_ += data.size();
   if (integrity_ == Integrity::None || data.empty()) return;
@@ -160,7 +190,7 @@ void File::record(std::uint64_t offset, std::span<const std::byte> data,
   } else {
     // Digest mode: fold each chunk's contribution now (the caller may
     // overwrite its buffer after submission) and retain only the deltas.
-    const std::uint64_t ss = sys_->params_.stripe_size;
+    const std::uint64_t ss = stripe_size();
     std::uint64_t pos = offset;
     std::size_t consumed = 0;
     while (consumed < data.size()) {
@@ -180,7 +210,7 @@ void File::record(std::uint64_t offset, std::span<const std::byte> data,
 }
 
 void File::apply_content(const PendingWrite& w) {
-  const std::uint64_t ss = sys_->params_.stripe_size;
+  const std::uint64_t ss = stripe_size();
   std::uint64_t pos = w.offset;
   std::uint64_t left = w.length;
   std::size_t consumed = 0;
@@ -223,7 +253,7 @@ std::vector<std::byte> File::read_back(std::uint64_t offset,
   // Post-run inspection: every scheduled write has logically completed.
   const_cast<File*>(this)->flush_content(std::numeric_limits<sim::Time>::max());
   std::vector<std::byte> out(len, std::byte{0});
-  const std::uint64_t ss = sys_->params_.stripe_size;
+  const std::uint64_t ss = stripe_size();
   std::uint64_t pos = offset;
   std::uint64_t copied = 0;
   while (copied < len) {
@@ -246,17 +276,22 @@ std::string File::verify(
              "verify requires Store or Digest integrity");
   // Post-run inspection: every scheduled write has logically completed.
   const_cast<File*>(this)->flush_content(std::numeric_limits<sim::Time>::max());
-  if (bytes_accepted_ != size_) {
+  // Subfiles keep their members' global offsets, so the written extent is
+  // [base_offset, size) — a shared file (base 0) reduces to the historical
+  // whole-file check.
+  const std::uint64_t base = base_offset();
+  if (bytes_accepted_ != size_ - base) {
     return "bytes written (" + std::to_string(bytes_accepted_) +
-           ") != file size (" + std::to_string(size_) +
-           "): holes or overlapping writes";
+           ") != written extent (" + std::to_string(size_ - base) +
+           " bytes at [" + std::to_string(base) + ", " +
+           std::to_string(size_) + ")): holes or overlapping writes";
   }
-  const std::uint64_t ss = sys_->params_.stripe_size;
+  const std::uint64_t ss = stripe_size();
   const std::uint64_t nchunks = (size_ + ss - 1) / ss;
-  for (std::uint64_t ci = 0; ci < nchunks; ++ci) {
+  for (std::uint64_t ci = base / ss; ci < nchunks; ++ci) {
     auto it = chunks_.find(ci);
-    const std::uint64_t lo = ci * ss;
-    const std::uint64_t hi = std::min(size_, lo + ss);
+    const std::uint64_t lo = std::max(base, ci * ss);
+    const std::uint64_t hi = std::min(size_, ci * ss + ss);
     if (it == chunks_.end()) {
       return "chunk " + std::to_string(ci) + " never written";
     }
@@ -268,7 +303,7 @@ std::string File::verify(
     }
     if (integrity_ == Integrity::Store) {
       for (std::uint64_t o = lo; o < hi; ++o) {
-        if (c.bytes[o - lo] != expected(o)) {
+        if (c.bytes[o - ci * ss] != expected(o)) {
           return "byte mismatch at offset " + std::to_string(o);
         }
       }
@@ -316,14 +351,15 @@ sim::Time File::schedule_write(sim::RankCtx& ctx, int node,
   // concurrently, as a real striping client does.
   sim::Timeline& client = sys_->client_channel(gnode);
   const double penalty = async ? p.aio_penalty : 1.0;
+  const std::uint64_t ss = stripe_size();
   sim::Time done = ctx.now();
   sim::Time cursor = ctx.now() + p.op_overhead;  // per-call dispatch cost
   std::uint64_t pos = offset;
   std::uint64_t left = data.size();
   while (left > 0) {
-    const std::uint64_t stripe_idx = pos / p.stripe_size;
-    const std::uint64_t in_chunk = pos % p.stripe_size;
-    const std::uint64_t n = std::min(p.stripe_size - in_chunk, left);
+    const std::uint64_t stripe_idx = pos / ss;
+    const std::uint64_t in_chunk = pos % ss;
+    const std::uint64_t n = std::min(ss - in_chunk, left);
     // The aio penalty applies to the whole async path: kernel aio threads
     // also stream the data through the client stack.
     const auto inject_time = static_cast<sim::Duration>(std::llround(
@@ -333,9 +369,7 @@ sim::Time File::schedule_write(sim::RankCtx& ctx, int node,
       injected =
           std::max(injected, sys_->fabric_->reserve_tx(gnode, n, cursor));
     }
-    const auto tid =
-        static_cast<std::size_t>(stripe_idx % static_cast<std::uint64_t>(
-                                                  p.num_targets));
+    const auto tid = static_cast<std::size_t>(target_of(stripe_idx));
     // Straggler targets service slowly (asymmetrically so for aio; see
     // FaultParams::straggler_factor). The onset check uses the earliest
     // possible service time — a deterministic function of the request, not
@@ -381,6 +415,7 @@ WriteOp File::start_read(sim::RankCtx& ctx, int node, std::uint64_t offset,
     }
     const double penalty = async ? p.aio_penalty : 1.0;
     sim::Timeline& client = sys_->client_channel(gnode);
+    const std::uint64_t ss = stripe_size();
     sim::Time done = ctx.now();
     sim::Time cursor = ctx.now() + p.op_overhead;
     std::uint64_t pos = offset;
@@ -392,11 +427,10 @@ WriteOp File::start_read(sim::RankCtx& ctx, int node, std::uint64_t offset,
     // instead of one per stripe chunk; stored chunks are overlaid below.
     std::fill(out.begin(), out.end(), std::byte{0});
     while (left > 0) {
-      const std::uint64_t stripe_idx = pos / p.stripe_size;
-      const std::uint64_t in_chunk = pos % p.stripe_size;
-      const std::uint64_t n = std::min(p.stripe_size - in_chunk, left);
-      const auto tid = static_cast<std::size_t>(
-          stripe_idx % static_cast<std::uint64_t>(p.num_targets));
+      const std::uint64_t stripe_idx = pos / ss;
+      const std::uint64_t in_chunk = pos % ss;
+      const std::uint64_t n = std::min(ss - in_chunk, left);
+      const auto tid = static_cast<std::size_t>(target_of(stripe_idx));
       const sim::Time earliest = cursor + p.storage_latency;
       const double slow =
           faults.service_factor(static_cast<int>(tid), async, earliest);

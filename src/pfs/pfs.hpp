@@ -186,6 +186,23 @@ struct PfsParams {
 
 class File;
 
+/// Per-file striping overrides (gio-style subfiling knobs). Every field's
+/// zero value means "inherit the system-wide default", so a value-
+/// constructed FileStriping is byte- and timing-identical to the historical
+/// system-uniform striping — the k=1 bit-identity guarantee leans on this.
+struct FileStriping {
+  /// Stripe unit of this file in bytes; 0 = PfsParams::stripe_size. The
+  /// gio benchmark sweeps this 1 MB–512 MB per subfile.
+  std::uint64_t stripe_unit = 0;
+  /// Number of targets this file stripes over (the striping factor);
+  /// 0 = all of the system's targets.
+  int stripe_factor = 0;
+  /// First target of this file's stripe set (mod num_targets). Subfiled
+  /// runs spread disjoint files over disjoint target subsets by offsetting
+  /// each file, as `lfs setstripe -i` does.
+  int target_offset = 0;
+};
+
 /// Handle of an asynchronous write or read; completed by the storage model
 /// at the time the last stripe chunk is durably on (or off) its target.
 ///
@@ -240,6 +257,13 @@ class StorageSystem {
   /// The default create() is exactly create(name, integrity, {}, 0).
   std::shared_ptr<File> create(std::string name, Integrity integrity,
                                const TenantClass& tenant, int node_offset);
+
+  /// Subfiling create: like the tenant overload, plus per-file striping
+  /// overrides (stripe unit, striping factor, first target). A default-
+  /// constructed FileStriping makes this exactly the overload above.
+  std::shared_ptr<File> create(std::string name, Integrity integrity,
+                               const TenantClass& tenant, int node_offset,
+                               const FileStriping& striping);
 
   const PfsParams& params() const { return params_; }
   const FaultModel& faults() const { return faults_; }
@@ -319,8 +343,11 @@ class File {
   // ----- inspection / verification -----------------------------------------
   const std::string& name() const { return name_; }
   Integrity integrity() const { return integrity_; }
-  /// Stripe size of the underlying storage system.
+  /// Effective stripe size of this file: the per-file stripe_unit override
+  /// when set, else the storage system's stripe_size.
   std::uint64_t stripe_size() const;
+  /// Per-file striping overrides (all-zero for files created without them).
+  const FileStriping& striping() const { return striping_; }
   /// Parameters of the underlying storage system (e.g. for the autotune
   /// platform signature).
   const PfsParams& params() const { return sys_->params(); }
@@ -333,6 +360,12 @@ class File {
   int node_offset() const { return node_offset_; }
   /// Highest successfully written offset + 1 (0 for an empty file).
   std::uint64_t size() const { return size_; }
+  /// Lowest successfully written offset (0 for an empty file). Subfiles
+  /// keep their members' *global* offsets, so a subfile's written extent is
+  /// [base_offset, size), not [0, size); verify() checks exactly that.
+  std::uint64_t base_offset() const {
+    return bytes_accepted_ > 0 ? min_offset_ : 0;
+  }
   /// Bytes accepted by successful write attempts (failed attempts are not
   /// counted — they never became durable).
   std::uint64_t bytes_written() const { return bytes_accepted_; }
@@ -354,12 +387,19 @@ class File {
  private:
   friend class StorageSystem;
   File(StorageSystem& sys, std::string name, Integrity integrity,
-       const TenantClass& tenant, int node_offset)
+       const TenantClass& tenant, int node_offset,
+       const FileStriping& striping)
       : sys_(&sys),
         name_(std::move(name)),
         integrity_(integrity),
         tenant_(tenant),
-        node_offset_(node_offset) {}
+        node_offset_(node_offset),
+        striping_(striping) {}
+
+  /// Target serving stripe index `stripe_idx` of this file: round-robin
+  /// over the file's stripe set (striping factor wide, rotated by
+  /// target_offset). With no overrides this is stripe_idx % num_targets.
+  int target_of(std::uint64_t stripe_idx) const;
 
   struct Chunk {
     std::vector<std::byte> bytes;   // Store mode
@@ -400,8 +440,10 @@ class File {
   Integrity integrity_;
   TenantClass tenant_;
   int node_offset_ = 0;
+  FileStriping striping_;
   std::uint64_t size_ = 0;
   std::uint64_t bytes_accepted_ = 0;
+  std::uint64_t min_offset_ = UINT64_MAX;
   std::unordered_map<std::uint64_t, Chunk> chunks_;  // by chunk index
   std::vector<PendingWrite> pending_;  // submission order
 };

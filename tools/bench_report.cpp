@@ -21,7 +21,11 @@
 //   contention  — a 3-tenant shared-system run (tenant 0 write-comm-2 plus
 //                 two NoOverlap neighbors, fair-share storage) timed like a
 //                 grid cell: multi-tenant runs/sec is the tracked figure
-//                 (absent on trees without the tenancy layer).
+//                 (absent on trees without the tenancy layer);
+//   subfiling   — the quick-grid crill tile256 cell, shared file vs
+//                 --sub-comms 4, each timed like a grid cell: subfiled
+//                 runs/sec tracks the multi-plan execution overhead
+//                 (absent on trees without subfiling).
 //
 // Deliberately restricted to the long-stable harness API (execute,
 // run_overlap_sweep, scaled presets) so the identical source compiles
@@ -246,6 +250,44 @@ ContentionPoint time_contention(double min_wall_s) {
   return p;
 }
 
+struct SubfilingPoint {
+  int nprocs = 100;
+  int sub_comms = 4;
+  int shared_reps = 0, split_reps = 0;
+  double shared_runs_per_s = 0.0, split_runs_per_s = 0.0;
+  double shared_sim_ms = 0.0, split_sim_ms = 0.0;  // last rep's makespan
+};
+
+SubfilingPoint time_subfiling(double min_wall_s) {
+  SubfilingPoint p;
+  xp::RunSpec spec;
+  spec.platform = xp::scaled(xp::crill());
+  spec.workload = wl::make_tile256(2, 1024);  // the quick grid's tile256/S
+  spec.nprocs = p.nprocs;
+  spec.options.cb_size = xp::kCbSize;
+  spec.options.overlap = coll::OverlapMode::None;
+  spec.verify = false;
+
+  for (const bool split : {false, true}) {
+    spec.options.sub_comm_count = split ? p.sub_comms : 1;
+    spec.seed = 1;
+    (void)xp::execute(spec);  // warm-up, as in time_cell
+    const Clock::time_point t0 = Clock::now();
+    int reps = 0;
+    double sim_ms = 0.0;
+    do {
+      spec.seed = static_cast<std::uint64_t>(2 + reps);
+      sim_ms = static_cast<double>(xp::execute(spec).makespan) / 1e6;
+      ++reps;
+    } while (seconds_since(t0) < min_wall_s || reps < 3);
+    const double wall = seconds_since(t0);
+    (split ? p.split_reps : p.shared_reps) = reps;
+    (split ? p.split_runs_per_s : p.shared_runs_per_s) = reps / wall;
+    (split ? p.split_sim_ms : p.shared_sim_ms) = sim_ms;
+  }
+  return p;
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   for (char ch : s) {
@@ -368,6 +410,13 @@ int main(int argc, char** argv) {
                cont.tenants, cont.nprocs, cont.reps, cont.runs_per_s,
                cont.t0_sim_ms);
 
+  const SubfilingPoint sub = time_subfiling(min_wall_s);
+  std::fprintf(stderr,
+               "subfiling p=%d shared %7.2f runs/s (%.2f sim-ms)   k=%d "
+               "%7.2f runs/s (%.2f sim-ms)\n",
+               sub.nprocs, sub.shared_runs_per_s, sub.shared_sim_ms,
+               sub.sub_comms, sub.split_runs_per_s, sub.split_sim_ms);
+
   std::string j;
   j += "{\n";
   j += "  \"schema\": \"tpio-bench-perf-1\",\n";
@@ -429,10 +478,20 @@ int main(int argc, char** argv) {
                 "  \"contention\": {\"tenants\": %d, \"workload\": \"ior\", "
                 "\"nprocs\": %d, \"block_bytes\": %llu, \"qos\": \"fair\", "
                 "\"reps\": %d, \"wall_s\": %.4f, \"runs_per_s\": %.3f, "
-                "\"t0_sim_ms\": %.3f}\n",
+                "\"t0_sim_ms\": %.3f},\n",
                 cont.tenants, cont.nprocs,
                 static_cast<unsigned long long>(cont.block_bytes), cont.reps,
                 cont.wall_s, cont.runs_per_s, cont.t0_sim_ms);
+  j += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"subfiling\": {\"platform\": \"crill\", \"workload\": "
+                "\"tile256\", \"nprocs\": %d, \"sub_comms\": %d, "
+                "\"shared_reps\": %d, \"shared_runs_per_s\": %.3f, "
+                "\"shared_sim_ms\": %.3f, \"split_reps\": %d, "
+                "\"split_runs_per_s\": %.3f, \"split_sim_ms\": %.3f}\n",
+                sub.nprocs, sub.sub_comms, sub.shared_reps,
+                sub.shared_runs_per_s, sub.shared_sim_ms, sub.split_reps,
+                sub.split_runs_per_s, sub.split_sim_ms);
   j += buf;
   j += "}\n";
 

@@ -4,11 +4,17 @@
 //   (a) intra-repo markdown links `[text](target)` — every non-external
 //       target must exist on disk, resolved relative to the linking file
 //       (anchors are stripped; http(s)/mailto/pure-anchor links are
-//       skipped), and
+//       skipped),
 //   (b) references to executable artifacts — every `bench/<name>`,
 //       `examples/<name>`, or `tools/<name>` mentioned in prose or code
 //       blocks must exist as a binary in the build tree, so the manual
-//       can never name a driver that was renamed or dropped.
+//       can never name a driver that was renamed or dropped,
+//   (c) coverage of the tuning surface — every field of coll::Options
+//       (src/core/types.hpp) and every `--flag` the tpio_sim / tpio_sweep
+//       CLIs accept must be mentioned in at least one document, so a knob
+//       can never be grown without a sentence saying what it does, and
+//   (d) experiment coverage — every `bench/fig_*` driver registered in
+//       bench/CMakeLists.txt must have a section in EXPERIMENTS.md.
 //
 // Usage: docs_check <repo-root> <build-dir>
 // Exit code 0 = clean; 1 = at least one broken reference (each printed).
@@ -84,6 +90,83 @@ std::set<std::string> binary_refs(const std::string& text,
   return out;
 }
 
+// Member names of `struct <name> { ... };` in `text`: for every top-level
+// `;`-terminated declaration, the identifier before the first `=` (or the
+// `;` when there is no initializer). Method declarations do not occur in
+// the structs this is pointed at (plain aggregates of knobs).
+std::vector<std::string> struct_fields(const std::string& text,
+                                       const std::string& name) {
+  std::vector<std::string> out;
+  std::size_t pos = text.find("struct " + name + " {");
+  if (pos == std::string::npos) return out;
+  pos = text.find('{', pos);
+  int depth = 0;
+  std::string stmt;
+  for (std::size_t i = pos; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '{') {
+      ++depth;
+      continue;
+    }
+    if (c == '}') {
+      if (--depth == 0) break;
+      continue;
+    }
+    if (depth != 1) continue;
+    // Strip // comments to end of line.
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      i = text.find('\n', i);
+      if (i == std::string::npos) break;
+      continue;
+    }
+    if (c == ';') {
+      const std::size_t eq = stmt.find('=');
+      std::string head = eq == std::string::npos ? stmt : stmt.substr(0, eq);
+      std::size_t end = head.size();
+      while (end > 0 && !name_char(head[end - 1])) --end;
+      std::size_t start = end;
+      while (start > 0 && name_char(head[start - 1])) --start;
+      if (end > start) out.push_back(head.substr(start, end - start));
+      stmt.clear();
+    } else {
+      stmt += c;
+    }
+  }
+  return out;
+}
+
+// Every `--flag` spelled inside a string literal of `text` (CLI parse
+// branches and usage strings alike).
+std::set<std::string> cli_flags(const std::string& text) {
+  std::set<std::string> out;
+  for (std::size_t pos = text.find("--"); pos != std::string::npos;
+       pos = text.find("--", pos + 2)) {
+    if (pos == 0 || (text[pos - 1] != '"' && text[pos - 1] != ' ')) continue;
+    std::size_t end = pos + 2;
+    while (end < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[end])) ||
+            text[end] == '-')) {
+      ++end;
+    }
+    if (end > pos + 2) out.insert(text.substr(pos, end - pos));
+  }
+  return out;
+}
+
+// Names registered via `tpio_add_bench(<name> ...)`.
+std::vector<std::string> bench_targets(const std::string& cmake_text) {
+  std::vector<std::string> out;
+  const std::string needle = "tpio_add_bench(";
+  for (std::size_t pos = cmake_text.find(needle); pos != std::string::npos;
+       pos = cmake_text.find(needle, pos + 1)) {
+    std::size_t start = pos + needle.size();
+    std::size_t end = start;
+    while (end < cmake_text.size() && name_char(cmake_text[end])) ++end;
+    if (end > start) out.push_back(cmake_text.substr(start, end - start));
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -133,8 +216,51 @@ int main(int argc, char** argv) {
     }
   }
 
+  // (c) Tuning-surface coverage: concatenate the whole doc corpus once;
+  // every Options knob and CLI flag must occur somewhere in it.
+  std::string corpus;
+  for (const fs::path& doc : docs) corpus += slurp(doc);
+
+  int knobs = 0;
+  for (const std::string& field :
+       struct_fields(slurp(repo / "src/core/types.hpp"), "Options")) {
+    ++knobs;
+    if (corpus.find(field) == std::string::npos) {
+      std::cerr << "coll::Options::" << field
+                << " is documented nowhere (README/DESIGN/EXPERIMENTS/docs)\n";
+      ++broken;
+    }
+  }
+  std::set<std::string> flags;
+  for (const char* src : {"src/harness/cli.cpp", "tools/tpio_sim.cpp",
+                          "tools/tpio_sweep.cpp"}) {
+    for (const std::string& f : cli_flags(slurp(repo / src))) flags.insert(f);
+  }
+  for (const std::string& flag : flags) {
+    ++knobs;
+    if (corpus.find(flag) == std::string::npos) {
+      std::cerr << "CLI flag " << flag
+                << " is documented nowhere (README/DESIGN/EXPERIMENTS/docs)\n";
+      ++broken;
+    }
+  }
+
+  // (d) Every fig_* bench driver needs an EXPERIMENTS.md section.
+  const std::string experiments = slurp(repo / "EXPERIMENTS.md");
+  int figs = 0;
+  for (const std::string& name :
+       bench_targets(slurp(repo / "bench/CMakeLists.txt"))) {
+    if (name.rfind("fig", 0) != 0) continue;
+    ++figs;
+    if (experiments.find("bench/" + name) == std::string::npos) {
+      std::cerr << "bench/" << name << " has no EXPERIMENTS.md section\n";
+      ++broken;
+    }
+  }
+
   std::cout << "docs_check: " << docs.size() << " documents, " << links
             << " intra-repo links, " << bins << " binary references, "
-            << broken << " broken\n";
+            << knobs << " knobs/flags, " << figs << " fig drivers, " << broken
+            << " broken\n";
   return broken == 0 ? 0 : 1;
 }

@@ -117,9 +117,25 @@ int main(int argc, char** argv) {
               coll::to_string(cfg.spec.options.overlap),
               coll::to_string(cfg.spec.options.transfer), cfg.reps);
 
-  if (cfg.tenants > 1) {
+  xp::CliConfig resolved = cfg;
+  if (cfg.spec.options.sub_comm_count == 0) {
+    // --sub-comms auto: one blocking shared-file probe decides k.
     try {
-      return run_multi(cfg);
+      xp::RunSpec probe = cfg.spec;
+      probe.seed = sim::Rng::derive_seed(cfg.seed_base, 0);
+      const int k = xp::auto_sub_comm_count(probe);
+      resolved.spec.options.sub_comm_count = k;
+      std::printf("auto: sub-comms -> %d (probe-driven)\n", k);
+    } catch (const tpio::Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  const xp::CliConfig& run_cfg = resolved;
+
+  if (run_cfg.tenants > 1) {
+    try {
+      return run_multi(run_cfg);
     } catch (const tpio::Error& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
@@ -130,7 +146,8 @@ int main(int argc, char** argv) {
   // give-up legitimately leaves a hole — report that as a clean error.
   xp::Series series;
   try {
-    series = xp::execute_series(cfg.spec, cfg.reps, cfg.seed_base);
+    series = xp::execute_series(run_cfg.spec, run_cfg.reps,
+                                run_cfg.seed_base);
   } catch (const tpio::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -144,6 +161,15 @@ int main(int argc, char** argv) {
   std::printf("geometry: %d aggregators, %d cycles, %s total\n",
               first.aggregators, first.cycles,
               sim::format_bytes(first.bytes).c_str());
+  for (const auto& sf : first.subfiles) {
+    std::printf("subfile %d: %d ranks, %d aggregators, %s, done %.3f ms "
+                "[%llu storage reqs, peak queue depth %d]\n",
+                sf.group, sf.ranks, sf.aggregators,
+                sim::format_bytes(sf.bytes).c_str(),
+                sim::to_millis(sf.completion),
+                static_cast<unsigned long long>(sf.qos.requests),
+                sf.qos.peak_active);
+  }
   if (first.autotune.engaged) {
     const auto& d = first.autotune;
     if (d.from_cache) {

@@ -25,6 +25,7 @@
 #include "harness/sweep.hpp"
 #include "sched/conductor.hpp"
 #include "simbase/error.hpp"
+#include "simbase/units.hpp"
 
 namespace xp = tpio::xp;
 namespace wl = tpio::wl;
@@ -154,6 +155,29 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", e.what());
         return 2;
       }
+    } else if (a == "--sub-comms" && i + 1 < argc) {
+      long long k = 0;
+      if (!xp::parse_int_arg(argv[++i], 1, 1'000'000, k)) {
+        std::fprintf(stderr, "--sub-comms wants a count >= 1, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      base.sub_comm_count = static_cast<int>(k);
+    } else if (a == "--stripe-unit" && i + 1 < argc) {
+      try {
+        base.subfile_stripe_unit = tpio::sim::parse_bytes(argv[++i]);
+      } catch (const tpio::Error& e) {
+        std::fprintf(stderr, "--stripe-unit: %s\n", e.what());
+        return 2;
+      }
+    } else if (a == "--stripe-factor" && i + 1 < argc) {
+      long long n = 0;
+      if (!xp::parse_int_arg(argv[++i], 1, 1'000'000, n)) {
+        std::fprintf(stderr, "--stripe-factor wants a count >= 1, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      base.subfile_stripe_factor = static_cast<int>(n);
     } else {
       std::fprintf(stderr,
                    "usage: tpio_sweep [--platform crill|ibex|lustre] "
@@ -165,7 +189,9 @@ int main(int argc, char** argv) {
                    "[--fault-rate R] [--fault-seed N] [--straggler F] "
                    "[--straggler-targets N] [--max-retries N] "
                    "[--tenants N] [--arrival fixed:MS|poisson:MS|"
-                   "trace:MS,MS,...] [--qos fifo|fair|priority]\n");
+                   "trace:MS,MS,...] [--qos fifo|fair|priority] "
+                   "[--sub-comms N] [--stripe-unit SIZE] "
+                   "[--stripe-factor N]\n");
       return 2;
     }
   }
