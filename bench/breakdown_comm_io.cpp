@@ -43,7 +43,8 @@ Row breakdown(const xp::Platform& platform, int procs) {
   // Synchronization waits absorb cycle-straggler noise (whichever
   // aggregator finishes early waits for the slowest at the next cycle), so
   // the communication share is computed from the data-movement phases.
-  const double comm = static_cast<double>(t.shuffle + t.gather + t.pack);
+  const double comm =
+      static_cast<double>(t.shuffle + t.gather + t.forward + t.pack);
   const double io = static_cast<double>(t.write);
   const double denom = comm + io;
   return Row{spec.platform.name, procs, comm / denom, io / denom, r.makespan};

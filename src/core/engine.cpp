@@ -26,11 +26,15 @@ void timed(sim::RankCtx& ctx, sim::Duration& field, F&& fn) {
   field += ctx.now() - before;
 }
 
-/// Tag space of the intra-node gather (member -> leader); disjoint from
-/// the forward tags (plain cycle numbers) so a rank that is both a member
-/// and an aggregator can never cross-match the two streams.
-smpi::Tag gather_tag(int cycle) {
-  return static_cast<smpi::Tag>(cycle) | (smpi::Tag{1} << 40);
+/// Tag space of the intra-node gather (member -> lane leader); disjoint
+/// from the forward tags (plain cycle numbers) so a rank that is both a
+/// member and an aggregator can never cross-match the two streams. The
+/// lane index occupies the bits above the marker, giving every lane leader
+/// its own tag space; lane 0 reproduces the historical single-leader tags
+/// exactly.
+smpi::Tag gather_tag(int cycle, int lane) {
+  return static_cast<smpi::Tag>(cycle) | (smpi::Tag{1} << 40) |
+         (static_cast<smpi::Tag>(lane) << 41);
 }
 
 }  // namespace
@@ -54,9 +58,14 @@ Engine::Engine(smpi::Mpi& mpi, pfs::File& file, const Plan& plan,
   node_ = mpi_.machine().fabric().topology().node_of(mpi_.rank());
   if (opt_.hierarchical) {
     is_leader_ = plan_.is_leader(mpi_.rank());
-    const auto [first, last] = plan_.node_rank_range(node_);
-    node_first_ = first;
-    node_last_ = last;
+    lane_ = plan_.lane_of(mpi_.rank());
+    const auto [first, last] = plan_.lane_rank_range(node_, lane_);
+    lane_first_ = first;
+    lane_last_ = last;
+    // Pipelined lane mode is an option-level property (uniform across
+    // ranks even where small nodes clamp to one lane): the per-cycle sync
+    // structure must agree job-wide.
+    pipelined_ = plan_.local_aggregators() > 1;
   }
 
   const int nslots = opt_.overlap == OverlapMode::None ? 1 : 2;
@@ -102,7 +111,10 @@ sim::Duration Engine::pack_cost(std::size_t segs, std::uint64_t bytes) const {
 std::vector<Segment> Engine::incoming_segments(int src, std::uint64_t lo,
                                                std::uint64_t hi) const {
   if (!opt_.hierarchical) return plan_.segments_in(src, lo, hi);
-  return plan_.node_segments_in(plan_.topology().node_of(src), lo, hi);
+  // `src` is a lane leader; its message carries its lane's coalesced
+  // union. One lane per node (co = 1) makes this the node union exactly.
+  return plan_.lane_segments_in(plan_.topology().node_of(src),
+                                plan_.lane_of(src), lo, hi);
 }
 
 void Engine::leader_gather(int cycle, int slot) {
@@ -112,7 +124,7 @@ void Engine::leader_gather(int cycle, int slot) {
   TPIO_CHECK(!s.sh.pending,
              "leader_gather while a shuffle is pending on slot");
   s.gathered_cycle = cycle;
-  if (node_last_ - node_first_ <= 1) return;  // degenerate: direct path
+  if (lane_last_ - lane_first_ <= 1) return;  // degenerate: direct path
 
   const int me = mpi_.rank();
   const int A = plan_.num_aggregators();
@@ -169,23 +181,23 @@ void Engine::leader_gather(int cycle, int slot) {
     }
     timed(mpi_.ctx(), t_.gather, [&] {
       smpi::Request rq =
-          mpi_.isend(plan_.leader_of(me), gather_tag(cycle), payload);
+          mpi_.isend(plan_.leader_of(me), gather_tag(cycle, lane_), payload);
       mpi_.wait(rq);
     });
     return;
   }
 
   // Leader: derive the staging layout — concatenation over aggregators of
-  // the node's coalesced cycle segments, file-ordered within each
-  // aggregator slice. Only leaders compute it (it reads every member's
-  // view, which the sparse metadata exchange delivers to leaders alone);
-  // members pack against pieces_of(me), whose positions the leader
+  // the lane's coalesced cycle segments, file-ordered within each
+  // aggregator slice. Only leaders compute it (it reads every lane
+  // member's view, which the sparse metadata exchange delivers to leaders
+  // alone); members pack against pieces_of(me), whose positions the leader
   // re-derives when unpacking, so no gather metadata is exchanged.
   std::vector<Segment> layout;  // local_offset = position in stage
   std::uint64_t stage_bytes = 0;
   for (int a = 0; a < A; ++a) {
     const Plan::Range r = plan_.cycle_range(a, cycle);
-    const auto segs = plan_.node_segments_in(node_, r.begin, r.end);
+    const auto segs = plan_.lane_segments_in(node_, lane_, r.begin, r.end);
     for (Segment g : segs) {
       g.local_offset += stage_bytes;
       layout.push_back(g);
@@ -194,7 +206,7 @@ void Engine::leader_gather(int cycle, int slot) {
       stage_bytes += segs.back().local_offset + segs.back().length;
     }
   }
-  if (stage_bytes == 0) return;  // node contributes nothing this cycle
+  if (stage_bytes == 0) return;  // lane contributes nothing this cycle
 
   // Map a member piece to its slot in the merged layout. Union segments
   // are maximal coalesced runs, so each piece fits inside exactly one.
@@ -220,9 +232,9 @@ void Engine::leader_gather(int cycle, int slot) {
   s.stage = sim::BufferPool::local().acquire(stage_bytes, /*zeroed=*/false);
   std::vector<std::pair<int, sim::BufferPool::Buffer>> bufs;
   std::vector<smpi::Request> reqs;
-  bufs.reserve(static_cast<std::size_t>(node_last_ - node_first_));
-  reqs.reserve(static_cast<std::size_t>(node_last_ - node_first_));
-  for (int m = node_first_; m < node_last_; ++m) {
+  bufs.reserve(static_cast<std::size_t>(lane_last_ - lane_first_));
+  reqs.reserve(static_cast<std::size_t>(lane_last_ - lane_first_));
+  for (int m = lane_first_; m < lane_last_; ++m) {
     if (m == me) continue;
     std::uint64_t n = 0;
     for (int a = 0; a < A; ++a) {
@@ -234,7 +246,7 @@ void Engine::leader_gather(int cycle, int slot) {
                       sim::BufferPool::local().acquire(n, /*zeroed=*/false));
     timed(mpi_.ctx(), t_.gather, [&] {
       reqs.push_back(
-          mpi_.irecv(m, gather_tag(cycle), bufs.back().second.span()));
+          mpi_.irecv(m, gather_tag(cycle, lane_), bufs.back().second.span()));
     });
   }
   const auto own = pieces_of(me);
@@ -301,7 +313,15 @@ void Engine::shuffle_init(int cycle, int slot) {
     // race arbitrarily far ahead and pre-deliver future cycles into
     // unexpected-message buffers, which no real implementation allows at
     // collective-buffer granularity.
-    if (opt_.hierarchical) {
+    if (opt_.hierarchical && pipelined_) {
+      // Pipelined lane mode: each lane syncs only among its own members —
+      // the per-(leader, cycle) sub-baton. A lane leader whose gather is
+      // done forwards immediately, without waiting for the node's other
+      // lanes or for other nodes' leaders (no whole-node barrier, no
+      // fabric-wide leader barrier on the per-cycle path).
+      timed(mpi_.ctx(), t_.sync,
+            [&] { mpi_.lane_barrier(lane_, lane_last_ - lane_first_); });
+    } else if (opt_.hierarchical) {
       // Hierarchical metadata sync: members only need lockstep with their
       // node leader, leaders with the aggregators — most ranks pay the
       // cheap shared-memory barrier instead of the O(log P) fabric one.
@@ -316,7 +336,7 @@ void Engine::shuffle_init(int cycle, int slot) {
       timed(mpi_.ctx(), t_.sync, [&] { mpi_.barrier(); });
     }
     // Aggregator side: one receive per contributing source — every rank on
-    // the direct path, only node leaders under hierarchy. A source whose
+    // the direct path, one per (node, lane) under hierarchy. A source whose
     // contribution is one contiguous piece lands directly at its final
     // position in the collective buffer (no staging, no unpack) — the
     // common case for contiguous workloads like IOR; multi-segment
@@ -325,15 +345,18 @@ void Engine::shuffle_init(int cycle, int slot) {
     if (my_agg_ >= 0) {
       const Plan::Range r = plan_.cycle_range(my_agg_, cycle);
       std::span<std::byte> cb = cb_span(slot);
-      const int nsrc =
-          opt_.hierarchical ? plan_.topology().nodes : mpi_.size();
+      const int nodes = plan_.topology().nodes;
+      int nsrc = mpi_.size();
+      if (opt_.hierarchical) {
+        nsrc = 0;
+        for (int n = 0; n < nodes; ++n) nsrc += plan_.lanes(n);
+      }
       s.sh.reqs.reserve(static_cast<std::size_t>(nsrc) +
                         static_cast<std::size_t>(plan_.num_aggregators()));
       s.sh.recv_bufs.reserve(static_cast<std::size_t>(nsrc));
-      for (int i = 0; i < nsrc; ++i) {
-        const int src = opt_.hierarchical ? plan_.leader_rank(i) : i;
+      const auto post_recv = [&](int src) {
         auto segs = incoming_segments(src, r.begin, r.end);
-        if (segs.empty()) continue;
+        if (segs.empty()) return;
         std::span<std::byte> dest;
         if (segs.size() == 1) {
           dest = cb.subspan(segs[0].file_offset - r.begin, segs[0].length);
@@ -349,24 +372,44 @@ void Engine::shuffle_init(int cycle, int slot) {
         }
         timed(mpi_.ctx(), t_.shuffle,
               [&] { s.sh.reqs.push_back(mpi_.irecv(src, tag, dest)); });
+      };
+      if (opt_.hierarchical) {
+        for (int n = 0; n < nodes; ++n) {
+          for (int l = 0; l < plan_.lanes(n); ++l) {
+            post_recv(plan_.lane_leader(n, l));
+          }
+        }
+      } else {
+        for (int i = 0; i < nsrc; ++i) post_recv(i);
       }
     }
-    if (opt_.hierarchical && node_last_ - node_first_ > 1) {
-      // Hierarchical forward: the leader sends one contiguous slice of the
-      // staging buffer per destination aggregator, zero-copy (the slice
+    if (opt_.hierarchical && lane_last_ - lane_first_ > 1) {
+      // Hierarchical forward: the lane leader sends one contiguous slice of
+      // the staging buffer per destination aggregator, zero-copy (the slice
       // layout is exactly leader_gather's). Members already handed their
-      // pieces to the leader and send nothing.
+      // pieces to the leader and send nothing. In pipelined mode the posts
+      // are timed into the forward bucket and the slot remembers the post
+      // instant, feeding the pipelined-overlap stat at shuffle_wait.
       if (is_leader_) {
+        if (pipelined_) {
+          s.fwd_begin = mpi_.ctx().now();
+        }
         std::uint64_t base = 0;
+        sim::Duration& bucket = pipelined_ ? t_.forward : t_.shuffle;
         for (int a = 0; a < plan_.num_aggregators(); ++a) {
           const Plan::Range r = plan_.cycle_range(a, cycle);
-          const std::uint64_t n = plan_.node_bytes_in(node_, r.begin, r.end);
+          const std::uint64_t n =
+              plan_.lane_bytes_in(node_, lane_, r.begin, r.end);
           if (n == 0) continue;
           const std::span<const std::byte> payload(s.stage.data() + base, n);
-          timed(mpi_.ctx(), t_.shuffle, [&] {
+          timed(mpi_.ctx(), bucket, [&] {
             s.sh.reqs.push_back(mpi_.isend(plan_.agg_rank(a), tag, payload));
           });
           base += n;
+        }
+        if (pipelined_) {
+          s.fwd_posted = base > 0;
+          s.fwd_post_cost = mpi_.ctx().now() - s.fwd_begin;
         }
       }
       return;
@@ -432,23 +475,29 @@ void Engine::shuffle_init(int cycle, int slot) {
     timed(mpi_.ctx(), t_.sync, [&] { mpi_.win_fence(*s.win); });
   }
 
-  if (opt_.hierarchical && node_last_ - node_first_ > 1) {
-    // Hierarchical one-sided: only node leaders originate puts — one per
+  if (opt_.hierarchical && lane_last_ - lane_first_ > 1) {
+    // Hierarchical one-sided: only lane leaders originate puts — one per
     // coalesced union segment, sourced from the staging buffer. The gather
     // itself stays two-sided intra-node traffic (it models shared-memory
-    // staging, not RMA).
+    // staging, not RMA). With co > 1 the lanes' leaders originate their
+    // puts independently; the fence/barrier epoch structure is global
+    // either way, so there is no per-cycle lane sync here. Put issue time
+    // is charged to the forward bucket in pipelined mode (the lifetime
+    // stat stays two-sided-only: put completion is epoch-based, so no
+    // per-leader forward lifetime exists to measure).
     if (!is_leader_) return;
     std::uint64_t base = 0;
+    sim::Duration& bucket = pipelined_ ? t_.forward : t_.shuffle;
     for (int a = 0; a < plan_.num_aggregators(); ++a) {
       const Plan::Range r = plan_.cycle_range(a, cycle);
-      const auto segs = plan_.node_segments_in(node_, r.begin, r.end);
+      const auto segs = plan_.lane_segments_in(node_, lane_, r.begin, r.end);
       if (segs.empty()) continue;
       const int target = plan_.agg_rank(a);
       if (opt_.transfer == Transfer::OneSidedLock) {
         timed(mpi_.ctx(), t_.sync,
               [&] { mpi_.win_lock(*s.win, target, opt_.lock_type); });
       }
-      timed(mpi_.ctx(), t_.shuffle, [&] {
+      timed(mpi_.ctx(), bucket, [&] {
         for (const Segment& g : segs) {
           mpi_.ctx().advance(opt_.seg_cpu);
           mpi_.put(*s.win, target, g.file_offset - r.begin,
@@ -496,7 +545,27 @@ void Engine::shuffle_wait(int slot) {
 
   switch (opt_.transfer) {
     case Transfer::TwoSided: {
-      timed(mpi_.ctx(), t_.shuffle, [&] { mpi_.waitall(s.sh.reqs); });
+      // Pure lane leaders (not also aggregators) wait here only on their
+      // own forward isends, so the blocked time is forward-completion wait;
+      // a leader that is also an aggregator (Superset) waits on a mix of
+      // recvs and forwards and keeps the historical shuffle attribution.
+      const bool fwd_wait = s.fwd_posted && my_agg_ < 0;
+      const sim::Time w0 = mpi_.ctx().now();
+      timed(mpi_.ctx(), fwd_wait ? t_.forward : t_.shuffle,
+            [&] { mpi_.waitall(s.sh.reqs); });
+      if (s.fwd_posted) {
+        // Pipelined-overlap stat: the forward lifetime runs from the post
+        // instant to the end of this waitall; the leader was blocked on
+        // forwarding while posting and (pure leaders only) inside the
+        // waitall. Everything else in the lifetime — typically the next
+        // cycle's lane gather under an overlapping scheduler — is forward
+        // time hidden behind useful work. Host-side only: no virtual cost.
+        fwd_lifetime_ += mpi_.ctx().now() - s.fwd_begin;
+        fwd_blocked_ += s.fwd_post_cost;
+        if (fwd_wait) fwd_blocked_ += mpi_.ctx().now() - w0;
+        s.fwd_posted = false;
+        s.fwd_post_cost = 0;
+      }
       if (my_agg_ >= 0 && !s.sh.recv_bufs.empty()) {
         // Scatter staged multi-segment messages into the collective buffer
         // at their final offsets (single-segment sources already landed in
@@ -955,16 +1024,18 @@ Result collective_write(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
       PlanCache::get_or_build_skeleton(summaries, topo, stripe, eff);
 
   // Stage 2: targeted delivery of the full view blobs. Aggregators plan
-  // over every source (their incoming_segments walk all views); node
+  // over every source (their incoming_segments walk all views); lane
   // leaders additionally unpack their members' gather pieces, so they pull
-  // the node's rank interval; everyone else keeps only its own view.
+  // their lane's rank interval (the whole node at co = 1, where the lane
+  // is the node); everyone else keeps only its own view.
   const int me = mpi.rank();
   const int P = topo.nprocs();
   int want_b = 0, want_e = 0;
   if (skel->is_aggregator(me)) {
     want_e = P;
   } else if (eff.hierarchical && skel->is_leader(me)) {
-    std::tie(want_b, want_e) = skel->node_rank_range(topo.node_of(me));
+    std::tie(want_b, want_e) =
+        skel->lane_rank_range(topo.node_of(me), skel->lane_of(me));
   }
   std::shared_ptr<const Plan> plan;
   {
@@ -997,6 +1068,8 @@ Result collective_write(smpi::Mpi& mpi, pfs::File& file, const FileView& view,
   res.autotune = warm.engaged ? warm : engine.auto_decision();
   res.faults = engine.fault_stats();
   res.io_error = engine.io_error();
+  res.forward_lifetime = engine.forward_lifetime();
+  res.forward_blocked = engine.forward_blocked();
   res.aggregators = plan->num_aggregators();
   res.cycles = plan->num_cycles();
   res.bytes_local = view.total_bytes();

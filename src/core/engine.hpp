@@ -38,11 +38,13 @@ class Engine {
   void run();
 
   // ----- individual phase operations (also used by tests) -----------------
-  /// Hierarchical-mode intra-node gather: the node leader collects its
-  /// co-located ranks' pieces of `cycle` into a per-slot staging buffer
-  /// (coalesced, aggregator-major order) over intra-node links. No-op
+  /// Hierarchical-mode intra-node gather: the lane leader collects its
+  /// lane's ranks' pieces of `cycle` into a per-slot staging buffer
+  /// (coalesced, aggregator-major order) over intra-node links. With one
+  /// lane per node (local_aggregators == 1) the lane is the whole node and
+  /// this is the historical single-leader gather, byte for byte. No-op
   /// unless Options::hierarchical; idempotent per (cycle, slot); called
-  /// automatically at the top of shuffle_init. Single-member nodes skip
+  /// automatically at the top of shuffle_init. Single-member lanes skip
   /// staging entirely — the direct send path is used unchanged.
   void leader_gather(int cycle, int slot);
   void shuffle_init(int cycle, int slot);
@@ -62,6 +64,13 @@ class Engine {
   /// First give-up description, empty when every write eventually
   /// succeeded. Mirrored into Result::io_error by collective_write().
   const std::string& io_error() const { return io_error_; }
+
+  /// Pipelined-overlap inputs (two-sided pipelined lane leaders only; both
+  /// zero otherwise — in particular on every co = 1 run). The lifetime of
+  /// a cycle's forwards spans their post instant to the slot's waitall;
+  /// blocked is the part the leader spent posting or waiting on them.
+  sim::Duration forward_lifetime() const { return fwd_lifetime_; }
+  sim::Duration forward_blocked() const { return fwd_blocked_; }
 
  private:
   /// One staged multi-segment receive: the source, its pooled landing
@@ -98,12 +107,19 @@ class Engine {
     int wr_cycle = -1;  // cycle of the outstanding write, -1 if none
     sim::Time wr_submit = 0;      // issue time of the outstanding write
     std::uint64_t wr_bytes = 0;   // bytes of the outstanding write
-    // Hierarchical mode, leaders of multi-member nodes only: the node's
+    // Hierarchical mode, leaders of multi-member lanes only: the lane's
     // merged cycle payload, laid out as the concatenation over aggregators
-    // of the coalesced node segments. Forwards (sends/puts) reference this
+    // of the coalesced lane segments. Forwards (sends/puts) reference this
     // memory, so it stays untouched until the slot's shuffle_wait.
     sim::BufferPool::Buffer stage;
     int gathered_cycle = -1;  // last cycle gathered into this slot
+    // Pipelined lane mode (local_aggregators > 1), lane leaders only:
+    // when this slot's forwards were posted, and the leader's blocked time
+    // while posting them — inputs of the pipelined-overlap stat closed out
+    // at the slot's shuffle_wait.
+    bool fwd_posted = false;
+    sim::Time fwd_begin = 0;
+    sim::Duration fwd_post_cost = 0;
   };
 
   std::span<std::byte> cb_span(int slot);
@@ -160,7 +176,16 @@ class Engine {
   int node_ = 0;
   // Hierarchical-mode geometry (valid when opt_.hierarchical).
   bool is_leader_ = false;
-  int node_first_ = 0, node_last_ = 0;  // this node's rank range
+  int lane_ = 0;                        // this rank's lane within its node
+  int lane_first_ = 0, lane_last_ = 0;  // this lane's rank range
+  // Options::local_aggregators > 1: per-lane sub-batons replace the
+  // whole-node + leader barriers, and lane leaders forward as soon as
+  // their own gather completes (timed into PhaseTimings::forward).
+  bool pipelined_ = false;
+  // Pipelined-overlap inputs (host-side counters, zero virtual cost):
+  // summed forward lifetimes and the portion the leader spent blocked.
+  sim::Duration fwd_lifetime_ = 0;
+  sim::Duration fwd_blocked_ = 0;
   AutoDecision auto_decision_;
   FaultStats faults_;
   std::string io_error_;

@@ -57,17 +57,6 @@ PlanSkeleton::PlanSkeleton(std::span<const ViewSummary> summaries,
     agg_ranks_.push_back(rank);
   }
 
-  // Node-leader election for the two-level shuffle. Computed for every
-  // plan (cheap, one entry per node) so tests and tools can query leader
-  // geometry without opting into hierarchical routing.
-  leader_by_node_.reserve(static_cast<std::size_t>(topo.nodes));
-  for (int n = 0; n < topo.nodes; ++n) {
-    const auto [first, last] = node_rank_range(n);
-    leader_by_node_.push_back(opt.leader_policy == LeaderPolicy::Spread
-                                  ? last - 1
-                                  : first);
-  }
-
   // Even byte-range file domains over [range_begin, range_end), optionally
   // aligned to stripe boundaries so one target is written by one aggregator.
   const std::uint64_t range = range_end_ - range_begin_;
@@ -93,6 +82,69 @@ PlanSkeleton::PlanSkeleton(std::span<const ViewSummary> summaries,
     agg_index_of_rank_[static_cast<std::size_t>(agg_ranks_.back())] = -1;
     agg_ranks_.pop_back();
     domains_.pop_back();
+  }
+
+  // Lane geometry and leader election for the two-level shuffle. Each
+  // node's members split into L = min(local_aggregators, members)
+  // contiguous lanes, each electing one leader per leader_policy. co = 1
+  // gives one lane per node whose leader is exactly the historical
+  // election (Lowest -> first, Spread -> last - 1), so the single-leader
+  // path is unchanged. Computed for every plan (cheap, O(P) total) so
+  // tests and tools can query lane geometry without opting into
+  // hierarchical routing. Runs after the empty-domain trim above so the
+  // Superset policy elects against the aggregators that actually survive.
+  local_aggs_ = std::max(opt.local_aggregators, 1);
+  leader_by_node_.reserve(static_cast<std::size_t>(topo.nodes));
+  lane_leaders_.reserve(static_cast<std::size_t>(topo.nodes));
+  lane_bounds_.reserve(static_cast<std::size_t>(topo.nodes));
+  for (int n = 0; n < topo.nodes; ++n) {
+    const auto [first, last] = node_rank_range(n);
+    const int m = last - first;
+    const int L = std::min(local_aggs_, m);
+    std::vector<int> bounds(static_cast<std::size_t>(L) + 1);
+    std::vector<int> leaders(static_cast<std::size_t>(L));
+    bounds.front() = first;
+    bounds.back() = last;
+    if (opt.leader_policy == LeaderPolicy::Superset) {
+      // Leaders sit on the node's global aggregators first (ascending), so
+      // their forward hop is node-local; remaining slots fall back to the
+      // Spread pick (even-block ends) to keep gather CPU off aggregators.
+      std::vector<int> picks;
+      for (int r = first; r < last && static_cast<int>(picks.size()) < L; ++r)
+        if (is_aggregator(r)) picks.push_back(r);
+      const auto picked = [&](int r) {
+        return std::find(picks.begin(), picks.end(), r) != picks.end();
+      };
+      for (int j = L - 1; j >= 0 && static_cast<int>(picks.size()) < L; --j) {
+        int cand = first + ((j + 1) * m) / L - 1;
+        while (cand >= first && picked(cand)) --cand;
+        if (cand >= first) picks.push_back(cand);
+      }
+      for (int r = first; r < last && static_cast<int>(picks.size()) < L; ++r)
+        if (!picked(r)) picks.push_back(r);
+      std::sort(picks.begin(), picks.end());
+      // Lane boundaries near the even split, clamped so that leader j lands
+      // inside lane j; the clamp range is non-empty because the picks are
+      // strictly increasing, and it keeps the lanes non-empty and ordered.
+      for (int j = 1; j < L; ++j) {
+        bounds[static_cast<std::size_t>(j)] =
+            std::clamp(first + (j * m) / L, picks[static_cast<std::size_t>(j) - 1] + 1,
+                       picks[static_cast<std::size_t>(j)]);
+      }
+      leaders = std::move(picks);
+    } else {
+      for (int j = 1; j < L; ++j)
+        bounds[static_cast<std::size_t>(j)] = first + (j * m) / L;
+      for (int j = 0; j < L; ++j) {
+        leaders[static_cast<std::size_t>(j)] =
+            opt.leader_policy == LeaderPolicy::Spread
+                ? bounds[static_cast<std::size_t>(j) + 1] - 1
+                : bounds[static_cast<std::size_t>(j)];
+      }
+    }
+    leader_by_node_.push_back(leaders.front());
+    lane_leaders_.push_back(std::move(leaders));
+    lane_bounds_.push_back(std::move(bounds));
   }
 
   // Cycle count: the largest domain processed `sub_buffer_` bytes at a time.
@@ -123,6 +175,24 @@ std::pair<int, int> PlanSkeleton::node_rank_range(int node) const {
   const int last = topo_.node_last(node);
   TPIO_CHECK(first < last, "empty node in topology");
   return {first, last};
+}
+
+std::pair<int, int> PlanSkeleton::lane_rank_range(int node, int lane) const {
+  TPIO_CHECK(node >= 0 && node < topo_.nodes, "node outside topology");
+  const auto& bounds = lane_bounds_[static_cast<std::size_t>(node)];
+  TPIO_CHECK(lane >= 0 && lane + 1 < static_cast<int>(bounds.size()),
+             "lane outside the node's lane count");
+  return {bounds[static_cast<std::size_t>(lane)],
+          bounds[static_cast<std::size_t>(lane) + 1]};
+}
+
+int PlanSkeleton::lane_of(int rank) const {
+  const int node = topo_.node_of(rank);
+  const auto& bounds = lane_bounds_[static_cast<std::size_t>(node)];
+  auto it = std::upper_bound(bounds.begin(), bounds.end(), rank);
+  TPIO_CHECK(it != bounds.begin() && it != bounds.end(),
+             "rank outside its node's lane bounds");
+  return static_cast<int>(it - bounds.begin()) - 1;
 }
 
 namespace {
@@ -224,9 +294,9 @@ std::vector<Segment> Plan::segments_in(int r, std::uint64_t lo,
   return out;
 }
 
-std::vector<Segment> Plan::node_segments_in(int node, std::uint64_t lo,
-                                            std::uint64_t hi) const {
-  const auto [first, last] = node_rank_range(node);
+std::vector<Segment> Plan::merged_segments_in(int first, int last,
+                                              std::uint64_t lo,
+                                              std::uint64_t hi) const {
   if (last - first == 1) return segments_in(first, lo, hi);
   std::vector<Segment> all;
   for (int m = first; m < last; ++m) {
@@ -256,12 +326,34 @@ std::vector<Segment> Plan::node_segments_in(int node, std::uint64_t lo,
   return out;
 }
 
+std::vector<Segment> Plan::node_segments_in(int node, std::uint64_t lo,
+                                            std::uint64_t hi) const {
+  const auto [first, last] = node_rank_range(node);
+  return merged_segments_in(first, last, lo, hi);
+}
+
 std::uint64_t Plan::node_bytes_in(int node, std::uint64_t lo,
                                   std::uint64_t hi) const {
   const auto [first, last] = node_rank_range(node);
   if (last - first == 1) return bytes_in(first, lo, hi);
   std::uint64_t n = 0;
   for (const Segment& g : node_segments_in(node, lo, hi)) n += g.length;
+  return n;
+}
+
+std::vector<Segment> Plan::lane_segments_in(int node, int lane,
+                                            std::uint64_t lo,
+                                            std::uint64_t hi) const {
+  const auto [first, last] = lane_rank_range(node, lane);
+  return merged_segments_in(first, last, lo, hi);
+}
+
+std::uint64_t Plan::lane_bytes_in(int node, int lane, std::uint64_t lo,
+                                  std::uint64_t hi) const {
+  const auto [first, last] = lane_rank_range(node, lane);
+  if (last - first == 1) return bytes_in(first, lo, hi);
+  std::uint64_t n = 0;
+  for (const Segment& g : lane_segments_in(node, lane, lo, hi)) n += g.length;
   return n;
 }
 

@@ -57,14 +57,41 @@ class PlanSkeleton {
   int leader_rank(int node) const {
     return leader_by_node_[static_cast<std::size_t>(node)];
   }
-  int leader_of(int rank) const { return leader_rank(topo_.node_of(rank)); }
+  /// Lane leader of `rank`'s own lane (== leader_rank(node) at co = 1).
+  int leader_of(int rank) const {
+    const int node = topo_.node_of(rank);
+    return lane_leader(node, lane_of(rank));
+  }
   bool is_leader(int rank) const { return leader_of(rank) == rank; }
   std::pair<int, int> node_rank_range(int node) const;
+
+  // ----- lane geometry (Options::local_aggregators, Kang et al.'s co) -----
+  /// The requested co (>= 1); per-node lane counts are clamped to the
+  /// node's member count.
+  int local_aggregators() const { return local_aggs_; }
+  /// Lanes on `node`: min(co, members). 1 at co = 1.
+  int lanes(int node) const {
+    return static_cast<int>(lane_leaders_[static_cast<std::size_t>(node)].size());
+  }
+  /// The rank elected leader of lane `lane` on `node`.
+  int lane_leader(int node, int lane) const {
+    return lane_leaders_[static_cast<std::size_t>(node)]
+                        [static_cast<std::size_t>(lane)];
+  }
+  /// Half-open rank interval [first, last) of lane `lane` on `node`.
+  /// Lanes are contiguous, non-empty, and partition the node's members;
+  /// each lane's leader lives inside its own lane.
+  std::pair<int, int> lane_rank_range(int node, int lane) const;
+  /// Index of the lane containing `rank` within its node.
+  int lane_of(int rank) const;
 
  private:
   net::Topology topo_;
   bool hierarchical_ = false;
-  std::vector<int> leader_by_node_;  // per node
+  int local_aggs_ = 1;
+  std::vector<int> leader_by_node_;  // per node: lane 0's leader
+  std::vector<std::vector<int>> lane_leaders_;  // per node, per lane
+  std::vector<std::vector<int>> lane_bounds_;   // per node: lanes+1 boundaries
   std::vector<Range> domains_;       // per aggregator index
   std::vector<int> agg_ranks_;       // per aggregator index
   std::vector<int> agg_index_of_rank_;
@@ -149,6 +176,28 @@ class Plan {
   std::uint64_t node_bytes_in(int node, std::uint64_t lo,
                               std::uint64_t hi) const;
 
+  // ----- lanes (Options::local_aggregators > 1) ---------------------------
+  /// Requested local aggregators per node (co); 1 = single-leader scheme.
+  int local_aggregators() const { return skel_->local_aggregators(); }
+  /// Lanes on `node` (min(co, members)).
+  int lanes(int node) const { return skel_->lanes(node); }
+  int lane_leader(int node, int lane) const {
+    return skel_->lane_leader(node, lane);
+  }
+  std::pair<int, int> lane_rank_range(int node, int lane) const {
+    return skel_->lane_rank_range(node, lane);
+  }
+  int lane_of(int rank) const { return skel_->lane_of(rank); }
+  /// Union of the lane members' segments inside [lo, hi) — the merged
+  /// message lane `lane`'s leader forwards; same coalescing and
+  /// local_offset convention as node_segments_in. With one lane per node
+  /// this is node_segments_in verbatim. Requires the lane members' views.
+  std::vector<Segment> lane_segments_in(int node, int lane, std::uint64_t lo,
+                                        std::uint64_t hi) const;
+  /// Bytes of the merged lane message for [lo, hi).
+  std::uint64_t lane_bytes_in(int node, int lane, std::uint64_t lo,
+                              std::uint64_t hi) const;
+
   /// Rank `r`'s full view; requires it to be held on this rank.
   const FileView& view(int r) const {
     return views_[static_cast<std::size_t>(held_slot(r))];
@@ -160,6 +209,11 @@ class Plan {
   std::shared_ptr<const PlanSkeleton> skeleton_ptr() const { return skel_; }
 
  private:
+  /// Coalesced union of ranks [first, last)'s segments in [lo, hi) — the
+  /// shared core of node_segments_in / lane_segments_in.
+  std::vector<Segment> merged_segments_in(int first, int last,
+                                          std::uint64_t lo,
+                                          std::uint64_t hi) const;
   /// Index into views_/prefix_ for a held rank; fails if not held.
   std::size_t held_slot(int r) const;
   void index_views();

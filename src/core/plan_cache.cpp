@@ -47,8 +47,10 @@ void append_header(std::string& key, const net::Topology& topo,
   append_u64(key, opt.cb_size);
   append_u64(key, opt.overlap == OverlapMode::None ? 0 : 1);  // split geometry
   append_u64(key, static_cast<std::uint64_t>(opt.num_aggregators));
+  append_u64(key, static_cast<std::uint64_t>(opt.local_aggregators));
   append_u64(key, (opt.stripe_align ? 1u : 0u) | (opt.hierarchical ? 2u : 0u) |
-                      (opt.leader_policy == LeaderPolicy::Spread ? 4u : 0u));
+                      (opt.leader_policy == LeaderPolicy::Spread ? 4u : 0u) |
+                      (opt.leader_policy == LeaderPolicy::Superset ? 8u : 0u));
 }
 
 /// Exact key material: every input the Plan constructor reads, serialized
@@ -56,7 +58,7 @@ void append_header(std::string& key, const net::Topology& topo,
 std::string make_key(const std::vector<std::vector<std::byte>>& blobs,
                      const net::Topology& topo, std::uint64_t stripe,
                      const Options& opt) {
-  std::size_t total = 10 * sizeof(std::uint64_t);
+  std::size_t total = 11 * sizeof(std::uint64_t);
   for (const auto& b : blobs) total += b.size() + sizeof(std::uint64_t);
   std::string key;
   key.reserve(total);
@@ -74,7 +76,7 @@ std::string make_skeleton_key(const std::vector<ViewSummary>& summaries,
                               const net::Topology& topo, std::uint64_t stripe,
                               const Options& opt) {
   std::string key;
-  key.reserve(10 * sizeof(std::uint64_t) +
+  key.reserve(11 * sizeof(std::uint64_t) +
               summaries.size() * sizeof(ViewSummary));
   append_header(key, topo, stripe, opt);
   if (!summaries.empty()) {

@@ -85,6 +85,7 @@ const char* to_string(LeaderPolicy p) {
   switch (p) {
     case LeaderPolicy::Lowest: return "lowest";
     case LeaderPolicy::Spread: return "spread";
+    case LeaderPolicy::Superset: return "superset";
   }
   return "?";
 }
@@ -93,6 +94,7 @@ PhaseTimings& PhaseTimings::operator+=(const PhaseTimings& o) {
   meta += o.meta;
   pack += o.pack;
   gather += o.gather;
+  forward += o.forward;
   shuffle += o.shuffle;
   sync += o.sync;
   write += o.write;

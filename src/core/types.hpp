@@ -85,8 +85,10 @@ enum class Transfer {
 /// Which rank of each node acts as the node leader when the hierarchical
 /// (two-level) shuffle is enabled (Options::hierarchical).
 enum class LeaderPolicy {
-  Lowest,  // first rank of the node: co-locates leader and aggregator duty
-  Spread,  // last rank of the node: keeps gather CPU off aggregator ranks
+  Lowest,    // first rank of each lane: co-locates leader and aggregator duty
+  Spread,    // last rank of each lane: keeps gather CPU off aggregator ranks
+  Superset,  // lane leaders sit on the node's global aggregators first, so
+             // the inter-node forward hop is local for them (Kang et al.)
 };
 
 const char* to_string(OverlapMode m);
@@ -115,6 +117,14 @@ struct Options {
   /// single-member nodes.
   bool hierarchical = false;
   LeaderPolicy leader_policy = LeaderPolicy::Lowest;
+  /// Local aggregators per node (Kang et al.'s `co`): each node's members
+  /// split into this many contiguous lanes, each lane electing its own
+  /// leader per leader_policy. 1 (the default) is the single-leader scheme
+  /// and stays bit-identical to the pre-lane hierarchical path on every
+  /// RunResult field; > 1 additionally pipelines each lane's intra-node
+  /// gather against its inter-node forwards (per-lane sub-batons replace
+  /// the whole-node barrier). Clamped to the node's member count.
+  int local_aggregators = 1;
   /// OverlapMode::Auto: leading cycles executed as blocking probes before
   /// the scheduler is chosen (clamped to the operation's cycle count).
   /// Even probes write blocking, odd ones through the aio path, so the
@@ -211,6 +221,10 @@ struct PhaseTimings {
   sim::Duration meta = 0;     // view exchange + planning collectives
   sim::Duration pack = 0;     // CPU pack/unpack
   sim::Duration gather = 0;   // intra-node leader gather (hierarchical mode)
+  sim::Duration forward = 0;  // inter-node forward sends of pipelined lane
+                              // leaders (hierarchical, local_aggregators > 1;
+                              // the co = 1 path keeps forward time in shuffle
+                              // for bit-identity, leaving this 0)
   sim::Duration shuffle = 0;  // blocked in sends/recvs/puts + their waits
   sim::Duration sync = 0;     // fences, barriers, lock traffic
   sim::Duration write = 0;    // blocked in file writes / write waits
@@ -261,6 +275,15 @@ struct Result {
   /// First give-up description on this rank; empty when every operation
   /// eventually succeeded. A non-empty value means the file has a hole.
   std::string io_error;
+  /// Pipelined-overlap inputs (two-sided hierarchical runs with
+  /// local_aggregators > 1, lane leaders only; both 0 everywhere else, in
+  /// particular on every co = 1 run): summed lifetimes of this rank's
+  /// forward messages (post instant to completion wait) and the part of
+  /// that the rank spent blocked posting/waiting on them. The difference
+  /// is forward time hidden under other work (typically the next cycle's
+  /// lane gather); the runner rolls both up into a job-wide fraction.
+  sim::Duration forward_lifetime = 0;
+  sim::Duration forward_blocked = 0;
 };
 
 }  // namespace tpio::coll

@@ -1,5 +1,6 @@
 #include "harness/cli.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
@@ -58,6 +59,7 @@ bool parse_transfer(const std::string& v, coll::Transfer& out) {
 bool parse_leader(const std::string& v, coll::LeaderPolicy& out) {
   if (v == "lowest") out = coll::LeaderPolicy::Lowest;
   else if (v == "spread") out = coll::LeaderPolicy::Spread;
+  else if (v == "superset") out = coll::LeaderPolicy::Superset;
   else return false;
   return true;
 }
@@ -156,7 +158,13 @@ std::string cli_usage() {
       "  --probe-cycles N                   auto: probe cycles (default 4)\n"
       "  --tuning-cache FILE                auto: persistent decision cache\n"
       "  --hierarchical                     two-level (intra-node) shuffle\n"
-      "  --leader lowest|spread             node-leader policy (default lowest)\n"
+      "  --leader lowest|spread|superset    lane-leader policy (default\n"
+      "                                     lowest; superset puts leaders on\n"
+      "                                     the node's aggregators)\n"
+      "  --local-aggs N                     local aggregators (lanes) per\n"
+      "                                     node; N > 1 pipelines each\n"
+      "                                     lane's gather against its\n"
+      "                                     forwards (default 1)\n"
       "  --dense-metadata                   materialize every rank's view on\n"
       "                                     every rank (legacy exchange; same\n"
       "                                     virtual cost, more host memory)\n"
@@ -288,6 +296,10 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
         if (!parse_leader(args[++i], cfg.spec.options.leader_policy)) {
           cfg.error = "unknown leader policy '" + args[i] + "'";
         }
+      } else if (a == "--local-aggs") {
+        if (!need_value(i)) return cfg;
+        cfg.spec.options.local_aggregators =
+            static_cast<int>(int_flag(a, args[++i], 1, 1'000'000));
       } else if (a == "--reps") {
         if (!need_value(i)) return cfg;
         cfg.reps = static_cast<int>(int_flag(a, args[++i], 1, 1'000'000));
@@ -396,6 +408,36 @@ CliConfig parse_cli(const std::vector<std::string>& args) {
     cfg.error = "--sub-comms " +
                 std::to_string(cfg.spec.options.sub_comm_count) +
                 " exceeds --procs " + std::to_string(cfg.spec.nprocs);
+  }
+  if (cfg.error.empty() &&
+      cfg.spec.options.local_aggregators >
+          cfg.spec.platform.procs_per_node) {
+    cfg.error = "--local-aggs " +
+                std::to_string(cfg.spec.options.local_aggregators) +
+                " exceeds the platform's " +
+                std::to_string(cfg.spec.platform.procs_per_node) +
+                " processes per node";
+  }
+  if (cfg.error.empty() &&
+      cfg.spec.options.leader_policy == coll::LeaderPolicy::Superset &&
+      cfg.spec.options.local_aggregators > 1) {
+    // Superset needs one global aggregator per lane leader, or the fill
+    // degenerates to Spread picks. Placement is round-robin over nodes, so
+    // the per-node capacity is ceil(A / nodes); auto aggregator count
+    // (--aggregators 0) guarantees only one.
+    const int ppn = cfg.spec.platform.procs_per_node;
+    const int nodes = (cfg.spec.nprocs + ppn - 1) / ppn;
+    const int a = std::min(cfg.spec.options.num_aggregators, cfg.spec.nprocs);
+    const int per_node = cfg.spec.options.num_aggregators == 0
+                             ? 1
+                             : (a + nodes - 1) / nodes;
+    if (cfg.spec.options.local_aggregators > per_node) {
+      cfg.error = "--leader superset with --local-aggs " +
+                  std::to_string(cfg.spec.options.local_aggregators) +
+                  " exceeds the " + std::to_string(per_node) +
+                  " aggregator(s) per node; raise --aggregators or lower "
+                  "--local-aggs";
+    }
   }
   if (cfg.error.empty() && cfg.arrival.model == ArrivalModel::Trace &&
       static_cast<int>(cfg.arrival.trace.size()) != cfg.tenants) {

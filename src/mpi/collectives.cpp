@@ -59,6 +59,24 @@ void Mpi::leader_barrier() {
                         /*floor=*/0, "mpi.leader_barrier");
 }
 
+void Mpi::lane_barrier(int lane, int parties) {
+  Machine& m = *machine_;
+  TPIO_CHECK(parties >= 1, "lane_barrier requires at least one party");
+  const int node = m.fabric_->topology().node_of(rank());
+  sim::SyncPoint* sp = nullptr;
+  ctx_->act([&] {
+    auto& slot = m.lane_sync_[{node, lane}];
+    if (!slot) slot = std::make_unique<sim::SyncPoint>(parties);
+    sp = slot.get();
+  });
+  TPIO_CHECK(sp->parties() == parties,
+             "lane_barrier called with mismatched party counts");
+  const sim::Duration cost =
+      static_cast<sim::Duration>(ceil_log2(std::max(parties, 1))) *
+      m.params_.node_collective_hop;
+  sp->arrive(*ctx_, cost, /*floor=*/0, "mpi.lane_barrier");
+}
+
 namespace {
 
 /// Which collective a generation of the shared exchange slot carries.

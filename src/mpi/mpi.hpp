@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <span>
 #include <utility>
@@ -138,6 +139,14 @@ class Mpi {
   /// Barrier over the node-leader sub-communicator. Collective among
   /// exactly one rank per node — every leader must call it each time.
   void leader_barrier();
+  /// Barrier over one lane of this rank's node (the sub-baton of the
+  /// pipelined intra-node aggregation): collective among the `parties`
+  /// members of lane `lane` only, at shared-memory cost
+  /// ceil(log2 parties) * node_collective_hop. The (node, lane) sync point
+  /// is created lazily under the baton on first arrival — the Machine
+  /// predates the plan that defines lane geometry — and every arrival must
+  /// name the same party count (checked).
+  void lane_barrier(int lane, int parties);
   /// Everyone contributes `mine`; returns all contributions indexed by rank.
   std::vector<std::vector<std::byte>> allgatherv(std::span<const std::byte> mine);
   /// Fixed-size allgather: like allgatherv but every rank must contribute
@@ -282,6 +291,9 @@ class Machine {
   // leaders (parties = node count; exactly one rank per node arrives).
   std::vector<std::unique_ptr<sim::SyncPoint>> node_sync_;
   sim::SyncPoint leader_sync_;
+  // Lane sub-batons, keyed by (node, lane); created lazily under the baton
+  // because lane geometry is a plan property the Machine predates.
+  std::map<std::pair<int, int>, std::unique_ptr<sim::SyncPoint>> lane_sync_;
   struct ExchangeSlot {
     int arrived = 0;
     int kind = -1;  // collective kind of this generation (first arrival sets)

@@ -36,6 +36,7 @@ std::string fp(const xp::RunResult& r) {
     add(t.meta);
     add(t.pack);
     add(t.gather);
+    add(t.forward);
     add(t.shuffle);
     add(t.sync);
     add(t.write);
@@ -54,6 +55,7 @@ std::string fp(const xp::RunResult& r) {
   add(r.inter_node_bytes);
   add(r.inter_node_messages);
   add(r.intra_node_bytes);
+  add(r.pipelined_overlap);
   add(r.autotune.engaged);
   add(static_cast<int>(r.autotune.chosen));
   add(r.autotune.from_cache);

@@ -303,10 +303,10 @@ TEST(CollectiveWriteMisc, TimingsAccountedAndTotalCovers) {
   for (const auto& r : results) {
     const auto& t = r.timings;
     EXPECT_GT(t.total, 0);
-    // All seven buckets: omitting gather hid hierarchical-shuffle time from
+    // All eight buckets: omitting gather hid hierarchical-shuffle time from
     // the accounting identity.
-    EXPECT_LE(t.meta + t.pack + t.gather + t.shuffle + t.sync + t.write +
-                  t.backoff,
+    EXPECT_LE(t.meta + t.pack + t.gather + t.forward + t.shuffle + t.sync +
+                  t.write + t.backoff,
               t.total);
     EXPECT_GT(t.shuffle + t.write + t.sync, 0);
   }
@@ -342,8 +342,8 @@ TEST(CollectiveWriteMisc, GatherBucketAccountedInHierarchicalRuns) {
   for (const auto& r : results) {
     const auto& t = r.timings;
     if (t.gather > 0) some_gather = true;
-    EXPECT_LE(t.meta + t.pack + t.gather + t.shuffle + t.sync + t.write +
-                  t.backoff,
+    EXPECT_LE(t.meta + t.pack + t.gather + t.forward + t.shuffle + t.sync +
+                  t.write + t.backoff,
               t.total);
   }
   EXPECT_TRUE(some_gather);

@@ -555,8 +555,8 @@ TEST(BackoffAccounting, RetriesChargeTheBackoffBucket) {
     retries += r.faults.retries;
     // The accounting identity holds with the backoff bucket included.
     const auto& t = r.timings;
-    EXPECT_LE(t.meta + t.pack + t.gather + t.shuffle + t.sync + t.write +
-                  t.backoff,
+    EXPECT_LE(t.meta + t.pack + t.gather + t.forward + t.shuffle + t.sync +
+                  t.write + t.backoff,
               t.total);
   }
   EXPECT_GT(retries, 0);

@@ -120,11 +120,12 @@ TEST(PaperShapes, CrillIsIoDominatedIbexLess) {
     spec.options.overlap = coll::OverlapMode::None;
     spec.seed = 5;
     const auto r = xp::execute(spec);
-    // Communication = shuffle + gather + pack: gather is zero on this flat
-    // run but belongs in the share so the formula stays correct for
-    // hierarchical configs.
-    const double comm = static_cast<double>(r.agg_max.shuffle +
-                                            r.agg_max.gather + r.agg_max.pack);
+    // Communication = shuffle + gather + forward + pack: gather and forward
+    // are zero on this flat run but belong in the share so the formula
+    // stays correct for hierarchical (and pipelined co > 1) configs.
+    const double comm =
+        static_cast<double>(r.agg_max.shuffle + r.agg_max.gather +
+                            r.agg_max.forward + r.agg_max.pack);
     return comm / (comm + static_cast<double>(r.agg_max.write));
   };
   const double crill = share(quiet(xp::crill()));

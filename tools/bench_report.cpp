@@ -25,7 +25,13 @@
 //   subfiling   — the quick-grid crill tile256 cell, shared file vs
 //                 --sub-comms 4, each timed like a grid cell: subfiled
 //                 runs/sec tracks the multi-plan execution overhead
-//                 (absent on trees without subfiling).
+//                 (absent on trees without subfiling);
+//   intranode   — the crill ppn=16 co grid (local aggregators per node,
+//                 --local-aggs): per message size, the simulated makespan,
+//                 intra-node gather critical path (max per-rank gather
+//                 time) and the comm-overlap scheduler's pipelined-overlap
+//                 fraction at co in {1, 2, 4, 16}, plus the winning co by
+//                 each metric (absent on trees without local aggregation).
 //
 // Deliberately restricted to the long-stable harness API (execute,
 // run_overlap_sweep, scaled presets) so the identical source compiles
@@ -288,6 +294,70 @@ SubfilingPoint time_subfiling(double min_wall_s) {
   return p;
 }
 
+struct IntranodePoint {
+  const char* size_label = "";
+  std::uint64_t block_bytes = 0;
+  std::vector<int> cos;
+  std::vector<double> sim_ms;        // parallel to cos
+  std::vector<double> gather_ms;     // intra-node critical path
+  std::vector<double> overlap;       // pipelined-overlap fraction
+  int winner_by_gather = 1;          // co with the shortest gather chain
+  int winner_by_makespan = 1;
+};
+
+std::vector<IntranodePoint> time_intranode() {
+  // The fig_local_aggs crill quick grid at ppn=16: 4 nodes re-packed to 16
+  // ranks each, write-comm-2, spread lane leaders. Simulated figures only —
+  // the winner table is what the acceptance gate tracks.
+  xp::Platform plat = xp::scaled(xp::crill());
+  plat.name += "-ppn16";
+  plat.max_nodes = plat.max_nodes * plat.procs_per_node / 16;
+  plat.procs_per_node = 16;
+  const int procs = 4 * 16;
+
+  std::vector<IntranodePoint> points;
+  const std::pair<const char*, std::uint64_t> sizes[] = {
+      {"64K", 64ull << 10}, {"256K", 256ull << 10}, {"1M", 1ull << 20}};
+  for (const auto& [label, bytes] : sizes) {
+    IntranodePoint p;
+    p.size_label = label;
+    p.block_bytes = bytes;
+    for (const int co : {1, 2, 4, 16}) {
+      xp::RunSpec spec;
+      spec.platform = plat;
+      spec.workload = wl::make_ior(bytes);
+      spec.nprocs = procs;
+      spec.options.cb_size = xp::kCbSize;
+      spec.options.overlap = coll::OverlapMode::WriteComm2;
+      spec.options.hierarchical = true;
+      spec.options.leader_policy = coll::LeaderPolicy::Spread;
+      spec.options.local_aggregators = co;
+      spec.seed = 7;
+      const xp::RunResult r = xp::execute(spec);
+      // Overlap fraction under comm-overlap: the scheduler whose call
+      // order lets a leader gather the next cycle between posting and
+      // waiting on forwards (write-comm-2's per-rank overlap is
+      // structurally zero — it posts then immediately waits).
+      xp::RunSpec cspec = spec;
+      cspec.options.overlap = coll::OverlapMode::Comm;
+      const xp::RunResult c = xp::execute(cspec);
+      p.cos.push_back(co);
+      p.sim_ms.push_back(static_cast<double>(r.makespan) / 1e6);
+      p.gather_ms.push_back(static_cast<double>(r.gather_critical) / 1e6);
+      p.overlap.push_back(c.pipelined_overlap);
+    }
+    std::size_t bg = 0, bm = 0;
+    for (std::size_t i = 1; i < p.cos.size(); ++i) {
+      if (p.gather_ms[i] < p.gather_ms[bg]) bg = i;
+      if (p.sim_ms[i] < p.sim_ms[bm]) bm = i;
+    }
+    p.winner_by_gather = p.cos[bg];
+    p.winner_by_makespan = p.cos[bm];
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   for (char ch : s) {
@@ -417,6 +487,13 @@ int main(int argc, char** argv) {
                sub.nprocs, sub.shared_runs_per_s, sub.shared_sim_ms,
                sub.sub_comms, sub.split_runs_per_s, sub.split_sim_ms);
 
+  const std::vector<IntranodePoint> intra = time_intranode();
+  for (const IntranodePoint& p : intra) {
+    std::fprintf(stderr, "intranode crill ppn=16 %-4s winner: co=%d "
+                 "(gather chain), co=%d (makespan)\n",
+                 p.size_label, p.winner_by_gather, p.winner_by_makespan);
+  }
+
   std::string j;
   j += "{\n";
   j += "  \"schema\": \"tpio-bench-perf-1\",\n";
@@ -488,11 +565,33 @@ int main(int argc, char** argv) {
                 "\"tile256\", \"nprocs\": %d, \"sub_comms\": %d, "
                 "\"shared_reps\": %d, \"shared_runs_per_s\": %.3f, "
                 "\"shared_sim_ms\": %.3f, \"split_reps\": %d, "
-                "\"split_runs_per_s\": %.3f, \"split_sim_ms\": %.3f}\n",
+                "\"split_runs_per_s\": %.3f, \"split_sim_ms\": %.3f},\n",
                 sub.nprocs, sub.sub_comms, sub.shared_reps,
                 sub.shared_runs_per_s, sub.shared_sim_ms, sub.split_reps,
                 sub.split_runs_per_s, sub.split_sim_ms);
   j += buf;
+  j += "  \"intranode\": [\n";
+  for (std::size_t i = 0; i < intra.size(); ++i) {
+    const IntranodePoint& p = intra[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"platform\": \"crill\", \"ppn\": 16, \"workload\": "
+                  "\"ior\", \"block_bytes\": %llu, \"size\": \"%s\", "
+                  "\"winner_by_gather_co\": %d, \"winner_by_makespan_co\": "
+                  "%d, \"cells\": [",
+                  static_cast<unsigned long long>(p.block_bytes),
+                  p.size_label, p.winner_by_gather, p.winner_by_makespan);
+    j += buf;
+    for (std::size_t k = 0; k < p.cos.size(); ++k) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"co\": %d, \"sim_ms\": %.3f, \"gather_crit_ms\": "
+                    "%.3f, \"pipelined_overlap\": %.3f}%s",
+                    p.cos[k], p.sim_ms[k], p.gather_ms[k], p.overlap[k],
+                    k + 1 < p.cos.size() ? ", " : "");
+      j += buf;
+    }
+    j += std::string("]}") + (i + 1 < intra.size() ? "," : "") + "\n";
+  }
+  j += "  ]\n";
   j += "}\n";
 
   if (!out_path.empty()) {

@@ -3,7 +3,8 @@
 // analysis/plotting.
 //
 //   tpio_sweep --platform crill [--primitives] [--auto] [--hierarchical]
-//              [--leader lowest|spread] [--quick] [--reps N]
+//              [--leader lowest|spread|superset] [--local-aggs N]
+//              [--quick] [--reps N]
 //              [--jobs N] [--conductor fibers|threads]
 //              [--resume FILE] [--progress] > out.csv
 //
@@ -60,10 +61,20 @@ int main(int argc, char** argv) {
       const std::string v = argv[++i];
       if (v == "lowest") base.leader_policy = coll::LeaderPolicy::Lowest;
       else if (v == "spread") base.leader_policy = coll::LeaderPolicy::Spread;
+      else if (v == "superset")
+        base.leader_policy = coll::LeaderPolicy::Superset;
       else {
         std::fprintf(stderr, "unknown leader policy '%s'\n", v.c_str());
         return 2;
       }
+    } else if (a == "--local-aggs" && i + 1 < argc) {
+      long long co = 0;
+      if (!xp::parse_int_arg(argv[++i], 1, 1'000'000, co)) {
+        std::fprintf(stderr, "--local-aggs wants a count >= 1, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      base.local_aggregators = static_cast<int>(co);
     } else if (a == "--quick") {
       quick = true;
     } else if (a == "--reps" && i + 1 < argc) {
@@ -182,7 +193,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: tpio_sweep [--platform crill|ibex|lustre] "
                    "[--primitives] [--auto] [--hierarchical] "
-                   "[--leader lowest|spread] "
+                   "[--leader lowest|spread|superset] [--local-aggs N] "
                    "[--quick] [--reps N] [--jobs N] "
                    "[--conductor fibers|threads] "
                    "[--resume FILE] [--progress] "
@@ -210,6 +221,26 @@ int main(int argc, char** argv) {
   // checkpoint manifest is tagged with it, so a faulty grid can never
   // resume from a healthy checkpoint (or vice versa).
   plat.pfs.faults = faults;
+
+  if (base.local_aggregators > plat.procs_per_node) {
+    std::fprintf(stderr,
+                 "--local-aggs %d exceeds the platform's %d processes "
+                 "per node\n",
+                 base.local_aggregators, plat.procs_per_node);
+    return 2;
+  }
+  if (base.leader_policy == coll::LeaderPolicy::Superset &&
+      base.local_aggregators > 1) {
+    // The sweep always runs with automatic aggregator selection, which
+    // guarantees only one global aggregator per node — not enough to host
+    // more than one superset lane leader.
+    std::fprintf(stderr,
+                 "--leader superset with --local-aggs %d exceeds the 1 "
+                 "aggregator per node the sweep's automatic election "
+                 "guarantees; use --leader spread for co > 1 sweeps\n",
+                 base.local_aggregators);
+    return 2;
+  }
 
   // The executor refuses stale --resume checkpoints (and other invariant
   // violations) by throwing; report those as a clean CLI error, not an
